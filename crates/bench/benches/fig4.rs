@@ -1,0 +1,57 @@
+//! Figure 4 — average message rate vs. average communication distance:
+//! simulation points against combined-model predictions.
+//!
+//! The paper reports model-predicted message rates "consistently within a
+//! few percent of measured values". This bench runs the mapping suite on
+//! the cycle-level simulator, calibrates the combined model per context
+//! count (the paper's methodology: measured application parameters plus
+//! the analytical network model), and prints measured vs. predicted
+//! per-node message rates with their relative error.
+
+use commloc_bench::{calibrated_model, pct_err, validation_runs};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn reproduce() {
+    println!("\n=== Figure 4: message rate r_m vs distance d (sim vs model) ===");
+    for contexts in [1usize, 2, 4] {
+        let runs = validation_runs(contexts);
+        let model = calibrated_model(contexts, &runs);
+        println!("\n-- {contexts} context(s) --");
+        println!(
+            "{:<16} {:>6} {:>10} {:>10} {:>8}",
+            "mapping", "d", "r_m (sim)", "r_m (mod)", "err%"
+        );
+        let mut worst: f64 = 0.0;
+        for run in &runs {
+            let predicted = model
+                .solve(run.measured.distance)
+                .map(|op| op.message_rate)
+                .unwrap_or(f64::NAN);
+            let err = pct_err(predicted, run.measured.message_rate);
+            worst = worst.max(err.abs());
+            println!(
+                "{:<16} {:>6.2} {:>10.5} {:>10.5} {:>7.1}%",
+                run.name, run.measured.distance, run.measured.message_rate, predicted, err
+            );
+        }
+        println!("worst-case rate error: {worst:.1}% (paper: within a few percent)");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    // Criterion target: the combined-model solve used for every point.
+    let runs = validation_runs(1);
+    let model = calibrated_model(1, &runs);
+    c.bench_function("fig4/combined_model_solve", |b| {
+        b.iter(|| black_box(model.solve(black_box(4.06)).unwrap().message_rate))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Figure 5 — average message latency vs. average communication
+//! distance: simulation points against combined-model predictions.
+//!
+//! The paper reports predicted latencies "track measured values to within
+//! a few network cycles". Same setup as the Figure 4 bench, comparing
+//! `T_m` instead of `r_m`.
+
+use commloc_bench::{calibrated_model, validation_runs};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn reproduce() {
+    println!("\n=== Figure 5: message latency T_m vs distance d (sim vs model) ===");
+    for contexts in [1usize, 2, 4] {
+        let runs = validation_runs(contexts);
+        let model = calibrated_model(contexts, &runs);
+        println!("\n-- {contexts} context(s) --");
+        println!(
+            "{:<16} {:>6} {:>10} {:>10} {:>8}",
+            "mapping", "d", "T_m (sim)", "T_m (mod)", "diff"
+        );
+        let mut worst: f64 = 0.0;
+        for run in &runs {
+            let predicted = model
+                .solve(run.measured.distance)
+                .map(|op| op.message_latency)
+                .unwrap_or(f64::NAN);
+            let diff = predicted - run.measured.message_latency;
+            worst = worst.max(diff.abs());
+            println!(
+                "{:<16} {:>6.2} {:>10.1} {:>10.1} {:>8.1}",
+                run.name,
+                run.measured.distance,
+                run.measured.message_latency,
+                predicted,
+                diff
+            );
+        }
+        println!(
+            "worst-case latency gap: {worst:.1} network cycles \
+             (paper: within a few network cycles)"
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let runs = validation_runs(2);
+    let model = calibrated_model(2, &runs);
+    c.bench_function("fig5/combined_model_solve", |b| {
+        b.iter(|| black_box(model.solve(black_box(6.0)).unwrap().message_latency))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

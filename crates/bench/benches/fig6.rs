@@ -1,0 +1,56 @@
+//! Figure 6 — average per-hop latency `T_h` vs. machine size `N`.
+//!
+//! Solid curve: the Section 3 application (two contexts, random
+//! communication patterns). Dashed curve: the same application with its
+//! computation grain artificially increased tenfold. Both approach the
+//! Eq. 16 limit `B*s/(2n)` (about 9.8 network cycles for `s = 3.26`,
+//! `B = 12`, `n = 2`); the small-grain application reaches over eighty
+//! percent of it with a few thousand processors.
+
+use commloc_model::{
+    limiting_per_hop_latency, log_spaced_sizes, per_hop_latency_curve, MachineConfig,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn reproduce() {
+    println!("\n=== Figure 6: per-hop latency T_h vs machine size N ===");
+    let base = MachineConfig::alewife().with_contexts(2);
+    let big_grain = base.with_grain(base.grain() * 10.0);
+    let limit = limiting_per_hop_latency(&base);
+    println!(
+        "Eq. 16 limit: B*s/(2n) = {:.2} network cycles (paper: ~9.8 at s=3.26)\n",
+        limit
+    );
+    let sizes = log_spaced_sizes(10.0, 1e6, 2);
+    println!(
+        "{:>10} {:>10} {:>14} {:>16}",
+        "N", "d_random", "T_h (base)", "T_h (10x grain)"
+    );
+    for &n in &sizes {
+        let b = per_hop_latency_curve(&base, &[n]).expect("solvable")[0];
+        let g = per_hop_latency_curve(&big_grain, &[n]).expect("solvable")[0];
+        println!(
+            "{n:>10.0} {:>10.1} {:>14.2} {:>16.2}",
+            b.distance, b.per_hop_latency, g.per_hop_latency
+        );
+    }
+    // The headline observation: >80% of the limit by a few thousand nodes.
+    let reach = commloc_model::size_reaching_fraction_of_limit(&base, &sizes, 0.8)
+        .expect("solvable")
+        .map(|n| format!("{n:.0}"))
+        .unwrap_or_else(|| "not reached".into());
+    println!("\nbase application reaches 80% of the limit at N = {reach} (paper: a few thousand)");
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let cfg = MachineConfig::alewife().with_contexts(2);
+    let sizes = log_spaced_sizes(10.0, 1e6, 2);
+    c.bench_function("fig6/per_hop_latency_curve", |b| {
+        b.iter(|| black_box(per_hop_latency_curve(&cfg, black_box(&sizes)).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Figure 7 — expected gain from exploiting physical locality vs.
+//! machine size, for one, two, and four hardware contexts (log-log).
+//!
+//! Each curve starts at unity gain for ten processors, reaches a gain of
+//! about two around 1,000 processors, and climbs into the tens by a
+//! million processors (paper: 40–55). Because the measured application
+//! has a very small computation grain, these are rough **upper bounds**
+//! on the gain available to any application.
+
+use commloc_model::{expected_gain, log_spaced_sizes, MachineConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn reproduce() {
+    println!("\n=== Figure 7: expected gain vs machine size (ideal / random mapping) ===");
+    let sizes = log_spaced_sizes(10.0, 1e6, 2);
+    println!(
+        "{:>10} {:>10} {:>9} {:>9} {:>9}",
+        "N", "d_random", "p=1", "p=2", "p=4"
+    );
+    for &n in &sizes {
+        let mut row = String::new();
+        let mut d_random = 0.0;
+        for p in [1u32, 2, 4] {
+            let cfg = MachineConfig::alewife().with_contexts(p).with_nodes(n);
+            let point = expected_gain(&cfg).expect("solvable");
+            d_random = point.random_distance;
+            row.push_str(&format!(" {:>8.2}", point.gain));
+        }
+        println!("{n:>10.0} {d_random:>10.1}{row}");
+    }
+    for p in [1u32, 2, 4] {
+        let at = |n: f64| {
+            expected_gain(&MachineConfig::alewife().with_contexts(p).with_nodes(n))
+                .expect("solvable")
+                .gain
+        };
+        println!(
+            "p={p}: gain(10) = {:.2}, gain(10^3) = {:.2}, gain(10^6) = {:.1} \
+             (paper: ~1, ~2, 40-55)",
+            at(10.0),
+            at(1e3),
+            at(1e6)
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let cfg = MachineConfig::alewife().with_contexts(2).with_nodes(1e6);
+    c.bench_function("fig7/expected_gain_1e6", |b| {
+        b.iter(|| black_box(expected_gain(black_box(&cfg)).unwrap().gain))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Figure 8 — inter-transaction issue time broken into its Eq. 18
+//! components, for ideal and random mappings on a 1,000-processor
+//! machine at one, two, and four contexts.
+//!
+//! The paper's observations: moving from ideal to random mappings, only
+//! the variable message overhead grows (drastically), but because that
+//! growth merely brings it on par with the fixed components, the net
+//! impact on `t_t` is limited to about a factor of two; fixed transaction
+//! overhead is roughly two-thirds of the total fixed component.
+
+use commloc_model::{
+    EndpointContention, IssueTimeBreakdown, MachineConfig, IDEAL_MAPPING_DISTANCE,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn reproduce() {
+    println!("\n=== Figure 8: t_t component breakdown at N = 1,000 ===");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "case", "var msg", "fix msg", "fix txn", "cpu", "total"
+    );
+    // The Eq. 18 decomposition, as in the paper's figure, without the
+    // endpoint-channel extension (its small contribution is reported by
+    // the combined model separately).
+    let base = MachineConfig::alewife()
+        .with_nodes(1000.0)
+        .with_endpoint_contention(EndpointContention::Ignore);
+    for p in [1u32, 2, 4] {
+        let cfg = base.with_contexts(p);
+        let model = cfg.to_combined_model().expect("valid config");
+        let random_d = cfg.random_mapping_distance().expect("valid geometry");
+        for (label, d) in [("ideal", IDEAL_MAPPING_DISTANCE), ("random", random_d)] {
+            let op = model.solve(d).expect("solvable");
+            let b = IssueTimeBreakdown::from_operating_point(&model, &op);
+            println!(
+                "p={p} {label:<9} {:>10.1} {:>10.1} {:>10.1} {:>8.1} {:>8.1}",
+                b.variable_message,
+                b.fixed_message,
+                b.fixed_transaction,
+                b.cpu,
+                b.total()
+            );
+        }
+        let ideal = model.solve(IDEAL_MAPPING_DISTANCE).expect("solvable");
+        let random = model.solve(random_d).expect("solvable");
+        let b = IssueTimeBreakdown::from_operating_point(&model, &ideal);
+        println!(
+            "      -> random/ideal t_t ratio: {:.2}; fixed-txn share of fixed: {:.0}%",
+            random.issue_interval / ideal.issue_interval,
+            b.fixed_transaction_share() * 100.0
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let cfg = MachineConfig::alewife().with_nodes(1000.0);
+    let model = cfg.to_combined_model().unwrap();
+    c.bench_function("fig8/breakdown", |b| {
+        b.iter(|| {
+            let op = model.solve(black_box(15.8)).unwrap();
+            black_box(IssueTimeBreakdown::from_operating_point(&model, &op).total())
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

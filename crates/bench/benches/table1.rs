@@ -1,0 +1,62 @@
+//! Table 1 — impact of relative network speed on the expected gain from
+//! exploiting physical locality (single-context application, 10^3 and
+//! 10^6 processors).
+//!
+//! Paper values: 2.1 / 41.2 (2x faster, the base architecture),
+//! 3.1 / 68.3 (same), 4.5 / 101.6 (2x slower), 5.9 / 134.3 (4x slower) —
+//! slowing the network 8x raises the bounds roughly 3x. As in the
+//! paper's closed-form development, the endpoint-channel extension is
+//! disabled here (at the slow-network extremes it would dominate the
+//! ideal mapping; see EXPERIMENTS.md).
+
+use commloc_model::{expected_gain, EndpointContention, MachineConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const PAPER: [(&str, f64, f64, f64); 4] = [
+    ("2x faster", 1.0, 2.1, 41.2),
+    ("same", 0.5, 3.1, 68.3),
+    ("2x slower", 0.25, 4.5, 101.6),
+    ("4x slower", 0.125, 5.9, 134.3),
+];
+
+fn reproduce() {
+    println!("\n=== Table 1: expected gain vs relative network speed (p = 1) ===");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10}",
+        "net speed", "g(1e3)", "paper", "g(1e6)", "paper"
+    );
+    let base = MachineConfig::alewife()
+        .with_contexts(1)
+        .with_endpoint_contention(EndpointContention::Ignore);
+    let mut first = (0.0, 0.0);
+    let mut last = (0.0, 0.0);
+    for (i, (label, factor, p3, p6)) in PAPER.iter().enumerate() {
+        let cfg = base.scale_network_speed(*factor);
+        let g3 = expected_gain(&cfg.with_nodes(1e3)).expect("solvable").gain;
+        let g6 = expected_gain(&cfg.with_nodes(1e6)).expect("solvable").gain;
+        println!("{label:<12} {g3:>10.1} {p3:>10.1} {g6:>10.1} {p6:>10.1}");
+        if i == 0 {
+            first = (g3, g6);
+        }
+        last = (g3, g6);
+    }
+    println!(
+        "\n8x slowdown raises gains by {:.1}x / {:.1}x (paper: roughly 3x)",
+        last.0 / first.0,
+        last.1 / first.1
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    reproduce();
+    let cfg = MachineConfig::alewife()
+        .scale_network_speed(0.125)
+        .with_nodes(1e6);
+    c.bench_function("table1/expected_gain_slow_net", |b| {
+        b.iter(|| black_box(expected_gain(black_box(&cfg)).unwrap().gain))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

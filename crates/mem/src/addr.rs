@@ -1,0 +1,100 @@
+//! Word and cache-line addressing.
+//!
+//! The simulated memory system is word-grained for the application (each
+//! application thread maintains a single word of state, as in the paper's
+//! Section 3.2) and line-grained for coherence (16-byte lines, matching
+//! Alewife's cache organization).
+
+use std::fmt;
+
+/// Words per cache line: 16-byte lines of 8-byte words.
+pub const WORDS_PER_LINE: usize = 2;
+
+/// A word address (8-byte granularity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The cache line containing this word.
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 / WORDS_PER_LINE as u64)
+    }
+
+    /// Offset of this word within its line.
+    pub fn offset(self) -> usize {
+        (self.0 % WORDS_PER_LINE as u64) as usize
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{:#x}", self.0)
+    }
+}
+
+/// A cache-line address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// The first word of this line.
+    pub fn base(self) -> Addr {
+        Addr(self.0 * WORDS_PER_LINE as u64)
+    }
+
+    /// The word at `offset` within this line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= WORDS_PER_LINE`.
+    pub fn word(self, offset: usize) -> Addr {
+        assert!(offset < WORDS_PER_LINE, "offset {offset} out of line");
+        Addr(self.0 * WORDS_PER_LINE as u64 + offset as u64)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{:#x}", self.0)
+    }
+}
+
+/// The data contents of one cache line.
+pub type LineData = [u64; WORDS_PER_LINE];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_and_offset() {
+        assert_eq!(Addr(0).line(), LineAddr(0));
+        assert_eq!(Addr(1).line(), LineAddr(0));
+        assert_eq!(Addr(2).line(), LineAddr(1));
+        assert_eq!(Addr(5).offset(), 1);
+        assert_eq!(Addr(4).offset(), 0);
+    }
+
+    #[test]
+    fn line_word_round_trips() {
+        let line = LineAddr(7);
+        for offset in 0..WORDS_PER_LINE {
+            let w = line.word(offset);
+            assert_eq!(w.line(), line);
+            assert_eq!(w.offset(), offset);
+        }
+        assert_eq!(line.base(), line.word(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of line")]
+    fn word_offset_out_of_range_panics() {
+        LineAddr(0).word(WORDS_PER_LINE);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Addr(16).to_string(), "w0x10");
+        assert_eq!(LineAddr(8).to_string(), "l0x8");
+    }
+}

@@ -1,0 +1,243 @@
+//! Per-node coherent cache.
+//!
+//! A fully associative cache with LRU replacement holding lines in the
+//! `Modified` or `Shared` MSI states (`Invalid` lines are simply absent).
+//! Capacity is configurable; evictions of modified lines surface to the
+//! controller so it can write the data back to the home node. Shared
+//! lines evict silently (the full-map directory tolerates acknowledging
+//! invalidations for lines already dropped).
+
+use crate::addr::{Addr, LineAddr, LineData};
+use std::collections::HashMap;
+
+/// MSI state of a resident cache line (`Invalid` = not resident).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheState {
+    /// Read-only copy; memory at the home node is up to date.
+    Shared,
+    /// Exclusive, possibly dirty copy; this cache owns the only valid
+    /// data.
+    Modified,
+}
+
+#[derive(Debug, Clone)]
+struct CacheLine {
+    state: CacheState,
+    data: LineData,
+    last_use: u64,
+}
+
+/// An eviction the controller must act on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// The evicted line.
+    pub line: LineAddr,
+    /// Dirty data to write back, if the line was modified.
+    pub writeback: Option<LineData>,
+}
+
+/// A fully associative, LRU-replaced coherent cache.
+#[derive(Debug)]
+pub struct Cache {
+    lines: HashMap<LineAddr, CacheLine>,
+    capacity: usize,
+    clock: u64,
+}
+
+impl Cache {
+    /// Creates a cache holding up to `capacity` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache must hold at least one line");
+        Self {
+            lines: HashMap::new(),
+            capacity,
+            clock: 0,
+        }
+    }
+
+    /// The state of `line`, or `None` if not resident.
+    pub fn state(&self, line: LineAddr) -> Option<CacheState> {
+        self.lines.get(&line).map(|l| l.state)
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether the cache holds no lines.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Reads a word if the line is resident (any state). Updates LRU.
+    pub fn read_word(&mut self, addr: Addr) -> Option<u64> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.lines.get_mut(&addr.line()).map(|l| {
+            l.last_use = clock;
+            l.data[addr.offset()]
+        })
+    }
+
+    /// Writes a word if the line is resident in `Modified`. Returns
+    /// whether the write hit.
+    pub fn write_word(&mut self, addr: Addr, value: u64) -> bool {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.lines.get_mut(&addr.line()) {
+            Some(l) if l.state == CacheState::Modified => {
+                l.last_use = clock;
+                l.data[addr.offset()] = value;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Installs a line in the given state, returning the eviction this
+    /// forces, if any.
+    pub fn fill(&mut self, line: LineAddr, state: CacheState, data: LineData) -> Option<Eviction> {
+        self.clock += 1;
+        let evicted = if !self.lines.contains_key(&line) && self.lines.len() >= self.capacity {
+            self.evict_lru()
+        } else {
+            None
+        };
+        self.lines.insert(
+            line,
+            CacheLine {
+                state,
+                data,
+                last_use: self.clock,
+            },
+        );
+        evicted
+    }
+
+    /// Upgrades a resident line to `Modified` (e.g. on a write grant when
+    /// the shared data is already present), replacing its data.
+    pub fn upgrade(&mut self, line: LineAddr, data: LineData) {
+        self.clock += 1;
+        let clock = self.clock;
+        let entry = self.lines.get_mut(&line).expect("upgrade of absent line");
+        entry.state = CacheState::Modified;
+        entry.data = data;
+        entry.last_use = clock;
+    }
+
+    /// Downgrades a modified line to shared, returning its (dirty) data.
+    /// Returns `None` if the line is not resident (writeback raced ahead).
+    pub fn downgrade(&mut self, line: LineAddr) -> Option<LineData> {
+        self.lines.get_mut(&line).map(|l| {
+            l.state = CacheState::Shared;
+            l.data
+        })
+    }
+
+    /// Invalidates a line, returning its data if it was modified.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<LineData> {
+        self.lines.remove(&line).and_then(|l| {
+            (l.state == CacheState::Modified).then_some(l.data)
+        })
+    }
+
+    fn evict_lru(&mut self) -> Option<Eviction> {
+        let victim = self
+            .lines
+            .iter()
+            .min_by_key(|(_, l)| l.last_use)
+            .map(|(&line, _)| line)?;
+        let entry = self.lines.remove(&victim).expect("victim present");
+        Some(Eviction {
+            line: victim,
+            writeback: (entry.state == CacheState::Modified).then_some(entry.data),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least one line")]
+    fn zero_capacity_panics() {
+        Cache::new(0);
+    }
+
+    #[test]
+    fn read_miss_then_fill_then_hit() {
+        let mut c = Cache::new(4);
+        let a = Addr(3);
+        assert_eq!(c.read_word(a), None);
+        assert_eq!(c.fill(a.line(), CacheState::Shared, [10, 11]), None);
+        assert_eq!(c.read_word(a), Some(11));
+        assert_eq!(c.state(a.line()), Some(CacheState::Shared));
+    }
+
+    #[test]
+    fn write_requires_modified() {
+        let mut c = Cache::new(4);
+        let a = Addr(0);
+        c.fill(a.line(), CacheState::Shared, [0, 0]);
+        assert!(!c.write_word(a, 5), "write hit on shared line");
+        c.upgrade(a.line(), [0, 0]);
+        assert!(c.write_word(a, 5));
+        assert_eq!(c.read_word(a), Some(5));
+    }
+
+    #[test]
+    fn lru_eviction_prefers_oldest() {
+        let mut c = Cache::new(2);
+        c.fill(LineAddr(1), CacheState::Shared, [0; 2]);
+        c.fill(LineAddr(2), CacheState::Shared, [0; 2]);
+        // Touch line 1 so line 2 is LRU.
+        c.read_word(LineAddr(1).base());
+        let ev = c.fill(LineAddr(3), CacheState::Shared, [0; 2]).unwrap();
+        assert_eq!(ev.line, LineAddr(2));
+        assert_eq!(ev.writeback, None, "shared lines evict silently");
+        assert_eq!(c.state(LineAddr(1)), Some(CacheState::Shared));
+    }
+
+    #[test]
+    fn dirty_eviction_carries_writeback() {
+        let mut c = Cache::new(1);
+        c.fill(LineAddr(1), CacheState::Modified, [7, 8]);
+        let ev = c.fill(LineAddr(2), CacheState::Shared, [0; 2]).unwrap();
+        assert_eq!(ev.line, LineAddr(1));
+        assert_eq!(ev.writeback, Some([7, 8]));
+    }
+
+    #[test]
+    fn refill_of_resident_line_does_not_evict() {
+        let mut c = Cache::new(1);
+        c.fill(LineAddr(1), CacheState::Shared, [1, 2]);
+        assert_eq!(c.fill(LineAddr(1), CacheState::Modified, [3, 4]), None);
+        assert_eq!(c.state(LineAddr(1)), Some(CacheState::Modified));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn downgrade_and_invalidate() {
+        let mut c = Cache::new(2);
+        c.fill(LineAddr(1), CacheState::Modified, [9, 9]);
+        assert_eq!(c.downgrade(LineAddr(1)), Some([9, 9]));
+        assert_eq!(c.state(LineAddr(1)), Some(CacheState::Shared));
+        assert_eq!(c.invalidate(LineAddr(1)), None, "shared data not dirty");
+        assert_eq!(c.state(LineAddr(1)), None);
+        assert_eq!(c.downgrade(LineAddr(1)), None);
+    }
+
+    #[test]
+    fn invalidate_modified_returns_data() {
+        let mut c = Cache::new(2);
+        c.fill(LineAddr(4), CacheState::Modified, [5, 6]);
+        assert_eq!(c.invalidate(LineAddr(4)), Some([5, 6]));
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,600 @@
+//! The per-node memory/coherence controller.
+//!
+//! Each node's controller plays three roles, exactly as Alewife's
+//! memory/network interface does:
+//!
+//! * **cache controller** — serves processor loads/stores from the local
+//!   cache, and on misses initiates coherence transactions toward the
+//!   line's home node (MSHR-tracked, one outstanding transaction per
+//!   line with same-line requests queued behind it);
+//! * **home/directory controller** — serializes coherence requests for
+//!   lines homed at this node, issuing invalidations and fetches and
+//!   collecting acknowledgements;
+//! * **network interface glue** — turns protocol actions into messages
+//!   (local ones short-circuit through the controller's own inbox and
+//!   never touch the network).
+//!
+//! The controller processes one work item per processor cycle while idle;
+//! each item occupies it for a configurable number of cycles
+//! ([`MemConfig::processing_cycles`], plus [`MemConfig::memory_cycles`]
+//! for DRAM touches). This occupancy is a real contributor to the paper's
+//! fixed transaction overhead `T_f`.
+
+use crate::addr::{Addr, LineAddr, LineData};
+use crate::cache::{Cache, CacheState};
+use crate::directory::{DirState, Directory, QueuedRequest};
+use crate::home::HomeMap;
+use crate::msg::{MemConfig, ProtocolMsg};
+use commloc_net::NodeId;
+use std::collections::{HashMap, VecDeque};
+
+/// Identifier the processor attaches to a memory transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId(pub u64);
+
+/// A processor-issued memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemOp {
+    /// Load a word.
+    Read(Addr),
+    /// Store a word.
+    Write(Addr, u64),
+}
+
+impl MemOp {
+    /// The word this operation touches.
+    pub fn addr(&self) -> Addr {
+        match *self {
+            MemOp::Read(a) | MemOp::Write(a, _) => a,
+        }
+    }
+
+    /// Whether this operation requires exclusivity.
+    pub fn is_write(&self) -> bool {
+        matches!(self, MemOp::Write(..))
+    }
+}
+
+/// Completion notice for a processor transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The transaction that finished.
+    pub txn: TxnId,
+    /// The operation it performed.
+    pub op: MemOp,
+    /// The value read (for reads) or written (for writes).
+    pub value: u64,
+    /// Whether the operation required a coherence transaction (a miss) —
+    /// the paper's notion of a *communication transaction*. Hits served
+    /// from the local cache are not transactions.
+    pub miss: bool,
+}
+
+/// Counters the full-system simulator uses to measure `g`, `B`, and the
+/// hit/miss structure of the workload.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Processor transactions accepted.
+    pub transactions: u64,
+    /// Transactions completed.
+    pub completions: u64,
+    /// Loads served from the local cache.
+    pub read_hits: u64,
+    /// Loads that required a coherence transaction.
+    pub read_misses: u64,
+    /// Stores served from the local cache (already Modified).
+    pub write_hits: u64,
+    /// Stores that required a coherence transaction.
+    pub write_misses: u64,
+    /// Protocol messages handed to the network (src != dst).
+    pub network_messages: u64,
+    /// Flits of those messages.
+    pub network_flits: u64,
+    /// Protocol messages short-circuited locally.
+    pub local_messages: u64,
+    /// Invalidations issued by the home role.
+    pub invalidations_sent: u64,
+    /// Writebacks issued by evictions.
+    pub writebacks: u64,
+}
+
+/// Outstanding-transaction record for one line: the head of `pending` is
+/// in flight; the rest wait for the fill.
+#[derive(Debug)]
+struct Mshr {
+    pending: VecDeque<(TxnId, MemOp)>,
+}
+
+/// Work accepted by the controller, processed one per idle cycle.
+#[derive(Debug)]
+enum WorkItem {
+    Proc { txn: TxnId, op: MemOp },
+    Msg(ProtocolMsg),
+}
+
+/// A per-node memory/coherence controller.
+///
+/// # Examples
+///
+/// Driving a single node's controller by hand (local line, so every
+/// protocol step short-circuits):
+///
+/// ```
+/// use commloc_mem::{Addr, Controller, HomeMap, MemConfig, MemOp, TxnId};
+/// use commloc_net::NodeId;
+///
+/// let mut ctrl = Controller::new(NodeId(0), HomeMap::interleaved(1), MemConfig::default());
+/// ctrl.request(TxnId(1), MemOp::Write(Addr(0), 99));
+/// for _ in 0..100 {
+///     ctrl.step();
+/// }
+/// let done = ctrl.poll_completion().expect("write completed");
+/// assert_eq!(done.value, 99);
+/// ```
+#[derive(Debug)]
+pub struct Controller {
+    node: NodeId,
+    config: MemConfig,
+    cache: Cache,
+    directory: Directory,
+    memory: HashMap<LineAddr, LineData>,
+    home: HomeMap,
+    work: VecDeque<WorkItem>,
+    busy: u32,
+    outbox: VecDeque<(NodeId, ProtocolMsg)>,
+    completions: VecDeque<Completion>,
+    mshr: HashMap<LineAddr, Mshr>,
+    stats: MemStats,
+}
+
+impl Controller {
+    /// Creates the controller for `node`.
+    pub fn new(node: NodeId, home: HomeMap, config: MemConfig) -> Self {
+        Self {
+            node,
+            cache: Cache::new(config.cache_lines),
+            config,
+            directory: Directory::new(),
+            memory: HashMap::new(),
+            home,
+            work: VecDeque::new(),
+            busy: 0,
+            outbox: VecDeque::new(),
+            completions: VecDeque::new(),
+            mshr: HashMap::new(),
+            stats: MemStats::default(),
+        }
+    }
+
+    /// The node this controller belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Resets the statistics counters (measurement windows).
+    pub fn reset_stats(&mut self) {
+        self.stats = MemStats::default();
+    }
+
+    /// Accepts a processor memory operation. The processor learns of its
+    /// completion through [`Controller::poll_completion`].
+    pub fn request(&mut self, txn: TxnId, op: MemOp) {
+        self.stats.transactions += 1;
+        self.work.push_back(WorkItem::Proc { txn, op });
+    }
+
+    /// Accepts a protocol message delivered by the network.
+    pub fn deliver(&mut self, msg: ProtocolMsg) {
+        self.work.push_back(WorkItem::Msg(msg));
+    }
+
+    /// Takes the next outgoing network message, if any.
+    pub fn take_outgoing(&mut self) -> Option<(NodeId, ProtocolMsg)> {
+        self.outbox.pop_front()
+    }
+
+    /// Takes the next transaction completion, if any.
+    pub fn poll_completion(&mut self) -> Option<Completion> {
+        self.completions.pop_front()
+    }
+
+    /// Whether the controller has no queued work, no occupancy, and no
+    /// outstanding transactions.
+    pub fn is_idle(&self) -> bool {
+        self.busy == 0 && self.work.is_empty() && self.mshr.is_empty() && self.outbox.is_empty()
+    }
+
+    /// Read-only view of the cache (tests and invariant checks).
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// Read-only view of the directory (tests and invariant checks).
+    pub fn directory(&self) -> &Directory {
+        &self.directory
+    }
+
+    /// The backing-memory contents of a line homed here (zeros if never
+    /// written).
+    pub fn memory_line(&self, line: LineAddr) -> LineData {
+        self.memory.get(&line).copied().unwrap_or_default()
+    }
+
+    /// Advances the controller by one processor cycle.
+    pub fn step(&mut self) {
+        if self.busy > 0 {
+            self.busy -= 1;
+            return;
+        }
+        let Some(item) = self.work.pop_front() else {
+            return;
+        };
+        let cost = match item {
+            WorkItem::Proc { txn, op } => self.handle_proc(txn, op),
+            WorkItem::Msg(msg) => self.handle_msg(msg),
+        };
+        self.busy = cost.saturating_sub(1);
+    }
+
+    /// Sends a protocol message, short-circuiting local destinations.
+    fn send(&mut self, dst: NodeId, msg: ProtocolMsg) {
+        if dst == self.node {
+            self.stats.local_messages += 1;
+            self.work.push_back(WorkItem::Msg(msg));
+        } else {
+            self.stats.network_messages += 1;
+            self.stats.network_flits += u64::from(msg.flits(&self.config));
+            self.outbox.push_back((dst, msg));
+        }
+    }
+
+    fn complete(&mut self, txn: TxnId, op: MemOp, value: u64, miss: bool) {
+        self.stats.completions += 1;
+        self.completions.push_back(Completion {
+            txn,
+            op,
+            value,
+            miss,
+        });
+    }
+
+    /// Handles a processor operation; returns occupancy cycles.
+    fn handle_proc(&mut self, txn: TxnId, op: MemOp) -> u32 {
+        let line = op.addr().line();
+        if let Some(entry) = self.mshr.get_mut(&line) {
+            // A transaction for this line is already in flight; queue
+            // behind it.
+            entry.pending.push_back((txn, op));
+            return self.config.processing_cycles;
+        }
+        match op {
+            MemOp::Read(addr) => {
+                if let Some(value) = self.cache.read_word(addr) {
+                    self.stats.read_hits += 1;
+                    self.complete(txn, op, value, false);
+                    return self.config.processing_cycles;
+                }
+                self.stats.read_misses += 1;
+                self.start_miss(line, txn, op, false);
+            }
+            MemOp::Write(addr, value) => {
+                if self.cache.write_word(addr, value) {
+                    self.stats.write_hits += 1;
+                    self.complete(txn, op, value, false);
+                    return self.config.processing_cycles;
+                }
+                self.stats.write_misses += 1;
+                self.start_miss(line, txn, op, true);
+            }
+        }
+        self.config.processing_cycles
+    }
+
+    fn start_miss(&mut self, line: LineAddr, txn: TxnId, op: MemOp, write: bool) {
+        let mut pending = VecDeque::new();
+        pending.push_back((txn, op));
+        self.mshr.insert(line, Mshr { pending });
+        let home = self.home.home(line);
+        let requester = self.node;
+        let msg = if write {
+            ProtocolMsg::WriteReq { line, requester }
+        } else {
+            ProtocolMsg::ReadReq { line, requester }
+        };
+        self.send(home, msg);
+    }
+
+    /// Handles a protocol message; returns occupancy cycles.
+    fn handle_msg(&mut self, msg: ProtocolMsg) -> u32 {
+        let base = self.config.processing_cycles;
+        match msg {
+            // ---- Home role -------------------------------------------
+            ProtocolMsg::ReadReq { line, requester } => {
+                self.home_request(line, requester, false);
+                base + self.config.memory_cycles
+            }
+            ProtocolMsg::WriteReq { line, requester } => {
+                self.home_request(line, requester, true);
+                base + self.config.memory_cycles
+            }
+            ProtocolMsg::InvAck { line, .. } => {
+                self.home_inv_ack(line);
+                base
+            }
+            ProtocolMsg::OwnerData { line, data, from } => {
+                self.home_owner_data(line, data, Some(from));
+                base + self.config.memory_cycles
+            }
+            ProtocolMsg::Writeback { line, data, from } => {
+                self.home_writeback(line, data, from);
+                base + self.config.memory_cycles
+            }
+            ProtocolMsg::FetchNack { .. } => {
+                // The crossing writeback is already in flight and will
+                // complete the pending grant; nothing to do.
+                base
+            }
+            // ---- Cache role ------------------------------------------
+            ProtocolMsg::Invalidate { line } => {
+                // Sharers drop silently-held state; acknowledging absent
+                // lines is harmless (silent S eviction).
+                let _ = self.cache.invalidate(line);
+                let home = self.home.home(line);
+                let from = self.node;
+                self.send(home, ProtocolMsg::InvAck { line, from });
+                base
+            }
+            ProtocolMsg::Fetch { line } => {
+                match self.cache.downgrade(line) {
+                    Some(data) => {
+                        let home = self.home.home(line);
+                        let from = self.node;
+                        self.send(home, ProtocolMsg::OwnerData { line, data, from });
+                    }
+                    None => {
+                        // Eviction writeback crossed the fetch in flight.
+                        let home = self.home.home(line);
+                        let from = self.node;
+                        self.send(home, ProtocolMsg::FetchNack { line, from });
+                    }
+                }
+                base
+            }
+            ProtocolMsg::FetchInv { line } => {
+                match self.cache.invalidate(line) {
+                    Some(data) => {
+                        let home = self.home.home(line);
+                        let from = self.node;
+                        self.send(home, ProtocolMsg::OwnerData { line, data, from });
+                    }
+                    None => {
+                        let home = self.home.home(line);
+                        let from = self.node;
+                        self.send(home, ProtocolMsg::FetchNack { line, from });
+                    }
+                }
+                base
+            }
+            ProtocolMsg::ReadReply { line, data } => {
+                self.fill_and_drain(line, CacheState::Shared, data);
+                base
+            }
+            ProtocolMsg::WriteReply { line, data } => {
+                self.fill_and_drain(line, CacheState::Modified, data);
+                base
+            }
+        }
+    }
+
+    // ---- Home-role helpers -------------------------------------------
+
+    /// Serializes a read/write request for a line homed here.
+    fn home_request(&mut self, line: LineAddr, requester: NodeId, write: bool) {
+        debug_assert_eq!(self.home.home(line), self.node, "request at wrong home");
+        let state = self.directory.entry(line).state.clone();
+        match state {
+            DirState::Uncached => {
+                let data = self.memory_line(line);
+                if write {
+                    self.directory.entry(line).state = DirState::Exclusive(requester);
+                    self.send(requester, ProtocolMsg::WriteReply { line, data });
+                } else {
+                    self.directory.entry(line).state =
+                        DirState::Shared([requester].into_iter().collect());
+                    self.send(requester, ProtocolMsg::ReadReply { line, data });
+                }
+            }
+            DirState::Shared(mut sharers) => {
+                if write {
+                    sharers.remove(&requester);
+                    if sharers.is_empty() {
+                        let data = self.memory_line(line);
+                        self.directory.entry(line).state = DirState::Exclusive(requester);
+                        self.send(requester, ProtocolMsg::WriteReply { line, data });
+                    } else {
+                        let remaining = sharers.len();
+                        for sharer in sharers {
+                            self.stats.invalidations_sent += 1;
+                            self.send(sharer, ProtocolMsg::Invalidate { line });
+                        }
+                        self.directory.entry(line).state = DirState::PendingAcks {
+                            requester,
+                            remaining,
+                        };
+                    }
+                } else {
+                    let data = self.memory_line(line);
+                    sharers.insert(requester);
+                    self.directory.entry(line).state = DirState::Shared(sharers);
+                    self.send(requester, ProtocolMsg::ReadReply { line, data });
+                }
+            }
+            DirState::Exclusive(owner) => {
+                let msg = if write {
+                    ProtocolMsg::FetchInv { line }
+                } else {
+                    ProtocolMsg::Fetch { line }
+                };
+                self.send(owner, msg);
+                self.directory.entry(line).state = DirState::PendingData {
+                    requester,
+                    for_write: write,
+                };
+            }
+            DirState::PendingData { .. } | DirState::PendingAcks { .. } => {
+                self.directory
+                    .entry(line)
+                    .waiting
+                    .push_back(QueuedRequest { requester, write });
+            }
+        }
+    }
+
+    fn home_inv_ack(&mut self, line: LineAddr) {
+        let state = self.directory.entry(line).state.clone();
+        let DirState::PendingAcks {
+            requester,
+            remaining,
+        } = state
+        else {
+            debug_assert!(false, "InvAck in state {state:?}");
+            return;
+        };
+        if remaining > 1 {
+            self.directory.entry(line).state = DirState::PendingAcks {
+                requester,
+                remaining: remaining - 1,
+            };
+            return;
+        }
+        let data = self.memory_line(line);
+        self.directory.entry(line).state = DirState::Exclusive(requester);
+        self.send(requester, ProtocolMsg::WriteReply { line, data });
+        self.drain_waiting(line);
+    }
+
+    /// Completes a pending grant with data returned by the previous owner.
+    /// `still_shared` carries the downgraded owner for read grants;
+    /// `None` means the owner surrendered the line entirely (fetch-
+    /// invalidate, or a writeback that crossed the fetch).
+    fn home_owner_data(&mut self, line: LineAddr, data: LineData, still_shared: Option<NodeId>) {
+        self.memory.insert(line, data);
+        let state = self.directory.entry(line).state.clone();
+        let DirState::PendingData {
+            requester,
+            for_write,
+        } = state
+        else {
+            debug_assert!(false, "OwnerData in state {state:?}");
+            return;
+        };
+        if for_write {
+            self.directory.entry(line).state = DirState::Exclusive(requester);
+            self.send(requester, ProtocolMsg::WriteReply { line, data });
+        } else {
+            let mut sharers: std::collections::BTreeSet<NodeId> =
+                [requester].into_iter().collect();
+            if let Some(owner) = still_shared {
+                sharers.insert(owner);
+            }
+            self.directory.entry(line).state = DirState::Shared(sharers);
+            self.send(requester, ProtocolMsg::ReadReply { line, data });
+        }
+        self.drain_waiting(line);
+    }
+
+    fn home_writeback(&mut self, line: LineAddr, data: LineData, from: NodeId) {
+        let state = self.directory.entry(line).state.clone();
+        match state {
+            DirState::Exclusive(owner) if owner == from => {
+                self.memory.insert(line, data);
+                self.directory.entry(line).state = DirState::Uncached;
+                self.drain_waiting(line);
+            }
+            DirState::PendingData { .. } => {
+                // The writeback crossed a fetch we sent to `from`; it
+                // serves as the owner's data return, with the owner's copy
+                // gone. A FetchInv for a read grant thus degenerates to a
+                // fresh shared grant.
+                self.home_owner_data(line, data, None);
+            }
+            other => {
+                // A writeback for a line we no longer consider owned by
+                // `from` cannot occur under this protocol's orderings.
+                debug_assert!(false, "Writeback from {from} in state {other:?}");
+            }
+        }
+        self.stats.writebacks += 1;
+    }
+
+    /// Serves deferred requests now that the line is stable again. Each
+    /// call serves at most the prefix that keeps the line stable; the rest
+    /// continue to wait.
+    fn drain_waiting(&mut self, line: LineAddr) {
+        loop {
+            if !self.directory.entry(line).state.is_stable() {
+                return;
+            }
+            let Some(req) = self.directory.entry(line).waiting.pop_front() else {
+                return;
+            };
+            self.home_request(line, req.requester, req.write);
+        }
+    }
+
+    // ---- Cache-role helpers ------------------------------------------
+
+    /// Fills a granted line, performs the waiting operations it enables,
+    /// and re-issues any queued write that still needs exclusivity.
+    fn fill_and_drain(&mut self, line: LineAddr, state: CacheState, data: LineData) {
+        if let Some(eviction) = self.cache.fill(line, state, data) {
+            if let Some(dirty) = eviction.writeback {
+                let home = self.home.home(eviction.line);
+                let from = self.node;
+                self.send(
+                    home,
+                    ProtocolMsg::Writeback {
+                        line: eviction.line,
+                        data: dirty,
+                        from,
+                    },
+                );
+            }
+        }
+        let Some(mut entry) = self.mshr.remove(&line) else {
+            debug_assert!(false, "grant for line with no MSHR");
+            return;
+        };
+        while let Some((txn, op)) = entry.pending.pop_front() {
+            match op {
+                MemOp::Read(addr) => {
+                    let value = self
+                        .cache
+                        .read_word(addr)
+                        .expect("line just filled must hit");
+                    self.complete(txn, op, value, true);
+                }
+                MemOp::Write(addr, value) => {
+                    if self.cache.write_word(addr, value) {
+                        self.complete(txn, op, value, true);
+                    } else {
+                        // Shared fill cannot satisfy a write: re-issue an
+                        // upgrade with this op at the head and keep the
+                        // rest queued behind it.
+                        entry.pending.push_front((txn, op));
+                        let home = self.home.home(line);
+                        let requester = self.node;
+                        self.mshr.insert(line, entry);
+                        self.send(home, ProtocolMsg::WriteReq { line, requester });
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}

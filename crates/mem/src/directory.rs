@@ -1,0 +1,160 @@
+//! Full-map directory state.
+//!
+//! Each home node tracks, per line it owns, which caches hold copies: the
+//! stable states are `Uncached`, `Shared(set)`, and `Exclusive(owner)`;
+//! transient states cover collection of owner data or invalidation
+//! acknowledgements. Requests arriving while a line is transient are
+//! queued FIFO and served when the line stabilizes — the home-serializes-
+//! conflicts discipline of Alewife's directory controller.
+
+use crate::addr::LineAddr;
+use commloc_net::NodeId;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// Directory state of one line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirState {
+    /// No cache holds the line; memory is authoritative.
+    Uncached,
+    /// The listed caches hold read-only copies; memory is up to date.
+    Shared(BTreeSet<NodeId>),
+    /// One cache holds an exclusive (possibly dirty) copy.
+    Exclusive(NodeId),
+    /// Waiting for the previous owner to return data (fetch or fetch-
+    /// invalidate in flight).
+    PendingData {
+        /// Node to grant the line to once data arrives.
+        requester: NodeId,
+        /// Whether the grant is exclusive.
+        for_write: bool,
+    },
+    /// Waiting for sharers to acknowledge invalidations.
+    PendingAcks {
+        /// Node to grant exclusivity to once all acks arrive.
+        requester: NodeId,
+        /// Outstanding acknowledgements.
+        remaining: usize,
+    },
+}
+
+impl DirState {
+    /// Whether the line is in a stable (non-transient) state.
+    pub fn is_stable(&self) -> bool {
+        matches!(
+            self,
+            DirState::Uncached | DirState::Shared(_) | DirState::Exclusive(_)
+        )
+    }
+}
+
+/// A queued coherence request waiting for a transient line to stabilize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedRequest {
+    /// The requesting cache.
+    pub requester: NodeId,
+    /// Whether exclusivity was requested.
+    pub write: bool,
+}
+
+/// Directory entry: state plus the FIFO of requests the home has deferred.
+#[derive(Debug)]
+pub struct DirEntry {
+    /// Current protocol state.
+    pub state: DirState,
+    /// Requests deferred while the line was transient.
+    pub waiting: VecDeque<QueuedRequest>,
+}
+
+impl Default for DirEntry {
+    fn default() -> Self {
+        Self {
+            state: DirState::Uncached,
+            waiting: VecDeque::new(),
+        }
+    }
+}
+
+/// The full-map directory of one home node.
+#[derive(Debug, Default)]
+pub struct Directory {
+    entries: HashMap<LineAddr, DirEntry>,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The entry for `line`, created `Uncached` on first touch.
+    pub fn entry(&mut self, line: LineAddr) -> &mut DirEntry {
+        self.entries.entry(line).or_default()
+    }
+
+    /// Read-only view of a line's state (`Uncached` if never touched).
+    pub fn state(&self, line: LineAddr) -> DirState {
+        self.entries
+            .get(&line)
+            .map(|e| e.state.clone())
+            .unwrap_or(DirState::Uncached)
+    }
+
+    /// Iterates over all touched lines and their entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&LineAddr, &DirEntry)> {
+        self.entries.iter()
+    }
+
+    /// Total requests currently deferred across all lines.
+    pub fn total_waiting(&self) -> usize {
+        self.entries.values().map(|e| e.waiting.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_lines_are_uncached() {
+        let d = Directory::new();
+        assert_eq!(d.state(LineAddr(5)), DirState::Uncached);
+    }
+
+    #[test]
+    fn entry_persists_state() {
+        let mut d = Directory::new();
+        d.entry(LineAddr(1)).state = DirState::Exclusive(NodeId(3));
+        assert_eq!(d.state(LineAddr(1)), DirState::Exclusive(NodeId(3)));
+    }
+
+    #[test]
+    fn stability_classification() {
+        assert!(DirState::Uncached.is_stable());
+        assert!(DirState::Shared(BTreeSet::new()).is_stable());
+        assert!(DirState::Exclusive(NodeId(0)).is_stable());
+        assert!(!DirState::PendingData {
+            requester: NodeId(0),
+            for_write: false
+        }
+        .is_stable());
+        assert!(!DirState::PendingAcks {
+            requester: NodeId(0),
+            remaining: 2
+        }
+        .is_stable());
+    }
+
+    #[test]
+    fn waiting_queue_accounting() {
+        let mut d = Directory::new();
+        d.entry(LineAddr(1)).waiting.push_back(QueuedRequest {
+            requester: NodeId(2),
+            write: true,
+        });
+        d.entry(LineAddr(2)).waiting.push_back(QueuedRequest {
+            requester: NodeId(3),
+            write: false,
+        });
+        assert_eq!(d.total_waiting(), 2);
+    }
+}

@@ -1,0 +1,185 @@
+//! A multi-node protocol test rig with an idealized network.
+//!
+//! [`ProtocolRig`] wires a set of [`Controller`]s together with a
+//! fixed-latency, order-preserving message transport. It exists to test
+//! protocol *correctness* in isolation from network timing; the
+//! full-system simulator (`commloc-sim`) replaces it with the real
+//! cycle-level fabric. Exposed publicly so downstream integration tests
+//! and examples can script coherence scenarios cheaply.
+
+use crate::addr::Addr;
+use crate::controller::{Completion, Controller, MemOp, TxnId};
+use crate::home::HomeMap;
+use crate::msg::{MemConfig, ProtocolMsg};
+use commloc_net::NodeId;
+use std::collections::VecDeque;
+
+/// A set of controllers connected by an order-preserving fixed-latency
+/// transport.
+#[derive(Debug)]
+pub struct ProtocolRig {
+    controllers: Vec<Controller>,
+    /// Messages in flight: (deliver_at, dst, msg), FIFO per insertion.
+    in_flight: VecDeque<(u64, NodeId, ProtocolMsg)>,
+    latency: u64,
+    cycle: u64,
+    next_txn: u64,
+}
+
+impl ProtocolRig {
+    /// Builds a rig of `nodes` controllers with the given message latency
+    /// (cycles) and memory configuration. Homes interleave by default.
+    pub fn new(nodes: usize, latency: u64, config: MemConfig) -> Self {
+        Self::with_home_map(nodes, latency, config, HomeMap::interleaved(nodes))
+    }
+
+    /// Builds a rig with an explicit home map.
+    pub fn with_home_map(
+        nodes: usize,
+        latency: u64,
+        config: MemConfig,
+        home: HomeMap,
+    ) -> Self {
+        let controllers = (0..nodes)
+            .map(|i| Controller::new(NodeId(i), home.clone(), config))
+            .collect();
+        Self {
+            controllers,
+            in_flight: VecDeque::new(),
+            latency,
+            cycle: 0,
+            next_txn: 0,
+        }
+    }
+
+    /// The controller of `node`.
+    pub fn controller(&self, node: NodeId) -> &Controller {
+        &self.controllers[node.0]
+    }
+
+    /// Issues an operation at `node`, returning its transaction id.
+    pub fn issue(&mut self, node: NodeId, op: MemOp) -> TxnId {
+        let txn = TxnId(self.next_txn);
+        self.next_txn += 1;
+        self.controllers[node.0].request(txn, op);
+        txn
+    }
+
+    /// Advances one cycle: delivers due messages, steps every controller,
+    /// collects new outgoing messages.
+    pub fn step(&mut self) {
+        self.cycle += 1;
+        while let Some(&(due, dst, msg)) = self.in_flight.front() {
+            if due > self.cycle {
+                break;
+            }
+            self.in_flight.pop_front();
+            self.controllers[dst.0].deliver(msg);
+        }
+        for ctrl in &mut self.controllers {
+            ctrl.step();
+        }
+        for i in 0..self.controllers.len() {
+            while let Some((dst, msg)) = self.controllers[i].take_outgoing() {
+                self.in_flight.push_back((self.cycle + self.latency, dst, msg));
+            }
+        }
+    }
+
+    /// Runs until every controller is idle and no messages are in flight,
+    /// or `max_cycles` pass. Returns collected completions per node, or
+    /// `None` if the system failed to quiesce.
+    pub fn run_to_quiescence(&mut self, max_cycles: u64) -> Option<Vec<Vec<Completion>>> {
+        let mut completions: Vec<Vec<Completion>> =
+            vec![Vec::new(); self.controllers.len()];
+        for _ in 0..max_cycles {
+            self.step();
+            for (i, ctrl) in self.controllers.iter_mut().enumerate() {
+                while let Some(c) = ctrl.poll_completion() {
+                    completions[i].push(c);
+                }
+            }
+            if self.in_flight.is_empty() && self.controllers.iter().all(Controller::is_idle) {
+                return Some(completions);
+            }
+        }
+        None
+    }
+
+    /// Issues a read at `node` and runs it to completion, returning the
+    /// value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system fails to quiesce within a generous budget.
+    pub fn read(&mut self, node: NodeId, addr: Addr) -> u64 {
+        let txn = self.issue(node, MemOp::Read(addr));
+        let completions = self
+            .run_to_quiescence(100_000)
+            .expect("read did not complete");
+        completions[node.0]
+            .iter()
+            .find(|c| c.txn == txn)
+            .expect("read completion present")
+            .value
+    }
+
+    /// Issues a write at `node` and runs it to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system fails to quiesce within a generous budget.
+    pub fn write(&mut self, node: NodeId, addr: Addr, value: u64) {
+        self.issue(node, MemOp::Write(addr, value));
+        self.run_to_quiescence(100_000)
+            .expect("write did not complete");
+    }
+
+    /// Checks the global single-writer/multiple-reader invariant: for
+    /// every line, either at most one cache holds it Modified and no other
+    /// cache holds it at all, or any number hold it Shared.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a description) if the invariant is violated.
+    pub fn assert_coherence_invariant(&self) {
+        use crate::cache::CacheState;
+        use std::collections::HashMap;
+        let mut holders: HashMap<crate::addr::LineAddr, (usize, usize)> = HashMap::new();
+        for (i, ctrl) in self.controllers.iter().enumerate() {
+            for line in self.touched_lines() {
+                match ctrl.cache().state(line) {
+                    Some(CacheState::Modified) => {
+                        let e = holders.entry(line).or_default();
+                        e.0 += 1;
+                        assert!(
+                            e.0 <= 1,
+                            "line {line} modified in multiple caches (node {i})"
+                        );
+                    }
+                    Some(CacheState::Shared) => {
+                        holders.entry(line).or_default().1 += 1;
+                    }
+                    None => {}
+                }
+            }
+        }
+        for (line, (modified, shared)) in holders {
+            assert!(
+                modified == 0 || shared == 0,
+                "line {line}: {modified} modified and {shared} shared copies coexist"
+            );
+        }
+    }
+
+    fn touched_lines(&self) -> Vec<crate::addr::LineAddr> {
+        let mut lines: Vec<_> = self
+            .controllers
+            .iter()
+            .flat_map(|c| c.directory().iter().map(|(l, _)| *l))
+            .collect();
+        lines.sort_unstable();
+        lines.dedup();
+        lines
+    }
+}

@@ -1,0 +1,85 @@
+//! Line-to-home-node placement.
+//!
+//! Every cache line has a *home* node holding its backing memory and
+//! directory entry. The default placement interleaves lines across nodes;
+//! explicit assignments override it — the full-system simulator places
+//! each application thread's state line at the node the thread runs on
+//! ("a single word of state in local memory", paper Section 3.2), so that
+//! communication distance follows the thread-to-processor mapping.
+
+use crate::addr::LineAddr;
+use commloc_net::NodeId;
+use std::collections::HashMap;
+
+/// Maps cache lines to their home nodes.
+#[derive(Debug, Clone)]
+pub struct HomeMap {
+    nodes: usize,
+    table: HashMap<LineAddr, NodeId>,
+}
+
+impl HomeMap {
+    /// Creates an interleaved home map over `nodes` nodes
+    /// (`home(line) = line mod nodes` unless overridden).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn interleaved(nodes: usize) -> Self {
+        assert!(nodes > 0, "a machine needs at least one node");
+        Self {
+            nodes,
+            table: HashMap::new(),
+        }
+    }
+
+    /// Overrides the home of one line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn assign(&mut self, line: LineAddr, node: NodeId) {
+        assert!(node.0 < self.nodes, "home node out of range");
+        self.table.insert(line, node);
+    }
+
+    /// The home node of `line`.
+    pub fn home(&self, line: LineAddr) -> NodeId {
+        self.table
+            .get(&line)
+            .copied()
+            .unwrap_or(NodeId((line.0 % self.nodes as u64) as usize))
+    }
+
+    /// Number of nodes in the machine.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleaves_by_default() {
+        let h = HomeMap::interleaved(4);
+        assert_eq!(h.home(LineAddr(0)), NodeId(0));
+        assert_eq!(h.home(LineAddr(5)), NodeId(1));
+        assert_eq!(h.home(LineAddr(7)), NodeId(3));
+    }
+
+    #[test]
+    fn assignment_overrides() {
+        let mut h = HomeMap::interleaved(4);
+        h.assign(LineAddr(5), NodeId(3));
+        assert_eq!(h.home(LineAddr(5)), NodeId(3));
+        assert_eq!(h.home(LineAddr(9)), NodeId(1), "others unaffected");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_home() {
+        HomeMap::interleaved(4).assign(LineAddr(0), NodeId(4));
+    }
+}

@@ -1,0 +1,58 @@
+//! Directory-based cache-coherent memory system.
+//!
+//! This crate implements the communication-transaction substrate of the
+//! validation experiments in Johnson, *"The Impact of Communication
+//! Locality on Large-Scale Multiprocessor Performance"* (ISCA 1992). In
+//! the paper's Alewife machine, inter-thread communication happens through
+//! shared memory kept coherent by a directory protocol; each shared-memory
+//! access that misses becomes a *communication transaction* whose protocol
+//! messages load the interconnection network.
+//!
+//! The protocol here is a home-based, full-map MSI write-invalidate
+//! protocol — the hardware common case of Alewife's LimitLESS scheme (see
+//! DESIGN.md for the substitution argument). Message sizes are calibrated
+//! so the paper's synthetic workload produces the measured averages of
+//! Section 3.2: 12-flit (96-bit) mean message size and `g = 3.2` messages
+//! per transaction.
+//!
+//! # Structure
+//!
+//! * [`Addr`]/[`LineAddr`] — word and 16-byte-line addressing.
+//! * [`Cache`] — per-node coherent cache (M/S states, LRU).
+//! * [`Directory`] — full-map home-node state with request serialization.
+//! * [`Controller`] — the per-node cache + home + network-interface
+//!   state machine; the unit the full-system simulator instantiates.
+//! * [`HomeMap`] — line placement (data follows threads, per mapping).
+//! * [`ProtocolRig`] — an idealized-network rig for protocol testing.
+//!
+//! # Quick start
+//!
+//! ```
+//! use commloc_mem::{Addr, MemConfig, MemOp, ProtocolRig};
+//! use commloc_net::NodeId;
+//!
+//! let mut rig = ProtocolRig::new(4, 3, MemConfig::default());
+//! rig.write(NodeId(1), Addr(8), 1234);
+//! assert_eq!(rig.read(NodeId(2), Addr(8)), 1234);
+//! rig.assert_coherence_invariant();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod addr;
+mod cache;
+mod controller;
+mod directory;
+mod harness;
+mod home;
+mod msg;
+
+pub use addr::{Addr, LineAddr, LineData, WORDS_PER_LINE};
+pub use cache::{Cache, CacheState, Eviction};
+pub use controller::{Completion, Controller, MemOp, MemStats, TxnId};
+pub use directory::{DirEntry, DirState, Directory, QueuedRequest};
+pub use harness::ProtocolRig;
+pub use home::HomeMap;
+pub use msg::{MemConfig, ProtocolMsg};

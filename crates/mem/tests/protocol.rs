@@ -1,0 +1,272 @@
+//! Protocol-level correctness tests for the directory coherence protocol,
+//! driven through the idealized-network rig.
+
+use commloc_mem::{
+    Addr, CacheState, DirState, HomeMap, LineAddr, MemConfig, MemOp, ProtocolRig,
+};
+use commloc_net::NodeId;
+
+fn rig(nodes: usize) -> ProtocolRig {
+    ProtocolRig::new(nodes, 5, MemConfig::default())
+}
+
+#[test]
+fn read_of_never_written_word_is_zero() {
+    let mut r = rig(4);
+    assert_eq!(r.read(NodeId(0), Addr(100)), 0);
+}
+
+#[test]
+fn write_then_read_same_node() {
+    let mut r = rig(4);
+    r.write(NodeId(1), Addr(4), 77);
+    assert_eq!(r.read(NodeId(1), Addr(4)), 77);
+}
+
+#[test]
+fn write_then_read_remote_node() {
+    let mut r = rig(4);
+    r.write(NodeId(0), Addr(12), 1001);
+    assert_eq!(r.read(NodeId(3), Addr(12)), 1001);
+    r.assert_coherence_invariant();
+}
+
+#[test]
+fn write_invalidates_readers() {
+    let mut r = rig(4);
+    let a = Addr(8);
+    r.write(NodeId(0), a, 1);
+    // Three readers cache the line shared.
+    for n in 1..4 {
+        assert_eq!(r.read(NodeId(n), a), 1);
+    }
+    // A new write must invalidate them all.
+    r.write(NodeId(2), a, 2);
+    for n in 0..4 {
+        if n != 2 {
+            assert_eq!(
+                r.controller(NodeId(n)).cache().state(a.line()),
+                None,
+                "node {n} kept a stale copy"
+            );
+        }
+    }
+    for n in 0..4 {
+        assert_eq!(r.read(NodeId(n), a), 2, "node {n} read stale data");
+    }
+    r.assert_coherence_invariant();
+}
+
+#[test]
+fn ownership_migrates_between_writers() {
+    let mut r = rig(4);
+    let a = Addr(20);
+    for round in 0..8u64 {
+        let writer = NodeId((round % 4) as usize);
+        r.write(writer, a, round);
+        assert_eq!(
+            r.controller(writer).cache().state(a.line()),
+            Some(CacheState::Modified)
+        );
+        r.assert_coherence_invariant();
+    }
+    assert_eq!(r.read(NodeId(0), a), 7);
+}
+
+#[test]
+fn words_in_same_line_do_not_interfere() {
+    let mut r = rig(4);
+    let line = LineAddr(6);
+    r.write(NodeId(0), line.word(0), 111);
+    r.write(NodeId(1), line.word(1), 222);
+    assert_eq!(r.read(NodeId(2), line.word(0)), 111);
+    assert_eq!(r.read(NodeId(3), line.word(1)), 222);
+}
+
+#[test]
+fn read_downgrades_exclusive_owner() {
+    let mut r = rig(4);
+    let a = Addr(16);
+    r.write(NodeId(1), a, 5);
+    assert_eq!(r.read(NodeId(2), a), 5);
+    // Both the old owner and the reader now hold shared copies.
+    assert_eq!(
+        r.controller(NodeId(1)).cache().state(a.line()),
+        Some(CacheState::Shared)
+    );
+    assert_eq!(
+        r.controller(NodeId(2)).cache().state(a.line()),
+        Some(CacheState::Shared)
+    );
+    // Home memory was updated by the downgrade.
+    let home = HomeMap::interleaved(4).home(a.line());
+    assert_eq!(r.controller(home).memory_line(a.line())[a.offset()], 5);
+}
+
+#[test]
+fn directory_tracks_exclusive_owner() {
+    let mut r = rig(4);
+    let a = Addr(24); // line 12 -> home node 0
+    r.write(NodeId(3), a, 9);
+    let home = HomeMap::interleaved(4).home(a.line());
+    assert_eq!(
+        r.controller(home).directory().state(a.line()),
+        DirState::Exclusive(NodeId(3))
+    );
+}
+
+#[test]
+fn concurrent_writers_serialize() {
+    // All four nodes write the same word concurrently; after quiescence
+    // exactly one value (one of the four written) must be visible
+    // everywhere and the coherence invariant must hold.
+    let mut r = rig(4);
+    let a = Addr(40);
+    for n in 0..4 {
+        r.issue(NodeId(n), MemOp::Write(a, 100 + n as u64));
+    }
+    r.run_to_quiescence(100_000).expect("quiesced");
+    r.assert_coherence_invariant();
+    let v = r.read(NodeId(0), a);
+    assert!((100..104).contains(&v), "value {v} was never written");
+    for n in 1..4 {
+        assert_eq!(r.read(NodeId(n), a), v);
+    }
+}
+
+#[test]
+fn concurrent_readers_share() {
+    let mut r = rig(8);
+    let a = Addr(8);
+    r.write(NodeId(0), a, 55);
+    for n in 1..8 {
+        r.issue(NodeId(n), MemOp::Read(a));
+    }
+    let completions = r.run_to_quiescence(100_000).expect("quiesced");
+    for node_completions in completions.iter().take(8).skip(1) {
+        assert_eq!(node_completions.len(), 1);
+        assert_eq!(node_completions[0].value, 55);
+    }
+    r.assert_coherence_invariant();
+}
+
+#[test]
+fn tiny_cache_forces_writebacks_without_losing_data() {
+    let cfg = MemConfig {
+        cache_lines: 2,
+        ..MemConfig::default()
+    };
+    let mut r = ProtocolRig::new(4, 5, cfg);
+    // Write many distinct lines from one node; its 2-line cache must
+    // evict and write back continually.
+    for i in 0..20u64 {
+        r.write(NodeId(1), Addr(i * 2), 1000 + i);
+    }
+    for i in 0..20u64 {
+        assert_eq!(r.read(NodeId(2), Addr(i * 2)), 1000 + i, "line {i} lost");
+    }
+    assert!(r.controller(NodeId(1)).stats().writebacks > 0 || {
+        // Writebacks land at the evicting node's stats only if remote;
+        // check globally.
+        (0..4).any(|n| r.controller(NodeId(n)).stats().writebacks > 0)
+    });
+    r.assert_coherence_invariant();
+}
+
+#[test]
+fn writeback_fetch_race_resolves() {
+    // Force the race: a node's dirty eviction crosses the home's fetch.
+    // With a 1-line cache, writing two lines homed elsewhere guarantees
+    // the first is evicted dirty; a concurrent remote read of the first
+    // line makes the home fetch it from the (no longer owning) node.
+    let cfg = MemConfig {
+        cache_lines: 1,
+        ..MemConfig::default()
+    };
+    let mut r = ProtocolRig::new(4, 20, cfg);
+    let a = Addr(2); // line 1, home 1
+    let b = Addr(4); // line 2, home 2
+    r.write(NodeId(0), a, 7);
+    // Kick off: node 0 writes b (evicting a, writeback in flight) while
+    // node 3 reads a (home fetches from node 0).
+    r.issue(NodeId(0), MemOp::Write(b, 8));
+    r.issue(NodeId(3), MemOp::Read(a));
+    let completions = r.run_to_quiescence(200_000).expect("race deadlocked");
+    let read_a = completions[3].iter().find(|c| c.op.addr() == a).unwrap();
+    assert_eq!(read_a.value, 7, "fetch/writeback race lost data");
+    r.assert_coherence_invariant();
+}
+
+#[test]
+fn stats_count_messages_and_misses() {
+    let mut r = rig(4);
+    let a = Addr(8); // line 4, home 0
+    r.write(NodeId(1), a, 3);
+    let s1 = r.controller(NodeId(1)).stats().clone();
+    assert_eq!(s1.write_misses, 1);
+    assert!(s1.network_messages >= 1);
+    assert!(s1.network_flits >= 8);
+    // A second write from the same node hits in cache: no new messages.
+    r.write(NodeId(1), a, 4);
+    let s2 = r.controller(NodeId(1)).stats().clone();
+    assert_eq!(s2.write_hits, 1);
+    assert_eq!(s2.network_messages, s1.network_messages);
+}
+
+#[test]
+fn local_home_transactions_send_no_network_messages() {
+    let mut r = rig(4);
+    // Line 0 homes at node 0; node 0 reads and writes it.
+    r.write(NodeId(0), Addr(0), 42);
+    assert_eq!(r.read(NodeId(0), Addr(0)), 42);
+    let s = r.controller(NodeId(0)).stats();
+    assert_eq!(s.network_messages, 0);
+    assert!(s.local_messages > 0);
+}
+
+#[test]
+fn custom_home_map_places_lines() {
+    let mut home = HomeMap::interleaved(4);
+    home.assign(LineAddr(9), NodeId(2));
+    let mut r = ProtocolRig::with_home_map(4, 5, MemConfig::default(), home);
+    r.write(NodeId(0), Addr(18), 5);
+    // The directory entry for line 9 must live at node 2.
+    assert_eq!(
+        r.controller(NodeId(2)).directory().state(LineAddr(9)),
+        DirState::Exclusive(NodeId(0))
+    );
+}
+
+#[test]
+fn torus_neighbor_iteration_pattern() {
+    // A miniature of the paper's workload on 4 nodes: each node
+    // repeatedly reads its two ring neighbors' words and writes its own.
+    let nodes = 4;
+    let mut home = HomeMap::interleaved(nodes);
+    for t in 0..nodes {
+        home.assign(Addr(t as u64 * 2).line(), NodeId(t));
+    }
+    let mut r = ProtocolRig::with_home_map(nodes, 5, MemConfig::default(), home);
+    for iter in 1..=5u64 {
+        // Everyone writes its own word.
+        for t in 0..nodes {
+            r.issue(NodeId(t), MemOp::Write(Addr(t as u64 * 2), iter * 10 + t as u64));
+        }
+        r.run_to_quiescence(100_000).expect("writes quiesced");
+        // Everyone reads both neighbors.
+        for t in 0..nodes {
+            let left = (t + nodes - 1) % nodes;
+            let right = (t + 1) % nodes;
+            r.issue(NodeId(t), MemOp::Read(Addr(left as u64 * 2)));
+            r.issue(NodeId(t), MemOp::Read(Addr(right as u64 * 2)));
+        }
+        let completions = r.run_to_quiescence(100_000).expect("reads quiesced");
+        for (t, node_completions) in completions.iter().enumerate() {
+            for c in node_completions {
+                let owner = (c.op.addr().0 / 2) as usize;
+                assert_eq!(c.value, iter * 10 + owner as u64, "node {t} stale read");
+            }
+        }
+        r.assert_coherence_invariant();
+    }
+}

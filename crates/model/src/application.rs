@@ -1,0 +1,283 @@
+//! The application model (Section 2.1 of the paper).
+//!
+//! The application model describes how fast an individual processor issues
+//! communication transactions as a function of the transaction latency it
+//! observes. Three architectural/application parameters govern the
+//! relationship:
+//!
+//! * `T_r` — the **computation grain**: average useful work (cycles) a
+//!   thread performs between successive communication transactions,
+//! * `p` — the number of hardware contexts (degree of block
+//!   multithreading),
+//! * `T_s` — the context-switch time.
+//!
+//! For a single-context processor the inter-transaction issue time is
+//! simply `t_t = T_r + T_t` (Eq. 1). A `p`-context block-multithreaded
+//! processor has two operating modes (Eqs. 3–6):
+//!
+//! * **latency-masked** (`T_t <= (p-1)(T_s + T_r) + T_s`): transactions
+//!   always complete before the issuing thread runs again, so
+//!   `t_t = T_r + T_s` (Eq. 4), and
+//! * **latency-bound** otherwise: `p` transactions issue every `T_r + T_t`
+//!   cycles, so `t_t = (T_r + T_t) / p` (Eq. 5).
+
+use crate::error::{ensure_non_negative, ensure_positive, Result};
+
+/// Which of the two block-multithreading operating modes (Section 2.1)
+/// a processor is in at a given transaction latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperatingMode {
+    /// Mode 1: transaction latency is completely masked by the other
+    /// contexts; issue interval is pinned at `T_r + T_s`.
+    LatencyMasked,
+    /// Mode 2: contexts exhaust before transactions return; issue interval
+    /// grows linearly with transaction latency.
+    LatencyBound,
+}
+
+/// Application model: computation grain, multithreading degree, and
+/// context-switch cost (Section 2.1).
+///
+/// All times are expressed in a single consistent cycle unit; this crate's
+/// higher-level [`MachineConfig`](crate::machine::MachineConfig) performs
+/// the processor-cycle/network-cycle conversion.
+///
+/// # Examples
+///
+/// ```
+/// use commloc_model::ApplicationModel;
+///
+/// # fn main() -> Result<(), commloc_model::ModelError> {
+/// // Two-context processor, 20-cycle grain, 22-cycle context switch.
+/// let app = ApplicationModel::new(20.0, 2, 22.0)?;
+/// // In the latency-bound mode, issuing every (T_r + T_t)/p cycles.
+/// assert_eq!(app.issue_interval(400.0), (20.0 + 400.0) / 2.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ApplicationModel {
+    grain: f64,
+    contexts: u32,
+    context_switch: f64,
+}
+
+impl ApplicationModel {
+    /// Creates an application model from the computation grain `T_r`
+    /// (cycles), the number of hardware contexts `p`, and the
+    /// context-switch time `T_s` (cycles).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`](crate::ModelError) if
+    /// `grain` is not strictly positive, `contexts` is zero, or
+    /// `context_switch` is negative.
+    pub fn new(grain: f64, contexts: u32, context_switch: f64) -> Result<Self> {
+        let grain = ensure_positive("T_r", grain)?;
+        let context_switch = ensure_non_negative("T_s", context_switch)?;
+        if contexts == 0 {
+            return Err(crate::ModelError::InvalidParameter {
+                name: "p",
+                value: 0.0,
+                reason: "must be at least 1 hardware context",
+            });
+        }
+        Ok(Self {
+            grain,
+            contexts,
+            context_switch,
+        })
+    }
+
+    /// Creates a single-context (non-multithreaded) application model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `grain` is not strictly positive.
+    pub fn single_context(grain: f64) -> Result<Self> {
+        Self::new(grain, 1, 0.0)
+    }
+
+    /// The computation grain `T_r`: average useful cycles between
+    /// successive transactions.
+    pub fn grain(&self) -> f64 {
+        self.grain
+    }
+
+    /// The number of hardware contexts `p`.
+    pub fn contexts(&self) -> u32 {
+        self.contexts
+    }
+
+    /// The context-switch time `T_s`.
+    pub fn context_switch(&self) -> f64 {
+        self.context_switch
+    }
+
+    /// The transaction latency below which a multithreaded processor
+    /// completely masks communication (the boundary of Eq. 3):
+    /// `(p - 1)(T_s + T_r) + T_s`.
+    ///
+    /// For a single-context processor this is zero: latency is never
+    /// masked.
+    pub fn masking_threshold(&self) -> f64 {
+        if self.contexts <= 1 {
+            return 0.0;
+        }
+        let p = f64::from(self.contexts);
+        (p - 1.0) * (self.context_switch + self.grain) + self.context_switch
+    }
+
+    /// Which operating mode the processor is in when observing an average
+    /// transaction latency of `transaction_latency` cycles.
+    pub fn mode(&self, transaction_latency: f64) -> OperatingMode {
+        if self.contexts > 1 && transaction_latency <= self.masking_threshold() {
+            OperatingMode::LatencyMasked
+        } else {
+            OperatingMode::LatencyBound
+        }
+    }
+
+    /// Average inter-transaction issue time `t_t` for a given average
+    /// transaction latency `T_t` (Eqs. 1, 4, 5).
+    ///
+    /// The returned interval respects the latency-masked floor
+    /// (`t_t >= T_r + T_s` for `p > 1`).
+    pub fn issue_interval(&self, transaction_latency: f64) -> f64 {
+        let latency = transaction_latency.max(0.0);
+        if self.contexts == 1 {
+            return self.grain + latency;
+        }
+        let bound = (self.grain + latency) / f64::from(self.contexts);
+        bound.max(self.min_issue_interval())
+    }
+
+    /// The minimum achievable inter-transaction issue time (Eq. 4):
+    /// `T_r + T_s` for multithreaded processors, `T_r` for single-context
+    /// processors (zero-latency limit of Eq. 1).
+    pub fn min_issue_interval(&self) -> f64 {
+        if self.contexts == 1 {
+            self.grain
+        } else {
+            self.grain + self.context_switch
+        }
+    }
+
+    /// Inverts the latency-bound branch: the transaction latency implied by
+    /// an observed issue interval, `T_t = p * t_t - T_r` (Eqs. 2 and 6).
+    ///
+    /// Only meaningful when the processor is latency-bound; for intervals
+    /// at or below the latency-masked floor the inversion is not unique.
+    pub fn transaction_latency_for_interval(&self, issue_interval: f64) -> f64 {
+        f64::from(self.contexts) * issue_interval - self.grain
+    }
+
+    /// The slope of the application transaction curve (`dt_t/dT_t`
+    /// inverted): a `p`-context processor's issue time rises only `1/p`
+    /// cycles per cycle of added latency, i.e. the curve `T_t` vs `t_t`
+    /// has slope `p` (compare Eqs. 2 and 6).
+    pub fn transaction_curve_slope(&self) -> f64 {
+        f64::from(self.contexts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app(grain: f64, p: u32, switch: f64) -> ApplicationModel {
+        ApplicationModel::new(grain, p, switch).expect("valid model")
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(ApplicationModel::new(0.0, 1, 0.0).is_err());
+        assert!(ApplicationModel::new(-5.0, 1, 0.0).is_err());
+        assert!(ApplicationModel::new(10.0, 0, 0.0).is_err());
+        assert!(ApplicationModel::new(10.0, 1, -1.0).is_err());
+        assert!(ApplicationModel::new(f64::NAN, 1, 0.0).is_err());
+    }
+
+    #[test]
+    fn single_context_is_eq_1() {
+        // Eq. 1: t_t = T_r + T_t.
+        let a = app(100.0, 1, 0.0);
+        assert_eq!(a.issue_interval(0.0), 100.0);
+        assert_eq!(a.issue_interval(50.0), 150.0);
+        assert_eq!(a.issue_interval(1000.0), 1100.0);
+    }
+
+    #[test]
+    fn single_context_never_masks() {
+        let a = app(100.0, 1, 0.0);
+        assert_eq!(a.masking_threshold(), 0.0);
+        assert_eq!(a.mode(1.0), OperatingMode::LatencyBound);
+    }
+
+    #[test]
+    fn multithreaded_masked_mode_floor() {
+        // Eq. 4: t_t = T_r + T_s when latency is masked.
+        let a = app(100.0, 4, 11.0);
+        // threshold = 3*(111) + 11 = 344.
+        assert_eq!(a.masking_threshold(), 344.0);
+        assert_eq!(a.mode(300.0), OperatingMode::LatencyMasked);
+        assert_eq!(a.issue_interval(300.0), 111.0);
+    }
+
+    #[test]
+    fn multithreaded_latency_bound_mode() {
+        // Eq. 5: t_t = (T_r + T_t) / p.
+        let a = app(100.0, 4, 11.0);
+        assert_eq!(a.mode(900.0), OperatingMode::LatencyBound);
+        assert_eq!(a.issue_interval(900.0), 1000.0 / 4.0);
+    }
+
+    #[test]
+    fn issue_interval_is_continuous_at_mode_boundary() {
+        let a = app(100.0, 2, 11.0);
+        let threshold = a.masking_threshold();
+        let below = a.issue_interval(threshold - 1e-9);
+        let above = a.issue_interval(threshold + 1e-9);
+        assert!((below - above).abs() < 1e-6, "{below} vs {above}");
+    }
+
+    #[test]
+    fn latency_inversion_round_trips_in_bound_mode() {
+        let a = app(40.0, 2, 11.0);
+        let latency = 500.0; // well past the masking threshold
+        let t_t = a.issue_interval(latency);
+        let recovered = a.transaction_latency_for_interval(t_t);
+        assert!((recovered - latency).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slope_doubles_with_contexts() {
+        // Section 2.1: the only difference due to p-multithreading is an
+        // extra factor of p in the t_t–T_t slope.
+        let one = app(50.0, 1, 11.0);
+        let two = app(50.0, 2, 11.0);
+        assert_eq!(one.transaction_curve_slope(), 1.0);
+        assert_eq!(two.transaction_curve_slope(), 2.0);
+
+        // Empirically: an extra x cycles of latency raises t_t by x/p.
+        let x = 1000.0;
+        let base = 2000.0;
+        let d1 = one.issue_interval(base + x) - one.issue_interval(base);
+        let d2 = two.issue_interval(base + x) - two.issue_interval(base);
+        assert!((d1 - x).abs() < 1e-9);
+        assert!((d2 - x / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_issue_interval_matches_modes() {
+        assert_eq!(app(80.0, 1, 0.0).min_issue_interval(), 80.0);
+        assert_eq!(app(80.0, 4, 11.0).min_issue_interval(), 91.0);
+    }
+
+    #[test]
+    fn negative_latency_clamped() {
+        let a = app(10.0, 1, 0.0);
+        assert_eq!(a.issue_interval(-5.0), 10.0);
+    }
+}

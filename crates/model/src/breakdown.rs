@@ -1,0 +1,143 @@
+//! Decomposition of the inter-transaction issue time into its four
+//! components (Eq. 18 and Figure 8 of the paper).
+//!
+//! In the latency-bound mode:
+//!
+//! ```text
+//! t_t = c*n*k_d*T_h/p  +  c*B/p  +  T_f/p  +  T_r/p
+//!        variable         fixed      fixed     CPU
+//!        message          message    txn
+//! ```
+//!
+//! Only the first term grows with communication distance, which is why the
+//! benefit of exploiting physical locality is capped by the relative size
+//! of the remaining three (Section 4.2).
+
+use crate::combined::{CombinedModel, OperatingPoint};
+
+/// The four Eq. 18 components of the average inter-transaction issue time,
+/// in network cycles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct IssueTimeBreakdown {
+    /// `c * n * k_d * T_h / p` — message latency that grows with
+    /// communication distance.
+    pub variable_message: f64,
+    /// `c * (B + endpoint wait) / p` — message latency fixed with respect
+    /// to distance (pipeline drain plus endpoint-channel queueing).
+    pub fixed_message: f64,
+    /// `T_f / p` — transaction overhead independent of message latency.
+    pub fixed_transaction: f64,
+    /// `T_r / p` — actual CPU cycles of useful work.
+    pub cpu: f64,
+}
+
+impl IssueTimeBreakdown {
+    /// Computes the breakdown of an operating point solved by `model`.
+    pub fn from_operating_point(model: &CombinedModel, op: &OperatingPoint) -> Self {
+        let c = model.node().transaction().critical_path_messages();
+        let p = f64::from(model.node().application().contexts());
+        let b = model.network().message_size();
+        Self {
+            variable_message: c * op.distance * op.per_hop_latency / p,
+            fixed_message: c * (b + op.endpoint_wait) / p,
+            fixed_transaction: model.node().transaction().fixed_overhead() / p,
+            cpu: model.node().application().grain() / p,
+        }
+    }
+
+    /// The sum of all four components. Equals the operating point's issue
+    /// interval when the processor is latency-bound.
+    pub fn total(&self) -> f64 {
+        self.variable_message + self.fixed_message + self.fixed_transaction + self.cpu
+    }
+
+    /// The distance-independent part: everything except variable message
+    /// overhead.
+    pub fn fixed_total(&self) -> f64 {
+        self.fixed_message + self.fixed_transaction + self.cpu
+    }
+
+    /// Fraction of the fixed component due to fixed transaction overhead
+    /// (the paper observes roughly two-thirds for the Section 3
+    /// architecture).
+    pub fn fixed_transaction_share(&self) -> f64 {
+        self.fixed_transaction / self.fixed_total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+
+    fn breakdown(contexts: u32, distance: f64) -> (IssueTimeBreakdown, OperatingPoint) {
+        let model = MachineConfig::alewife()
+            .with_contexts(contexts)
+            .to_combined_model()
+            .unwrap();
+        let op = model.solve(distance).unwrap();
+        (IssueTimeBreakdown::from_operating_point(&model, &op), op)
+    }
+
+    #[test]
+    fn components_sum_to_issue_interval() {
+        for p in [1, 2, 4] {
+            for d in [1.0, 4.06, 15.8] {
+                let (b, op) = breakdown(p, d);
+                assert!(
+                    (b.total() - op.issue_interval).abs() / op.issue_interval < 1e-9,
+                    "p={p} d={d}: sum={} t_t={}",
+                    b.total(),
+                    op.issue_interval
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn only_variable_component_grows_with_distance() {
+        let (near, _) = breakdown(1, 1.0);
+        let (far, _) = breakdown(1, 16.0);
+        assert!(far.variable_message > near.variable_message * 4.0);
+        assert_eq!(far.fixed_transaction, near.fixed_transaction);
+        assert_eq!(far.cpu, near.cpu);
+        // Fixed message overhead declines slightly (less endpoint
+        // contention at the lower injection rate) — paper footnote 6.
+        assert!(far.fixed_message <= near.fixed_message);
+    }
+
+    #[test]
+    fn fixed_transaction_is_about_two_thirds_of_fixed() {
+        // Section 4.2: "fixed transaction overhead constitutes around
+        // two-thirds of the total fixed component" for this architecture.
+        // Evaluated without the endpoint extension, as in the paper's
+        // Eq. 18 decomposition (the extension adds endpoint queueing into
+        // the fixed-message share, which grows with p).
+        use crate::network::EndpointContention;
+        for p in [1, 2, 4] {
+            for d in [1.0, 15.8] {
+                let model = MachineConfig::alewife()
+                    .with_contexts(p)
+                    .with_endpoint_contention(EndpointContention::Ignore)
+                    .to_combined_model()
+                    .unwrap();
+                let op = model.solve(d).unwrap();
+                let b = IssueTimeBreakdown::from_operating_point(&model, &op);
+                let share = b.fixed_transaction_share();
+                assert!(
+                    share > 0.55 && share < 0.75,
+                    "p={p} d={d}: share={share}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn contexts_divide_all_components() {
+        let (b1, _) = breakdown(1, 1.0);
+        let (b4, _) = breakdown(4, 1.0);
+        assert!((b4.cpu - b1.cpu / 4.0).abs() < 1e-9);
+        assert!((b4.fixed_transaction - b1.fixed_transaction / 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,458 @@
+//! The combined model (Section 2.5 of the paper).
+//!
+//! The node model says how slowly a node injects messages when it observes
+//! a given message latency; the network model says what latency results
+//! from a given injection rate. The combined model closes the loop: nodes
+//! "back off" as latencies rise, so the system settles at the injection
+//! rate `r_m` where both models agree.
+//!
+//! Equating Eqs. (9) and (11) yields a quadratic in `r_m`
+//! ([`CombinedModel::solve_quadratic`]); the general solver
+//! ([`CombinedModel::solve`]) uses bisection, which additionally
+//! accommodates the `k_d < 1` regime, the latency-masked issue floor, and
+//! the endpoint-contention extension. The two agree to high precision on
+//! their common domain (see this module's tests).
+
+use crate::application::OperatingMode;
+use crate::error::{ensure_non_negative, ModelError, Result};
+use crate::network::NetworkModel;
+use crate::node::NodeModel;
+
+/// The solved steady-state operating point of an application/machine pair
+/// at a given average communication distance.
+///
+/// All rates are per network cycle and all times in network cycles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct OperatingPoint {
+    /// Average communication distance `d` (hops) this point was solved for.
+    pub distance: f64,
+    /// Per-node message injection rate `r_m` (messages/cycle).
+    pub message_rate: f64,
+    /// Average inter-message injection time `t_m = 1 / r_m`.
+    pub message_interval: f64,
+    /// Average message latency `T_m`.
+    pub message_latency: f64,
+    /// Per-node transaction issue rate `r_t`.
+    pub transaction_rate: f64,
+    /// Average inter-transaction issue time `t_t`.
+    pub issue_interval: f64,
+    /// Average transaction latency `T_t`.
+    pub transaction_latency: f64,
+    /// Network channel utilization `rho`.
+    pub channel_utilization: f64,
+    /// Average per-hop latency `T_h` of message heads.
+    pub per_hop_latency: f64,
+    /// Mean added wait from node↔network channel contention (both
+    /// endpoints), if the model includes it.
+    pub endpoint_wait: f64,
+    /// Operating mode of the (possibly multithreaded) processors.
+    pub mode: OperatingMode,
+}
+
+/// The combined application + transaction + network model of Section 2.5.
+///
+/// # Examples
+///
+/// ```
+/// use commloc_model::{CombinedModel, NetworkModel, NodeModel, TorusGeometry};
+///
+/// # fn main() -> Result<(), commloc_model::ModelError> {
+/// let node = NodeModel::from_parameters(20.0, 2, 22.0, 2.0, 3.2, 88.0)?;
+/// let net = NetworkModel::new(TorusGeometry::new(2, 8.0)?, 12.0)?;
+/// let model = CombinedModel::new(node, net);
+/// let op = model.solve(4.0)?;
+/// assert!(op.channel_utilization > 0.0 && op.channel_utilization < 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CombinedModel {
+    node: NodeModel,
+    network: NetworkModel,
+}
+
+/// Relative tolerance of the bisection solver.
+const SOLVE_TOLERANCE: f64 = 1e-12;
+/// Maximum bisection iterations (more than enough for f64 precision).
+const MAX_ITERATIONS: u32 = 200;
+
+impl CombinedModel {
+    /// Combines a node model with a network model. Component models have
+    /// already validated their parameters, so this is infallible.
+    pub fn new(node: NodeModel, network: NetworkModel) -> Self {
+        Self { node, network }
+    }
+
+    /// The node-model component.
+    pub fn node(&self) -> &NodeModel {
+        &self.node
+    }
+
+    /// The network-model component.
+    pub fn network(&self) -> &NetworkModel {
+        &self.network
+    }
+
+    /// Solves for the steady-state operating point at average
+    /// communication distance `distance` (hops).
+    ///
+    /// The solver finds the injection rate at which the latency the
+    /// network delivers equals the latency the node can absorb, then
+    /// applies the latency-masked floor (Eq. 4): if the unconstrained
+    /// solution would require issuing faster than `T_r + T_s` per
+    /// transaction, the node is processor-bound and operates at the floor
+    /// instead.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::InvalidParameter`] if `distance` is negative or
+    ///   non-finite.
+    /// * [`ModelError::NoOperatingPoint`] if no feasible rate exists
+    ///   (numerically extreme parameters only; see Section 2.5 of the
+    ///   paper).
+    pub fn solve(&self, distance: f64) -> Result<OperatingPoint> {
+        let distance = ensure_non_negative("d", distance)?;
+
+        // Upper bound on the feasible injection rate: just below both the
+        // network-channel and endpoint-channel saturation points.
+        let margin = 1.0 - 1e-9;
+        let r_network = self.network.saturation_rate(distance);
+        let r_endpoint = match self.network.endpoint_contention() {
+            crate::network::EndpointContention::Ignore => f64::INFINITY,
+            crate::network::EndpointContention::MD1 => 1.0 / self.network.message_size(),
+        };
+        let r_hi_cap = r_network.min(r_endpoint);
+
+        // The node also cannot inject faster than its latency-masked floor
+        // allows.
+        let r_floor = 1.0 / self.node.min_message_interval();
+        let r_hi = (r_hi_cap * margin).min(r_floor);
+
+        if r_hi <= 0.0 || r_hi.is_nan() {
+            return Err(ModelError::NoOperatingPoint { distance });
+        }
+
+        // residual(r) = latency the network delivers - latency the node
+        // tolerates at rate r. Network latency increases with r; node
+        // tolerance decreases with r (t_m = 1/r falls), so the residual is
+        // strictly increasing and has at most one root.
+        let residual = |r: f64| -> Result<f64> {
+            let network_latency = self.network.message_latency(r, distance)?;
+            let node_latency = self.node.message_latency_for_interval(1.0 / r);
+            Ok(network_latency - node_latency)
+        };
+
+        let at_hi = residual(r_hi)?;
+        if at_hi <= 0.0 {
+            // Even at the fastest feasible rate the network under-delivers
+            // latency relative to what the node tolerates: the node is
+            // processor-bound (latency-masked), pinned at the floor — or
+            // the cap itself binds (vanishingly rare, implies saturation).
+            if r_hi < r_floor {
+                return Err(ModelError::NoOperatingPoint { distance });
+            }
+            return self.operating_point_at_rate(r_floor, distance);
+        }
+
+        // Bracket the root from below.
+        let mut lo = r_hi * 1e-12;
+        while residual(lo)? > 0.0 {
+            lo *= 1e-3;
+            if lo < f64::MIN_POSITIVE * 1e6 {
+                return Err(ModelError::NoOperatingPoint { distance });
+            }
+        }
+
+        let mut hi = r_hi;
+        for _ in 0..MAX_ITERATIONS {
+            let mid = 0.5 * (lo + hi);
+            if residual(mid)? > 0.0 {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+            if (hi - lo) <= SOLVE_TOLERANCE * hi {
+                break;
+            }
+        }
+        let r_m = 0.5 * (lo + hi);
+        self.operating_point_at_rate(r_m, distance)
+    }
+
+    /// Evaluates the full operating point at a known injection rate.
+    fn operating_point_at_rate(&self, message_rate: f64, distance: f64) -> Result<OperatingPoint> {
+        let message_latency = self.network.message_latency(message_rate, distance)?;
+        let transaction_latency = self
+            .node
+            .transaction()
+            .transaction_latency(message_latency);
+        let issue_interval = self.node.application().issue_interval(transaction_latency);
+        let message_interval = self.node.transaction().message_interval(issue_interval);
+        let k_d = self
+            .network
+            .geometry()
+            .per_dimension_distance(distance);
+        let channel_utilization = self
+            .network
+            .channel_utilization(1.0 / message_interval, distance);
+        let per_hop_latency = self.network.per_hop_latency(channel_utilization, k_d)?;
+        Ok(OperatingPoint {
+            distance,
+            message_rate: 1.0 / message_interval,
+            message_interval,
+            message_latency,
+            transaction_rate: 1.0 / issue_interval,
+            issue_interval,
+            transaction_latency,
+            channel_utilization,
+            per_hop_latency,
+            endpoint_wait: self.network.endpoint_wait(1.0 / message_interval)?,
+            mode: self.node.application().mode(transaction_latency),
+        })
+    }
+
+    /// Closed-form solution of the quadratic obtained by equating Eqs. (9)
+    /// and (11), as described in Section 2.5 of the paper.
+    ///
+    /// This form covers the paper's core development: `k_d >= 1`, no
+    /// endpoint-contention extension, and no latency-masked floor. It
+    /// exists chiefly to cross-validate [`CombinedModel::solve`]; prefer
+    /// `solve` for analysis.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::InvalidParameter`] if `distance / n < 1` (outside
+    ///   the quadratic's domain).
+    /// * [`ModelError::NoOperatingPoint`] if no root lies in the feasible
+    ///   interval `0 < rho < 1`.
+    pub fn solve_quadratic(&self, distance: f64) -> Result<f64> {
+        let n = f64::from(self.network.geometry().dimension());
+        let k_d = distance / n;
+        if k_d < 1.0 {
+            return Err(ModelError::InvalidParameter {
+                name: "d",
+                value: distance,
+                reason: "closed form requires k_d = d/n >= 1",
+            });
+        }
+        let b = self.network.message_size();
+        let s = self.node.latency_sensitivity();
+        let f = self.node.curve_offset();
+        let a = b * k_d / 2.0; // rho = a * r
+        let gamma = ((k_d - 1.0) / (k_d * k_d)) * (1.0 + 1.0 / n);
+
+        // s/r - F = (d + B) + d*a*B*gamma * r / (1 - a r)
+        // => A r^2 + C r + D = 0 with:
+        let qa = a * (distance * b * gamma - (distance + b) - f);
+        let qc = distance + b + f + s * a;
+        let qd = -s;
+
+        let disc = qc * qc - 4.0 * qa * qd;
+        if disc < 0.0 {
+            return Err(ModelError::NoOperatingPoint { distance });
+        }
+        let sqrt_disc = disc.sqrt();
+        let roots = if qa.abs() < 1e-300 {
+            [-qd / qc, f64::NAN]
+        } else {
+            [
+                (-qc + sqrt_disc) / (2.0 * qa),
+                (-qc - sqrt_disc) / (2.0 * qa),
+            ]
+        };
+        let r_sat = 1.0 / a;
+        roots
+            .into_iter()
+            .filter(|r| r.is_finite() && *r > 0.0 && *r < r_sat)
+            .fold(None, |best: Option<f64>, r| {
+                Some(best.map_or(r, |b| b.max(r)))
+            })
+            .ok_or(ModelError::NoOperatingPoint { distance })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{EndpointContention, TorusGeometry};
+
+    fn model(p: u32, endpoint: EndpointContention) -> CombinedModel {
+        let node = NodeModel::from_parameters(20.0, p, 22.0, 2.0, 3.2, 88.0).unwrap();
+        let net = NetworkModel::new(TorusGeometry::new(2, 8.0).unwrap(), 12.0)
+            .unwrap()
+            .with_endpoint_contention(endpoint);
+        CombinedModel::new(node, net)
+    }
+
+    #[test]
+    fn solve_rejects_bad_distance() {
+        let m = model(1, EndpointContention::Ignore);
+        assert!(m.solve(-1.0).is_err());
+        assert!(m.solve(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn solution_is_self_consistent() {
+        let m = model(2, EndpointContention::MD1);
+        let op = m.solve(4.0).unwrap();
+        // The network latency at the solved rate equals the reported
+        // message latency.
+        let net_latency = m.network().message_latency(op.message_rate, 4.0).unwrap();
+        assert!((net_latency - op.message_latency).abs() < 1e-6);
+        // And the node, observing that latency, injects at the solved rate.
+        let t_m = m.node().message_interval_for_latency(op.message_latency);
+        assert!((t_m - op.message_interval).abs() / t_m < 1e-6);
+    }
+
+    #[test]
+    fn quadratic_and_bisection_agree() {
+        // On the quadratic's domain the two solvers must match closely.
+        // The quadratic knows nothing of the latency-masked floor, so the
+        // comparison applies it explicitly.
+        for p in [1, 2, 4] {
+            let m = model(p, EndpointContention::Ignore);
+            let r_floor = 1.0 / m.node().min_message_interval();
+            for d in [2.0, 3.0, 4.0, 5.0, 6.0, 10.0, 16.0] {
+                let bisect = m.solve(d).unwrap().message_rate;
+                let quad = m.solve_quadratic(d).unwrap().min(r_floor);
+                assert!(
+                    (bisect - quad).abs() / quad < 1e-6,
+                    "p={p} d={d}: bisect={bisect} quad={quad}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quadratic_rejects_short_distances() {
+        let m = model(1, EndpointContention::Ignore);
+        assert!(m.solve_quadratic(1.0).is_err()); // k_d = 0.5 < 1
+    }
+
+    #[test]
+    fn utilization_stays_below_saturation() {
+        for p in [1, 2, 4] {
+            let m = model(p, EndpointContention::MD1);
+            for d in [0.5, 1.0, 2.0, 4.06, 8.0, 50.0, 500.0] {
+                let op = m.solve(d).unwrap();
+                assert!(
+                    op.channel_utilization < 1.0,
+                    "p={p} d={d}: rho={}",
+                    op.channel_utilization
+                );
+                assert!(op.message_rate > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn rate_monotonically_decreases_with_distance() {
+        let m = model(2, EndpointContention::MD1);
+        let mut last = f64::INFINITY;
+        for d in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 10.0, 20.0] {
+            let op = m.solve(d).unwrap();
+            assert!(op.message_rate <= last + 1e-12, "d={d}");
+            last = op.message_rate;
+        }
+    }
+
+    #[test]
+    fn latency_monotonically_increases_with_distance() {
+        let m = model(2, EndpointContention::MD1);
+        let mut last = 0.0;
+        for d in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 10.0, 20.0] {
+            let op = m.solve(d).unwrap();
+            assert!(op.message_latency >= last, "d={d}");
+            last = op.message_latency;
+        }
+    }
+
+    #[test]
+    fn more_contexts_issue_transactions_faster() {
+        // Multithreading tolerates latency: at any fixed distance the
+        // 4-context machine sustains a transaction rate at least that of
+        // the 1-context machine.
+        for d in [1.0, 4.0, 16.0] {
+            let r1 = model(1, EndpointContention::MD1)
+                .solve(d)
+                .unwrap()
+                .transaction_rate;
+            let r4 = model(4, EndpointContention::MD1)
+                .solve(d)
+                .unwrap()
+                .transaction_rate;
+            assert!(r4 > r1, "d={d}: r4={r4} r1={r1}");
+        }
+    }
+
+    #[test]
+    fn per_hop_latency_approaches_eq16_limit() {
+        // Section 4.1: as d grows, T_h -> B*s/(2n).
+        let m = model(2, EndpointContention::Ignore);
+        let s = m.node().latency_sensitivity();
+        let limit = m.network().limiting_per_hop_latency(s);
+        let op = m.solve(100_000.0).unwrap();
+        assert!(
+            (op.per_hop_latency - limit).abs() / limit < 0.01,
+            "T_h={} limit={limit}",
+            op.per_hop_latency
+        );
+    }
+
+    #[test]
+    fn per_hop_limit_scales_with_contexts() {
+        // Eq. 16 depends on s, which is proportional to p.
+        let m1 = model(1, EndpointContention::Ignore);
+        let m4 = model(4, EndpointContention::Ignore);
+        let t1 = m1.solve(1_000_000.0).unwrap().per_hop_latency;
+        let t4 = m4.solve(1_000_000.0).unwrap().per_hop_latency;
+        assert!((t4 / t1 - 4.0).abs() < 0.2, "t4/t1 = {}", t4 / t1);
+    }
+
+    #[test]
+    fn zero_distance_is_processor_bound() {
+        // All-local traffic: the network never pushes back; the node issues
+        // at its floor.
+        let m = model(4, EndpointContention::Ignore);
+        let op = m.solve(0.0).unwrap();
+        assert_eq!(op.mode, OperatingMode::LatencyMasked);
+        let floor = m.node().min_message_interval();
+        assert!((op.message_interval - floor).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_config_is_latency_bound() {
+        // The paper's experiments never approached the Eq. 4 bound.
+        let m = model(2, EndpointContention::MD1);
+        for d in [1.0, 4.0, 6.0] {
+            assert_eq!(m.solve(d).unwrap().mode, OperatingMode::LatencyBound);
+        }
+    }
+
+    #[test]
+    fn endpoint_extension_adds_latency() {
+        let base = model(2, EndpointContention::Ignore).solve(4.0).unwrap();
+        let ext = model(2, EndpointContention::MD1).solve(4.0).unwrap();
+        assert!(ext.message_latency > base.message_latency);
+        assert!(ext.endpoint_wait > 0.0);
+        assert_eq!(base.endpoint_wait, 0.0);
+        // And for this configuration it is the couple-of-cycles effect the
+        // paper describes (2–5 network cycles).
+        assert!(
+            ext.endpoint_wait > 1.0 && ext.endpoint_wait < 6.0,
+            "endpoint wait = {}",
+            ext.endpoint_wait
+        );
+    }
+
+    #[test]
+    fn rates_and_intervals_are_reciprocal() {
+        let op = model(2, EndpointContention::MD1).solve(3.0).unwrap();
+        assert!((op.message_rate * op.message_interval - 1.0).abs() < 1e-12);
+        assert!((op.transaction_rate * op.issue_interval - 1.0).abs() < 1e-12);
+        // Eq. 8: t_t = g * t_m.
+        assert!((op.issue_interval - 3.2 * op.message_interval).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,129 @@
+//! Network-dimension study (the closing observation of Section 4.2).
+//!
+//! Increasing the network dimension `n` shortens random-mapping
+//! communication distances (Eq. 17) *and* lowers the limiting per-hop
+//! latency (Eq. 16), both of which help random mappings without helping
+//! ideal ones — so higher-dimensional networks reduce the payoff of
+//! exploiting physical locality. These helpers quantify that trade.
+
+use crate::error::Result;
+use crate::gain::{expected_gain, GainPoint};
+use crate::machine::MachineConfig;
+
+/// Gain analysis of one machine size across network dimensions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DimensionPoint {
+    /// Network dimension `n`.
+    pub dimension: u32,
+    /// Per-dimension radix `k = N^(1/n)`.
+    pub radix: f64,
+    /// Random-mapping distance at this dimension (Eq. 17).
+    pub random_distance: f64,
+    /// Limiting per-hop latency (Eq. 16).
+    pub limiting_per_hop_latency: f64,
+    /// Expected gain from exploiting physical locality.
+    pub gain: f64,
+}
+
+/// Sweeps the network dimension at a fixed machine size, holding every
+/// other parameter of `config` constant.
+///
+/// # Errors
+///
+/// Propagates model-construction or solver failures.
+///
+/// # Examples
+///
+/// ```
+/// use commloc_model::{dimension_study, MachineConfig};
+///
+/// # fn main() -> Result<(), commloc_model::ModelError> {
+/// let machine = MachineConfig::alewife().with_nodes(1e6);
+/// let study = dimension_study(&machine, &[2, 3, 4])?;
+/// // Higher dimensions reduce the locality payoff.
+/// assert!(study[2].gain < study[0].gain);
+/// # Ok(())
+/// # }
+/// ```
+pub fn dimension_study(
+    config: &MachineConfig,
+    dimensions: &[u32],
+) -> Result<Vec<DimensionPoint>> {
+    let nodes = config.nodes();
+    dimensions
+        .iter()
+        .map(|&n| {
+            let cfg = config.with_dimension(n).with_nodes(nodes);
+            let point: GainPoint = expected_gain(&cfg)?;
+            Ok(DimensionPoint {
+                dimension: n,
+                radix: cfg.radix(),
+                random_distance: point.random_distance,
+                limiting_per_hop_latency: crate::scaling::limiting_per_hop_latency(&cfg),
+                gain: point.gain,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn higher_dimensions_shrink_random_distance() {
+        let cfg = MachineConfig::alewife().with_nodes(1e6);
+        let study = dimension_study(&cfg, &[2, 3, 4, 6]).unwrap();
+        for pair in study.windows(2) {
+            assert!(
+                pair[1].random_distance < pair[0].random_distance,
+                "distance did not shrink from n={} to n={}",
+                pair[0].dimension,
+                pair[1].dimension
+            );
+        }
+    }
+
+    #[test]
+    fn higher_dimensions_lower_the_latency_limit() {
+        let cfg = MachineConfig::alewife().with_contexts(2).with_nodes(1e6);
+        let study = dimension_study(&cfg, &[2, 3, 4]).unwrap();
+        for pair in study.windows(2) {
+            assert!(
+                pair[1].limiting_per_hop_latency <= pair[0].limiting_per_hop_latency,
+                "Eq. 16 limit did not fall with dimension"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_dimensions_reduce_locality_gain() {
+        // Section 4.2: "the impact of exploiting physical locality on end
+        // performance is lower when higher dimensional networks are used."
+        for p in [1, 2, 4] {
+            let cfg = MachineConfig::alewife().with_contexts(p).with_nodes(1e6);
+            let study = dimension_study(&cfg, &[2, 3, 4]).unwrap();
+            for pair in study.windows(2) {
+                assert!(
+                    pair[1].gain < pair[0].gain,
+                    "p={p}: gain rose from n={} ({}) to n={} ({})",
+                    pair[0].dimension,
+                    pair[0].gain,
+                    pair[1].dimension,
+                    pair[1].gain
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn machine_size_is_preserved_across_dimensions() {
+        let cfg = MachineConfig::alewife().with_nodes(4096.0);
+        let study = dimension_study(&cfg, &[2, 3, 4]).unwrap();
+        for point in &study {
+            let nodes = point.radix.powi(point.dimension as i32);
+            assert!((nodes - 4096.0).abs() / 4096.0 < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Error types for model construction and evaluation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when constructing or evaluating one of the analytical
+/// models.
+///
+/// All public constructors in this crate validate their arguments
+/// ([C-VALIDATE]) and report violations through this type rather than
+/// panicking.
+///
+/// [C-VALIDATE]: https://rust-lang.github.io/api-guidelines/dependability.html
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A model parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter (paper nomenclature, e.g. `T_r`).
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable description of the constraint that was violated.
+        reason: &'static str,
+    },
+    /// The combined model has no operating point: the interconnection
+    /// network cannot sustain even the minimum injection rate the
+    /// application demands.
+    ///
+    /// With a finite latency sensitivity this cannot happen (the negative
+    /// feedback of Section 2.5 of the paper always produces a solution with
+    /// `0 < rho < 1`), so in practice this indicates numerically extreme
+    /// parameters.
+    NoOperatingPoint {
+        /// Average communication distance (hops) for which the solve failed.
+        distance: f64,
+    },
+    /// The requested evaluation point saturates a channel (`rho >= 1`).
+    Saturated {
+        /// The channel utilization that was computed or requested.
+        utilization: f64,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidParameter {
+                name,
+                value,
+                reason,
+            } => {
+                write!(f, "invalid parameter {name} = {value}: {reason}")
+            }
+            ModelError::NoOperatingPoint { distance } => {
+                write!(
+                    f,
+                    "combined model has no operating point at distance {distance} hops"
+                )
+            }
+            ModelError::Saturated { utilization } => {
+                write!(f, "channel utilization {utilization} is at or beyond saturation")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+/// Convenience alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, ModelError>;
+
+pub(crate) fn ensure_finite(name: &'static str, value: f64) -> Result<f64> {
+    if value.is_finite() {
+        Ok(value)
+    } else {
+        Err(ModelError::InvalidParameter {
+            name,
+            value,
+            reason: "must be finite",
+        })
+    }
+}
+
+pub(crate) fn ensure_positive(name: &'static str, value: f64) -> Result<f64> {
+    ensure_finite(name, value)?;
+    if value > 0.0 {
+        Ok(value)
+    } else {
+        Err(ModelError::InvalidParameter {
+            name,
+            value,
+            reason: "must be strictly positive",
+        })
+    }
+}
+
+pub(crate) fn ensure_non_negative(name: &'static str, value: f64) -> Result<f64> {
+    ensure_finite(name, value)?;
+    if value >= 0.0 {
+        Ok(value)
+    } else {
+        Err(ModelError::InvalidParameter {
+            name,
+            value,
+            reason: "must be non-negative",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_parameter() {
+        let err = ModelError::InvalidParameter {
+            name: "T_r",
+            value: -1.0,
+            reason: "must be strictly positive",
+        };
+        let text = err.to_string();
+        assert!(text.contains("T_r"));
+        assert!(text.contains("-1"));
+    }
+
+    #[test]
+    fn display_no_operating_point() {
+        let err = ModelError::NoOperatingPoint { distance: 4.0 };
+        assert!(err.to_string().contains("4"));
+    }
+
+    #[test]
+    fn display_saturated() {
+        let err = ModelError::Saturated { utilization: 1.25 };
+        assert!(err.to_string().contains("1.25"));
+    }
+
+    #[test]
+    fn ensure_positive_rejects_zero_and_nan() {
+        assert!(ensure_positive("x", 0.0).is_err());
+        assert!(ensure_positive("x", f64::NAN).is_err());
+        assert!(ensure_positive("x", f64::INFINITY).is_err());
+        assert_eq!(ensure_positive("x", 2.0).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn ensure_non_negative_accepts_zero() {
+        assert_eq!(ensure_non_negative("x", 0.0).unwrap(), 0.0);
+        assert!(ensure_non_negative("x", -0.1).is_err());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

@@ -1,0 +1,218 @@
+//! Expected gain from exploiting physical locality (Section 4.2, Figure 7
+//! and Table 1 of the paper).
+//!
+//! The *expected gain* for a machine of size `N` compares the aggregate
+//! performance (transaction issue rate, Section 2.6) obtained with an
+//! ideal thread-to-processor mapping (every communication one hop) against
+//! a random mapping (communication distance from Eq. 17). Because the
+//! validation application has a very small computation grain, this ratio
+//! is a rough **upper bound** on the gain available to any application.
+
+use crate::error::Result;
+use crate::machine::MachineConfig;
+
+/// A single point of the expected-gain analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GainPoint {
+    /// Machine size `N` (processors).
+    pub nodes: f64,
+    /// Communication distance of the ideal mapping (hops).
+    pub ideal_distance: f64,
+    /// Communication distance of the random mapping (Eq. 17, hops).
+    pub random_distance: f64,
+    /// Per-processor transaction rate with the ideal mapping.
+    pub ideal_rate: f64,
+    /// Per-processor transaction rate with the random mapping.
+    pub random_rate: f64,
+    /// Expected gain: `ideal_rate / random_rate`.
+    pub gain: f64,
+}
+
+/// The distance assumed for an ideal (best-case) thread-to-processor
+/// mapping of the torus-neighbour application: a single network hop.
+pub const IDEAL_MAPPING_DISTANCE: f64 = 1.0;
+
+/// Computes the expected gain due to exploiting physical locality for the
+/// machine described by `config` at its configured size.
+///
+/// # Errors
+///
+/// Propagates model-construction or solver failures.
+///
+/// # Examples
+///
+/// ```
+/// use commloc_model::{expected_gain, MachineConfig};
+///
+/// # fn main() -> Result<(), commloc_model::ModelError> {
+/// let machine = MachineConfig::alewife().with_nodes(1000.0);
+/// let point = expected_gain(&machine)?;
+/// // Paper Section 4.2: about a factor of two at 1,000 processors.
+/// assert!(point.gain > 1.5 && point.gain < 3.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn expected_gain(config: &MachineConfig) -> Result<GainPoint> {
+    let model = config.to_combined_model()?;
+    let random_distance = config.random_mapping_distance()?;
+    // On tiny machines the random mapping may communicate over less than
+    // one hop on average; an "ideal" mapping can do no worse.
+    let ideal_distance = IDEAL_MAPPING_DISTANCE.min(random_distance);
+    let ideal = model.solve(ideal_distance)?;
+    let random = model.solve(random_distance)?;
+    Ok(GainPoint {
+        nodes: config.nodes(),
+        ideal_distance,
+        random_distance,
+        ideal_rate: ideal.transaction_rate,
+        random_rate: random.transaction_rate,
+        gain: ideal.transaction_rate / random.transaction_rate,
+    })
+}
+
+/// Computes the expected-gain curve across machine sizes (Figure 7's
+/// x-axis), for the machine described by `config` (its radix is
+/// overridden per point).
+///
+/// # Errors
+///
+/// Propagates failures from [`expected_gain`] at any size.
+pub fn gain_curve(config: &MachineConfig, sizes: &[f64]) -> Result<Vec<GainPoint>> {
+    sizes
+        .iter()
+        .map(|&n| expected_gain(&config.with_nodes(n)))
+        .collect()
+}
+
+/// Logarithmically spaced machine sizes from `lo` to `hi` inclusive, with
+/// `per_decade` points per decade — the sampling used for the paper's
+/// log-log Figure 7.
+pub fn log_spaced_sizes(lo: f64, hi: f64, per_decade: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi >= lo, "invalid size range [{lo}, {hi}]");
+    assert!(per_decade > 0, "need at least one point per decade");
+    let decades = (hi / lo).log10();
+    let steps = (decades * per_decade as f64).ceil() as usize;
+    let mut sizes: Vec<f64> = (0..=steps)
+        .map(|i| lo * 10f64.powf(i as f64 / per_decade as f64))
+        .take_while(|&n| n < hi * (1.0 - 1e-12))
+        .collect();
+    sizes.push(hi);
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gain_is_at_least_one() {
+        for p in [1, 2, 4] {
+            for n in [10.0, 100.0, 1000.0, 1e6] {
+                let cfg = MachineConfig::alewife().with_contexts(p).with_nodes(n);
+                let point = expected_gain(&cfg).unwrap();
+                assert!(point.gain >= 1.0 - 1e-9, "p={p} N={n}: gain={}", point.gain);
+            }
+        }
+    }
+
+    #[test]
+    fn gain_grows_with_machine_size() {
+        let cfg = MachineConfig::alewife().with_contexts(2);
+        let sizes = [10.0, 100.0, 1000.0, 1e4, 1e5, 1e6];
+        let curve = gain_curve(&cfg, &sizes).unwrap();
+        for pair in curve.windows(2) {
+            assert!(pair[1].gain >= pair[0].gain - 1e-9);
+        }
+    }
+
+    #[test]
+    fn figure7_anchor_points() {
+        // Paper: unity gain at ten processors; gain of two around 1,000
+        // processors; 40–55 at a million (one to four contexts).
+        for p in [1, 2, 4] {
+            let cfg = MachineConfig::alewife().with_contexts(p);
+            let g10 = expected_gain(&cfg.with_nodes(10.0)).unwrap().gain;
+            assert!(g10 < 1.5, "p={p}: gain(10) = {g10}");
+            let g1k = expected_gain(&cfg.with_nodes(1000.0)).unwrap().gain;
+            assert!(
+                g1k > 1.5 && g1k < 4.0,
+                "p={p}: gain(1000) = {g1k} (paper: about two)"
+            );
+            let g1m = expected_gain(&cfg.with_nodes(1e6)).unwrap().gain;
+            assert!(
+                g1m > 25.0 && g1m < 120.0,
+                "p={p}: gain(1e6) = {g1m} (paper: 40–55; our calibration \
+                 spreads wider across p — see EXPERIMENTS.md)"
+            );
+        }
+    }
+
+    #[test]
+    fn table1_slower_networks_increase_gain() {
+        // Table 1: relative network speeds 2x faster (base), same,
+        // 2x slower, 4x slower — gains increase monotonically, and slowing
+        // the network 8x raises the bounds by roughly 3x.
+        let base = MachineConfig::alewife().with_nodes(1000.0);
+        let mut last = 0.0;
+        let mut gains = Vec::new();
+        for factor in [1.0, 0.5, 0.25, 0.125] {
+            let g = expected_gain(&base.scale_network_speed(factor))
+                .unwrap()
+                .gain;
+            assert!(g > last, "factor {factor}: gain {g} not increasing");
+            last = g;
+            gains.push(g);
+        }
+        let ratio = gains[3] / gains[0];
+        assert!(
+            ratio > 1.5 && ratio < 4.5,
+            "8x slowdown raised gain by {ratio} (paper: about 3x; the \
+             endpoint-channel extension compresses it — see EXPERIMENTS.md)"
+        );
+    }
+
+    #[test]
+    fn higher_dimension_reduces_gain() {
+        // Section 4.2 closing: higher-dimensional networks lower the
+        // impact of exploiting physical locality.
+        let n2 = expected_gain(&MachineConfig::alewife().with_nodes(1e6))
+            .unwrap()
+            .gain;
+        let n3 = expected_gain(
+            &MachineConfig::alewife()
+                .with_dimension(3)
+                .with_nodes(1e6),
+        )
+        .unwrap()
+        .gain;
+        assert!(n3 < n2, "3D gain {n3} should be below 2D gain {n2}");
+    }
+
+    #[test]
+    fn log_spaced_sizes_cover_range() {
+        let sizes = log_spaced_sizes(10.0, 1e6, 4);
+        assert_eq!(sizes[0], 10.0);
+        assert_eq!(*sizes.last().unwrap(), 1e6);
+        assert!(sizes.len() >= 20);
+        for pair in sizes.windows(2) {
+            assert!(pair[1] > pair[0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid size range")]
+    fn log_spaced_sizes_panics_on_bad_range() {
+        log_spaced_sizes(100.0, 10.0, 4);
+    }
+
+    #[test]
+    fn tiny_machine_ideal_distance_clamped() {
+        // A 2-node machine's random distance is below one hop; the ideal
+        // mapping must not be penalized relative to it.
+        let cfg = MachineConfig::alewife().with_nodes(2.0);
+        let point = expected_gain(&cfg).unwrap();
+        assert!(point.ideal_distance <= point.random_distance);
+        assert!(point.gain >= 1.0 - 1e-9);
+    }
+}

@@ -1,0 +1,83 @@
+//! Analytical models of communication locality in large-scale
+//! multiprocessors.
+//!
+//! This crate implements the modeling framework of Kirk L. Johnson, *"The
+//! Impact of Communication Locality on Large-Scale Multiprocessor
+//! Performance"* (ISCA 1992): a way of combining simple models of
+//! application, processor, and network behavior into a single model that
+//! captures the feedback between processors and networks — processors
+//! "back off" as communication latencies rise, which bounds network
+//! contention and, in turn, bounds the benefit of exploiting physical
+//! locality.
+//!
+//! # Model structure
+//!
+//! * [`ApplicationModel`] — how fast processors issue communication
+//!   transactions given the latency they observe (computation grain `T_r`,
+//!   hardware contexts `p`, context switch `T_s`).
+//! * [`TransactionModel`] — how transactions decompose into network
+//!   messages (`c`, `g`, fixed overhead `T_f`).
+//! * [`NodeModel`] — the composition: message injection intervals versus
+//!   message latency; its slope is the latency sensitivity `s = p·g/c`.
+//! * [`NetworkModel`] — Agarwal's contention model for wormhole-routed
+//!   k-ary n-cube torus networks, extended per the paper.
+//! * [`CombinedModel`] — the closed loop; [`CombinedModel::solve`] finds
+//!   the operating point at a given average communication distance.
+//!
+//! [`MachineConfig`] wraps all of the above with clock-domain conversion
+//! and provides the paper's calibrated Alewife-like defaults;
+//! [`expected_gain`]/[`gain_curve`] and [`per_hop_latency_curve`]
+//! reproduce the paper's Section 4 analyses.
+//!
+//! # Quick start
+//!
+//! ```
+//! use commloc_model::{expected_gain, MachineConfig};
+//!
+//! # fn main() -> Result<(), commloc_model::ModelError> {
+//! // How much does an ideal thread placement buy on a 1,000-processor
+//! // machine with an Alewife-like balance? (Paper: about a factor of 2.)
+//! let machine = MachineConfig::alewife().with_nodes(1000.0);
+//! let point = expected_gain(&machine)?;
+//! println!("expected gain: {:.2}", point.gain);
+//! assert!(point.gain > 1.5 && point.gain < 3.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! All models are plain-old-data, deterministic, and free of I/O; every
+//! public constructor validates its parameters and returns
+//! [`ModelError`] on violations.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod application;
+mod breakdown;
+mod combined;
+mod dimensions;
+mod error;
+mod gain;
+mod machine;
+mod metrics;
+mod network;
+mod node;
+mod scaling;
+mod transaction;
+
+pub use application::{ApplicationModel, OperatingMode};
+pub use breakdown::IssueTimeBreakdown;
+pub use combined::{CombinedModel, OperatingPoint};
+pub use dimensions::{dimension_study, DimensionPoint};
+pub use error::{ModelError, Result};
+pub use gain::{expected_gain, gain_curve, log_spaced_sizes, GainPoint, IDEAL_MAPPING_DISTANCE};
+pub use machine::MachineConfig;
+pub use metrics::{aggregate_performance, performance_ratio, useful_work_rate};
+pub use network::{EndpointContention, NetworkModel, TorusGeometry};
+pub use node::NodeModel;
+pub use scaling::{
+    limiting_per_hop_latency, per_hop_latency_curve, size_reaching_fraction_of_limit,
+    ScalingPoint,
+};
+pub use transaction::TransactionModel;

@@ -1,0 +1,63 @@
+//! Performance metrics (Section 2.6 of the paper).
+//!
+//! With the computation grain `T_r` held constant, the per-processor
+//! transaction issue rate `r_t = 1/t_t` is proportional to the rate at
+//! which useful work gets done (`T_r / t_t`), so `N * r_t` serves as the
+//! aggregate performance metric used for all machine comparisons in the
+//! paper.
+
+use crate::combined::OperatingPoint;
+
+/// Per-processor useful-work rate: `T_r / t_t`, the fraction of time spent
+/// on actual computation (per context-aggregate).
+pub fn useful_work_rate(grain: f64, op: &OperatingPoint) -> f64 {
+    grain / op.issue_interval
+}
+
+/// Aggregate performance of an `N`-processor machine: `N * r_t`
+/// (transactions per cycle across the whole machine).
+pub fn aggregate_performance(nodes: f64, op: &OperatingPoint) -> f64 {
+    nodes * op.transaction_rate
+}
+
+/// Ratio of aggregate performance between two operating points on
+/// machines of the same size — the comparison primitive behind the
+/// paper's expected-gain analyses.
+pub fn performance_ratio(numerator: &OperatingPoint, denominator: &OperatingPoint) -> f64 {
+    numerator.transaction_rate / denominator.transaction_rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+
+    #[test]
+    fn useful_work_rate_bounded_by_one() {
+        let cfg = MachineConfig::alewife().with_contexts(2);
+        let model = cfg.to_combined_model().unwrap();
+        let op = model.solve(4.0).unwrap();
+        // Grain in network cycles for the rate computation.
+        let rate = useful_work_rate(cfg.grain() * cfg.clock_ratio(), &op);
+        assert!(rate > 0.0 && rate <= 1.0, "rate = {rate}");
+    }
+
+    #[test]
+    fn aggregate_performance_scales_with_nodes() {
+        let model = MachineConfig::alewife().to_combined_model().unwrap();
+        let op = model.solve(4.0).unwrap();
+        let a64 = aggregate_performance(64.0, &op);
+        let a128 = aggregate_performance(128.0, &op);
+        assert!((a128 / a64 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn performance_ratio_matches_rates() {
+        let model = MachineConfig::alewife().to_combined_model().unwrap();
+        let near = model.solve(1.0).unwrap();
+        let far = model.solve(6.0).unwrap();
+        let ratio = performance_ratio(&near, &far);
+        assert!(ratio > 1.0);
+        assert!((ratio - near.transaction_rate / far.transaction_rate).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,532 @@
+//! The network model (Section 2.4 of the paper).
+//!
+//! Agarwal's analytical model for packet-switched, buffered, wormhole
+//! e-cube-routed k-ary n-dimensional torus networks with separate
+//! unidirectional channels in both mesh directions:
+//!
+//! * channel utilization     `rho = r_m * B * k_d / 2`          (Eq. 10)
+//! * average message latency `T_m = n * k_d * T_h + B`          (Eq. 11)
+//! * per-dimension distance  `k_d = d / n`                      (Eq. 13)
+//! * per-hop head latency
+//!   `T_h = 1 + (rho / (1 - rho)) * B * ((k_d - 1)/k_d^2) * (1 + 1/n)`
+//!   for `k_d >= 1`, and `T_h = 1` for `k_d < 1`                (Eq. 14)
+//!
+//! plus two results the paper derives from the combined model:
+//!
+//! * the limiting per-hop latency `T_h -> B * s / (2n)` as distances grow
+//!   (Eq. 16), and
+//! * the random-mapping mean distance
+//!   `d = n * k^(n+1) / (4 * (k^n - 1))` (Eq. 17).
+
+use crate::error::{ensure_positive, ModelError, Result};
+
+/// Geometry of a k-ary n-dimensional torus for analytical purposes.
+///
+/// The radix may be fractional: when sweeping machine sizes `N` the
+/// analytical model uses `k = N^(1/n)` regardless of whether an integer
+/// radix machine of that size exists.
+///
+/// # Examples
+///
+/// ```
+/// use commloc_model::TorusGeometry;
+///
+/// # fn main() -> Result<(), commloc_model::ModelError> {
+/// let g = TorusGeometry::new(2, 8.0)?; // 8x8 torus (MIT Alewife, Sec. 3)
+/// assert_eq!(g.nodes(), 64.0);
+/// // Eq. 17: just over four hops for random traffic.
+/// assert!((g.random_traffic_distance() - 4.063).abs() < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TorusGeometry {
+    dimension: u32,
+    radix: f64,
+}
+
+impl TorusGeometry {
+    /// Creates a torus geometry with `dimension` dimensions (`n`) and
+    /// (possibly fractional) per-dimension `radix` (`k`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if `dimension` is zero or
+    /// `radix < 1`.
+    pub fn new(dimension: u32, radix: f64) -> Result<Self> {
+        if dimension == 0 {
+            return Err(ModelError::InvalidParameter {
+                name: "n",
+                value: 0.0,
+                reason: "torus must have at least one dimension",
+            });
+        }
+        let radix = ensure_positive("k", radix)?;
+        if radix < 1.0 {
+            return Err(ModelError::InvalidParameter {
+                name: "k",
+                value: radix,
+                reason: "radix must be at least 1",
+            });
+        }
+        Ok(Self { dimension, radix })
+    }
+
+    /// Creates the geometry of an `N`-node machine with `dimension`
+    /// dimensions, taking `k = N^(1/n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `dimension` is zero or `nodes < 1`.
+    pub fn with_nodes(dimension: u32, nodes: f64) -> Result<Self> {
+        let nodes = ensure_positive("N", nodes)?;
+        Self::new(dimension, nodes.powf(1.0 / f64::from(dimension)))
+    }
+
+    /// The network dimension `n`.
+    pub fn dimension(&self) -> u32 {
+        self.dimension
+    }
+
+    /// The per-dimension radix `k`.
+    pub fn radix(&self) -> f64 {
+        self.radix
+    }
+
+    /// Total number of nodes `N = k^n`.
+    pub fn nodes(&self) -> f64 {
+        self.radix.powi(self.dimension as i32)
+    }
+
+    /// Expected message distance under random communication patterns
+    /// (Eq. 17): `d = n * k^(n+1) / (4 * (k^n - 1))`, assuming nodes never
+    /// send messages to themselves.
+    ///
+    /// For `k = 1` (a single node per dimension, so a single-node machine)
+    /// the distance is zero.
+    pub fn random_traffic_distance(&self) -> f64 {
+        let n = f64::from(self.dimension);
+        let k = self.radix;
+        let kn = k.powf(n);
+        if kn <= 1.0 {
+            return 0.0;
+        }
+        n * k.powf(n + 1.0) / (4.0 * (kn - 1.0))
+    }
+
+    /// Per-dimension distance `k_d = d / n` (Eq. 13).
+    pub fn per_dimension_distance(&self, distance: f64) -> f64 {
+        distance / f64::from(self.dimension)
+    }
+}
+
+/// How the model accounts for contention on the channels connecting each
+/// processing node to its network switch (Section 2.4's second extension).
+///
+/// The paper's plotted model values include this factor (it contributed two
+/// to five network cycles in the validation experiments); the closed-form
+/// development in the text omits it. We model the injection channel as an
+/// M/D/1 queue with deterministic service time `B` and utilization
+/// `rho_c = r_m * B`, whose mean wait is `rho_c * B / (2 * (1 - rho_c))`.
+/// Ejection-channel queueing largely overlaps with in-network latency that
+/// Eq. 11 already accounts for (the head continues draining hop by hop
+/// while earlier flits eject), so only the injection term is added.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum EndpointContention {
+    /// Ignore node-to-network channel contention (the paper's closed-form
+    /// equations).
+    Ignore,
+    /// Add an M/D/1 mean-wait term per endpoint channel (the paper's
+    /// plotted model values).
+    #[default]
+    MD1,
+}
+
+/// Network model for packet-switched k-ary n-cube torus networks
+/// (Section 2.4).
+///
+/// # Examples
+///
+/// ```
+/// use commloc_model::{NetworkModel, TorusGeometry};
+///
+/// # fn main() -> Result<(), commloc_model::ModelError> {
+/// let net = NetworkModel::new(TorusGeometry::new(2, 8.0)?, 12.0)?;
+/// // Unloaded network: T_m = d * 1 + B.
+/// let latency = net.message_latency(0.0, 4.0)?;
+/// assert!((latency - 16.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NetworkModel {
+    geometry: TorusGeometry,
+    message_size: f64,
+    contention_size: Option<f64>,
+    endpoint_contention: EndpointContention,
+}
+
+impl NetworkModel {
+    /// Creates a network model for the given torus geometry and average
+    /// message size `B` (flits). Endpoint-channel contention defaults to
+    /// [`EndpointContention::MD1`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if `message_size` is not
+    /// strictly positive.
+    pub fn new(geometry: TorusGeometry, message_size: f64) -> Result<Self> {
+        let message_size = ensure_positive("B", message_size)?;
+        Ok(Self {
+            geometry,
+            message_size,
+            contention_size: None,
+            endpoint_contention: EndpointContention::default(),
+        })
+    }
+
+    /// Sets the *effective service size* used in the contention terms.
+    ///
+    /// Agarwal's Eq. 14 assumes fixed-size messages of `B` flits. When
+    /// message sizes are bimodal (8-flit control vs 24-flit data messages
+    /// in the coherence workload), waiting time behind a message is
+    /// governed by the residual service size `E[B^2]/E[B]` rather than the
+    /// mean — the standard M/G/1 correction. Utilization (Eq. 10) and the
+    /// pipeline-drain term of Eq. 11 continue to use the mean size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not strictly positive and finite.
+    pub fn with_contention_size(mut self, size: f64) -> Self {
+        assert!(
+            size.is_finite() && size > 0.0,
+            "contention size must be positive"
+        );
+        self.contention_size = Some(size);
+        self
+    }
+
+    /// The effective service size used in contention terms (defaults to
+    /// the mean message size).
+    pub fn contention_size(&self) -> f64 {
+        self.contention_size.unwrap_or(self.message_size)
+    }
+
+    /// Sets the endpoint-contention treatment.
+    pub fn with_endpoint_contention(mut self, mode: EndpointContention) -> Self {
+        self.endpoint_contention = mode;
+        self
+    }
+
+    /// The torus geometry.
+    pub fn geometry(&self) -> &TorusGeometry {
+        &self.geometry
+    }
+
+    /// Average message size `B`, in flits.
+    pub fn message_size(&self) -> f64 {
+        self.message_size
+    }
+
+    /// The endpoint-contention treatment in effect.
+    pub fn endpoint_contention(&self) -> EndpointContention {
+        self.endpoint_contention
+    }
+
+    /// Channel utilization (Eq. 10): `rho = r_m * B * k_d / 2`, where
+    /// `r_m` is the per-node message injection rate and `distance` the
+    /// average communication distance in hops.
+    pub fn channel_utilization(&self, injection_rate: f64, distance: f64) -> f64 {
+        let k_d = self.geometry.per_dimension_distance(distance);
+        injection_rate * self.message_size * k_d / 2.0
+    }
+
+    /// The injection rate at which network channels saturate (`rho = 1`)
+    /// for a given communication distance: `r_sat = 2 / (B * k_d)`.
+    ///
+    /// Returns infinity when `k_d` is zero (purely local traffic never
+    /// saturates mesh channels).
+    pub fn saturation_rate(&self, distance: f64) -> f64 {
+        let k_d = self.geometry.per_dimension_distance(distance);
+        if k_d <= 0.0 {
+            f64::INFINITY
+        } else {
+            2.0 / (self.message_size * k_d)
+        }
+    }
+
+    /// Average per-hop latency of a message head (Eq. 14), as a function
+    /// of channel utilization and the per-dimension distance `k_d`.
+    ///
+    /// For `k_d < 1` contention is negligible and `T_h = 1` (the paper's
+    /// first extension of Agarwal's model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Saturated`] if `utilization >= 1`.
+    pub fn per_hop_latency(&self, utilization: f64, k_d: f64) -> Result<f64> {
+        if k_d < 1.0 {
+            return Ok(1.0);
+        }
+        if utilization >= 1.0 {
+            return Err(ModelError::Saturated { utilization });
+        }
+        let rho = utilization.max(0.0);
+        let n = f64::from(self.geometry.dimension());
+        let contention = (rho / (1.0 - rho))
+            * self.contention_size()
+            * ((k_d - 1.0) / (k_d * k_d))
+            * (1.0 + 1.0 / n);
+        Ok(1.0 + contention)
+    }
+
+    /// Average message latency (Eq. 11) at a given injection rate and
+    /// communication distance: `T_m = n * k_d * T_h + B`, plus the
+    /// endpoint-contention term if enabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Saturated`] if the implied channel utilization
+    /// (network or endpoint) is at or beyond 1.
+    pub fn message_latency(&self, injection_rate: f64, distance: f64) -> Result<f64> {
+        let k_d = self.geometry.per_dimension_distance(distance);
+        let rho = self.channel_utilization(injection_rate, distance);
+        let t_h = self.per_hop_latency(rho, k_d)?;
+        let base = distance * t_h + self.message_size;
+        Ok(base + self.endpoint_wait(injection_rate)?)
+    }
+
+    /// The mean added wait from node↔network channel contention at a given
+    /// injection rate. Zero when the extension is disabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Saturated`] if the endpoint channel
+    /// utilization `r_m * B` is at or beyond 1.
+    pub fn endpoint_wait(&self, injection_rate: f64) -> Result<f64> {
+        match self.endpoint_contention {
+            EndpointContention::Ignore => Ok(0.0),
+            EndpointContention::MD1 => {
+                let rho_c = injection_rate * self.message_size;
+                if rho_c >= 1.0 {
+                    return Err(ModelError::Saturated { utilization: rho_c });
+                }
+                Ok(rho_c * self.contention_size() / (2.0 * (1.0 - rho_c)))
+            }
+        }
+    }
+
+    /// The limiting value of the per-hop latency as machine size and
+    /// communication distance grow (Eq. 16): `T_h -> B * s / (2n)`, where
+    /// `s` is the application's latency sensitivity.
+    ///
+    /// The limit cannot fall below the contention-free per-hop latency of
+    /// one cycle: applications insensitive enough never to saturate the
+    /// network (`B * s / (2n) < 1`) simply see `T_h = 1`.
+    pub fn limiting_per_hop_latency(&self, latency_sensitivity: f64) -> f64 {
+        let n = f64::from(self.geometry.dimension());
+        (self.message_size * latency_sensitivity / (2.0 * n)).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> NetworkModel {
+        NetworkModel::new(TorusGeometry::new(2, 8.0).unwrap(), 12.0)
+            .unwrap()
+            .with_endpoint_contention(EndpointContention::Ignore)
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert!(TorusGeometry::new(0, 8.0).is_err());
+        assert!(TorusGeometry::new(2, 0.5).is_err());
+        assert!(TorusGeometry::new(2, f64::NAN).is_err());
+        assert!(TorusGeometry::new(2, 8.0).is_ok());
+    }
+
+    #[test]
+    fn geometry_nodes_and_with_nodes_agree() {
+        let g = TorusGeometry::with_nodes(2, 1000.0).unwrap();
+        assert!((g.nodes() - 1000.0).abs() < 1e-6);
+        assert!((g.radix() - 1000.0_f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq17_radix8_2d_torus() {
+        // Paper footnote 2: random mappings on the 64-node machine give
+        // expected distances of just over four hops.
+        let g = TorusGeometry::new(2, 8.0).unwrap();
+        let d = g.random_traffic_distance();
+        // 2 * 8^3 / (4 * 63) = 1024 / 252.
+        assert!((d - 1024.0 / 252.0).abs() < 1e-12);
+        assert!(d > 4.0 && d < 4.1);
+    }
+
+    #[test]
+    fn eq17_large_k_approaches_nk_over_4() {
+        // For large k, d -> n*k/4.
+        let g = TorusGeometry::new(2, 1000.0).unwrap();
+        let d = g.random_traffic_distance();
+        assert!((d - 500.0).abs() / 500.0 < 1e-3);
+    }
+
+    #[test]
+    fn eq17_single_node_is_zero() {
+        let g = TorusGeometry::new(2, 1.0).unwrap();
+        assert_eq!(g.random_traffic_distance(), 0.0);
+    }
+
+    #[test]
+    fn eq10_channel_utilization() {
+        let m = net();
+        // rho = r * B * k_d / 2 with k_d = d/n.
+        let rho = m.channel_utilization(0.01, 4.0);
+        assert!((rho - 0.01 * 12.0 * 2.0 / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturation_rate_inverts_utilization() {
+        let m = net();
+        let d = 6.0;
+        let r_sat = m.saturation_rate(d);
+        assert!((m.channel_utilization(r_sat, d) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq14_unloaded_per_hop_is_one() {
+        let m = net();
+        assert_eq!(m.per_hop_latency(0.0, 4.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn eq14_short_distance_extension() {
+        // Paper: for k_d < 1 messages encounter very little contention, so
+        // T_h is taken to be 1 regardless of utilization.
+        let m = net();
+        assert_eq!(m.per_hop_latency(0.9, 0.5).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn eq14_increases_with_utilization() {
+        let m = net();
+        let mut last = 0.0;
+        for i in 0..10 {
+            let rho = f64::from(i) * 0.1;
+            let t_h = m.per_hop_latency(rho, 4.0).unwrap();
+            assert!(t_h > last || i == 0);
+            last = t_h;
+        }
+    }
+
+    #[test]
+    fn eq14_saturation_is_error() {
+        let m = net();
+        assert!(matches!(
+            m.per_hop_latency(1.0, 4.0),
+            Err(ModelError::Saturated { .. })
+        ));
+    }
+
+    #[test]
+    fn eq14_known_value() {
+        // rho = 0.5, k_d = 4, n = 2, B = 12:
+        // T_h = 1 + 1 * 12 * (3/16) * (3/2) = 1 + 3.375.
+        let m = net();
+        let t_h = m.per_hop_latency(0.5, 4.0).unwrap();
+        assert!((t_h - 4.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq11_unloaded_latency_is_distance_plus_size() {
+        let m = net();
+        let t_m = m.message_latency(0.0, 6.0).unwrap();
+        assert!((t_m - (6.0 + 12.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq11_latency_increases_with_rate_and_distance() {
+        let m = net();
+        let low = m.message_latency(0.01, 4.0).unwrap();
+        let high = m.message_latency(0.05, 4.0).unwrap();
+        assert!(high > low);
+        let near = m.message_latency(0.01, 2.0).unwrap();
+        let far = m.message_latency(0.01, 6.0).unwrap();
+        assert!(far > near);
+    }
+
+    #[test]
+    fn eq16_limit_alewife_values() {
+        // Paper Section 4.1: s = 3.26, B = 12, n = 2 gives ~9.8 cycles.
+        let m = net();
+        let limit = m.limiting_per_hop_latency(3.26);
+        assert!((limit - 9.78).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq16_limit_floors_at_one() {
+        let m = net();
+        assert_eq!(m.limiting_per_hop_latency(0.01), 1.0);
+    }
+
+    #[test]
+    fn endpoint_wait_md1() {
+        let m = net().with_endpoint_contention(EndpointContention::MD1);
+        assert_eq!(m.endpoint_wait(0.0).unwrap(), 0.0);
+        // rho_c = 0.5: wait = 0.5*12 / (2*0.5) = 6.
+        let w = m.endpoint_wait(0.5 / 12.0).unwrap();
+        assert!((w - 6.0).abs() < 1e-9);
+        assert!(m.endpoint_wait(1.0 / 12.0).is_err());
+    }
+
+    #[test]
+    fn endpoint_wait_in_validation_range() {
+        // The paper reports 2–5 network cycles for the validation
+        // experiments; at moderate rates the M/D/1 term lands there.
+        let m = net().with_endpoint_contention(EndpointContention::MD1);
+        let w = m.endpoint_wait(0.02).unwrap();
+        assert!(w > 1.0 && w < 6.0, "wait = {w}");
+    }
+
+    #[test]
+    fn contention_size_raises_waits_only() {
+        let base = net();
+        let heavy = net().with_contention_size(16.0);
+        // Utilization unchanged.
+        assert_eq!(
+            base.channel_utilization(0.02, 4.0),
+            heavy.channel_utilization(0.02, 4.0)
+        );
+        // Per-hop contention grows with the residual-service correction.
+        let t_base = base.per_hop_latency(0.5, 4.0).unwrap();
+        let t_heavy = heavy.per_hop_latency(0.5, 4.0).unwrap();
+        assert!(t_heavy > t_base);
+        assert!(((t_heavy - 1.0) / (t_base - 1.0) - 16.0 / 12.0).abs() < 1e-9);
+        // Endpoint waits grow the same way.
+        let b = base
+            .with_endpoint_contention(EndpointContention::MD1)
+            .endpoint_wait(0.02)
+            .unwrap();
+        let h = heavy
+            .with_endpoint_contention(EndpointContention::MD1)
+            .endpoint_wait(0.02)
+            .unwrap();
+        assert!((h / b - 16.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn message_latency_includes_endpoint_term() {
+        let ignore = net();
+        let md1 = net().with_endpoint_contention(EndpointContention::MD1);
+        let r = 0.02;
+        let li = ignore.message_latency(r, 4.0).unwrap();
+        let lm = md1.message_latency(r, 4.0).unwrap();
+        assert!(lm > li);
+        assert!((lm - li - md1.endpoint_wait(r).unwrap()).abs() < 1e-12);
+    }
+}

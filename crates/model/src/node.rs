@@ -1,0 +1,229 @@
+//! The node model (Section 2.3 of the paper).
+//!
+//! The node model composes the [application model](crate::ApplicationModel)
+//! and [transaction model](crate::TransactionModel) to express a
+//! multiprocessor node's behavior in the units the interconnection network
+//! understands: message injection intervals versus message latency.
+//!
+//! Substituting Eqs. (7) and (8) into Eq. (6) yields the *application
+//! message curve* (Eq. 9):
+//!
+//! ```text
+//! T_m = (p * g / c) * t_m - (T_r + T_f) / c
+//! ```
+//!
+//! The slope `s = p * g / c` is the **latency sensitivity**: the larger
+//! `s`, the less sensitive the application's injection interval is to
+//! increases in message latency.
+
+use crate::application::ApplicationModel;
+use crate::error::Result;
+use crate::transaction::TransactionModel;
+
+/// Node model: a processor/memory node as seen by the interconnection
+/// network (Section 2.3). Derived from an application and a transaction
+/// model.
+///
+/// # Examples
+///
+/// ```
+/// use commloc_model::{ApplicationModel, NodeModel, TransactionModel};
+///
+/// # fn main() -> Result<(), commloc_model::ModelError> {
+/// let app = ApplicationModel::new(20.0, 2, 22.0)?;
+/// let txn = TransactionModel::new(2.0, 3.2, 88.0)?;
+/// let node = NodeModel::new(app, txn);
+/// // s = p*g/c = 2*3.2/2 = 3.2
+/// assert!((node.latency_sensitivity() - 3.2).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NodeModel {
+    application: ApplicationModel,
+    transaction: TransactionModel,
+}
+
+impl NodeModel {
+    /// Composes an application model and a transaction model into a node
+    /// model. Both component models have already validated their
+    /// parameters, so this constructor is infallible.
+    pub fn new(application: ApplicationModel, transaction: TransactionModel) -> Self {
+        Self {
+            application,
+            transaction,
+        }
+    }
+
+    /// The application component.
+    pub fn application(&self) -> &ApplicationModel {
+        &self.application
+    }
+
+    /// The transaction component.
+    pub fn transaction(&self) -> &TransactionModel {
+        &self.transaction
+    }
+
+    /// The latency sensitivity `s = p * g / c` — the slope of the
+    /// application message curve (Eq. 9). Proportional to the number of
+    /// outstanding transactions `p`.
+    pub fn latency_sensitivity(&self) -> f64 {
+        f64::from(self.application.contexts()) * self.transaction.messages_per_transaction()
+            / self.transaction.critical_path_messages()
+    }
+
+    /// The (positive) intercept magnitude of the application message curve,
+    /// `(T_r + T_f) / c` (Eq. 9).
+    pub fn curve_offset(&self) -> f64 {
+        (self.application.grain() + self.transaction.fixed_overhead())
+            / self.transaction.critical_path_messages()
+    }
+
+    /// The message latency the node can absorb at a given inter-message
+    /// injection time (Eq. 9): `T_m = s * t_m - offset`.
+    ///
+    /// This is the latency-bound branch; values below zero mean the node is
+    /// not latency-bound at that interval.
+    pub fn message_latency_for_interval(&self, message_interval: f64) -> f64 {
+        self.latency_sensitivity() * message_interval - self.curve_offset()
+    }
+
+    /// Inverts Eq. 9: the inter-message injection time a node settles at
+    /// when observing an average message latency `T_m`, respecting the
+    /// latency-masked floor of the application model.
+    pub fn message_interval_for_latency(&self, message_latency: f64) -> f64 {
+        let transaction_latency = self.transaction.transaction_latency(message_latency);
+        let issue_interval = self.application.issue_interval(transaction_latency);
+        self.transaction.message_interval(issue_interval)
+    }
+
+    /// The minimum inter-message injection time: the latency-masked issue
+    /// floor (Eq. 4) divided by the messages per transaction.
+    pub fn min_message_interval(&self) -> f64 {
+        self.transaction
+            .message_interval(self.application.min_issue_interval())
+    }
+
+    /// The message latency at which the node transitions from the
+    /// latency-masked to the latency-bound mode. For single-context nodes
+    /// this is zero (always latency-bound).
+    pub fn masking_latency_threshold(&self) -> f64 {
+        self.transaction
+            .message_latency_for_transaction(self.application.masking_threshold())
+    }
+
+    /// Convenience constructor validating raw parameters in one call:
+    /// grain `T_r`, contexts `p`, switch `T_s`, critical path `c`,
+    /// messages/transaction `g`, fixed overhead `T_f`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter-validation failures from
+    /// [`ApplicationModel::new`] and [`TransactionModel::new`].
+    pub fn from_parameters(
+        grain: f64,
+        contexts: u32,
+        context_switch: f64,
+        critical_path_messages: f64,
+        messages_per_transaction: f64,
+        fixed_overhead: f64,
+    ) -> Result<Self> {
+        Ok(Self::new(
+            ApplicationModel::new(grain, contexts, context_switch)?,
+            TransactionModel::new(
+                critical_path_messages,
+                messages_per_transaction,
+                fixed_overhead,
+            )?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(p: u32) -> NodeModel {
+        NodeModel::from_parameters(20.0, p, 22.0, 2.0, 3.2, 88.0).expect("valid")
+    }
+
+    #[test]
+    fn sensitivity_is_pg_over_c() {
+        assert!((node(1).latency_sensitivity() - 1.6).abs() < 1e-12);
+        assert!((node(2).latency_sensitivity() - 3.2).abs() < 1e-12);
+        assert!((node(4).latency_sensitivity() - 6.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sensitivity_proportional_to_contexts() {
+        // Section 2.3: s is proportional to p.
+        let s1 = node(1).latency_sensitivity();
+        for p in 2..=8 {
+            let sp = node(p).latency_sensitivity();
+            assert!((sp - f64::from(p) * s1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn curve_offset_is_grain_plus_fixed_over_c() {
+        let n = node(1);
+        assert!((n.curve_offset() - (20.0 + 88.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq9_line_matches_composition() {
+        // In the latency-bound regime the closed-form line (Eq. 9) and the
+        // composed inversion must agree exactly.
+        let n = node(2);
+        for latency in [200.0, 400.0, 1000.0] {
+            let t_m = n.message_interval_for_latency(latency);
+            let back = n.message_latency_for_interval(t_m);
+            assert!(
+                (back - latency).abs() < 1e-9,
+                "latency {latency}: got {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn interval_floor_in_masked_regime() {
+        let n = node(4);
+        // At zero latency the node issues at the masked floor.
+        let floor = n.min_message_interval();
+        assert!((n.message_interval_for_latency(0.0) - floor).abs() < 1e-12);
+        // Eq. 4 floor: (T_r + T_s) / g.
+        assert!((floor - (20.0 + 22.0) / 3.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn masking_threshold_consistent_with_application() {
+        let n = node(4);
+        let threshold = n.masking_latency_threshold();
+        // Slightly above the threshold the node is latency-bound, i.e. its
+        // interval exceeds the floor.
+        let above = n.message_interval_for_latency(threshold + 1.0);
+        assert!(above > n.min_message_interval());
+        // At or below it, the interval is pinned at the floor.
+        let below = n.message_interval_for_latency(threshold * 0.5);
+        assert!((below - n.min_message_interval()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_context_has_zero_threshold() {
+        assert_eq!(node(1).masking_latency_threshold(), 0.0);
+    }
+
+    #[test]
+    fn interval_monotone_in_latency() {
+        let n = node(2);
+        let mut last = 0.0;
+        for i in 0..200 {
+            let latency = f64::from(i) * 10.0;
+            let interval = n.message_interval_for_latency(latency);
+            assert!(interval >= last);
+            last = interval;
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Machine-size scaling analyses (Section 4.1, Figure 6 of the paper).
+//!
+//! As machine sizes scale and random-mapping communication distances grow,
+//! the feedback between applications and networks drives the average
+//! per-hop latency `T_h` toward the finite limit of Eq. 16. These helpers
+//! sweep machine size and report the trajectory.
+
+use crate::error::Result;
+use crate::machine::MachineConfig;
+
+/// One point of a machine-size sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ScalingPoint {
+    /// Machine size `N` (processors).
+    pub nodes: f64,
+    /// Random-mapping communication distance at this size (Eq. 17, hops).
+    pub distance: f64,
+    /// Solved average per-hop latency `T_h` (network cycles).
+    pub per_hop_latency: f64,
+    /// Solved channel utilization `rho`.
+    pub channel_utilization: f64,
+    /// Solved per-processor transaction rate `r_t`.
+    pub transaction_rate: f64,
+    /// Solved average message latency `T_m` (network cycles).
+    pub message_latency: f64,
+}
+
+/// Sweeps machine size, assuming random communication patterns (Eq. 17),
+/// and reports the per-hop latency trajectory of Figure 6.
+///
+/// # Errors
+///
+/// Propagates model-construction or solver failures at any size.
+///
+/// # Examples
+///
+/// ```
+/// use commloc_model::{per_hop_latency_curve, MachineConfig};
+///
+/// # fn main() -> Result<(), commloc_model::ModelError> {
+/// let machine = MachineConfig::alewife().with_contexts(2);
+/// let curve = per_hop_latency_curve(&machine, &[64.0, 4096.0])?;
+/// assert!(curve[1].per_hop_latency > curve[0].per_hop_latency);
+/// # Ok(())
+/// # }
+/// ```
+pub fn per_hop_latency_curve(
+    config: &MachineConfig,
+    sizes: &[f64],
+) -> Result<Vec<ScalingPoint>> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let cfg = config.with_nodes(n);
+            let model = cfg.to_combined_model()?;
+            let distance = cfg.random_mapping_distance()?;
+            let op = model.solve(distance)?;
+            Ok(ScalingPoint {
+                nodes: n,
+                distance,
+                per_hop_latency: op.per_hop_latency,
+                channel_utilization: op.channel_utilization,
+                transaction_rate: op.transaction_rate,
+                message_latency: op.message_latency,
+            })
+        })
+        .collect()
+}
+
+/// The Eq. 16 limiting per-hop latency for this configuration:
+/// `max(1, B * s / (2n))`.
+pub fn limiting_per_hop_latency(config: &MachineConfig) -> f64 {
+    let s = config.latency_sensitivity();
+    (config.message_size() * s / (2.0 * f64::from(config.dimension()))).max(1.0)
+}
+
+/// The machine size at which the solved per-hop latency first reaches
+/// `fraction` of its limiting value, searching the given sizes in order.
+/// Returns `None` if it never does within the sweep.
+///
+/// The paper observes that applications with small computation grain reach
+/// over eighty percent of the limit "with a few thousand processors".
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn size_reaching_fraction_of_limit(
+    config: &MachineConfig,
+    sizes: &[f64],
+    fraction: f64,
+) -> Result<Option<f64>> {
+    let limit = limiting_per_hop_latency(config);
+    for point in per_hop_latency_curve(config, sizes)? {
+        if point.per_hop_latency >= fraction * limit {
+            return Ok(Some(point.nodes));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gain::log_spaced_sizes;
+
+    fn two_context() -> MachineConfig {
+        MachineConfig::alewife().with_contexts(2)
+    }
+
+    #[test]
+    fn limit_matches_paper_value() {
+        // s = 3.2 (our calibration; paper measured 3.26), B = 12, n = 2
+        // gives a limit near 9.8 network cycles.
+        let limit = limiting_per_hop_latency(&two_context());
+        assert!((limit - 9.6).abs() < 0.3, "limit = {limit}");
+    }
+
+    #[test]
+    fn per_hop_latency_rises_toward_limit() {
+        let cfg = two_context();
+        let sizes = log_spaced_sizes(64.0, 1e7, 2);
+        let curve = per_hop_latency_curve(&cfg, &sizes).unwrap();
+        let limit = limiting_per_hop_latency(&cfg);
+        for pair in curve.windows(2) {
+            assert!(pair[1].per_hop_latency >= pair[0].per_hop_latency - 1e-9);
+        }
+        let last = curve.last().unwrap();
+        assert!(last.per_hop_latency <= limit + 1e-6);
+        assert!(last.per_hop_latency > 0.95 * limit);
+    }
+
+    #[test]
+    fn small_grain_reaches_limit_by_a_few_thousand_processors() {
+        // Paper Figure 6: the small-grain application reaches over 80% of
+        // the limiting T_h with a few thousand processors.
+        let cfg = two_context();
+        let sizes = log_spaced_sizes(64.0, 1e6, 8);
+        let n = size_reaching_fraction_of_limit(&cfg, &sizes, 0.8)
+            .unwrap()
+            .expect("limit fraction reached");
+        assert!(n <= 10_000.0, "reached 80% only at N = {n}");
+    }
+
+    #[test]
+    fn large_grain_approaches_same_limit_more_slowly() {
+        // Paper Figure 6 dashed line: 10x grain, same limit, slower
+        // approach.
+        let small = two_context();
+        let large = two_context().with_grain(small.grain() * 10.0);
+        assert_eq!(
+            limiting_per_hop_latency(&small),
+            limiting_per_hop_latency(&large)
+        );
+        let sizes = log_spaced_sizes(64.0, 1e6, 4);
+        let small_curve = per_hop_latency_curve(&small, &sizes).unwrap();
+        let large_curve = per_hop_latency_curve(&large, &sizes).unwrap();
+        for (s, l) in small_curve.iter().zip(&large_curve) {
+            assert!(
+                l.per_hop_latency <= s.per_hop_latency + 1e-9,
+                "N={}: large grain {} vs small grain {}",
+                s.nodes,
+                l.per_hop_latency,
+                s.per_hop_latency
+            );
+        }
+        // At huge sizes the large-grain curve also closes on the limit.
+        let limit = limiting_per_hop_latency(&large);
+        let n = size_reaching_fraction_of_limit(&large, &sizes, 0.8)
+            .unwrap()
+            .expect("large grain eventually approaches the limit");
+        assert!(n > 1000.0, "10x grain reached 80% of {limit} at N={n}");
+    }
+
+    #[test]
+    fn utilization_approaches_one_at_scale() {
+        // The mechanism behind Eq. 16: channels saturate while T_h stays
+        // finite.
+        let curve = per_hop_latency_curve(&two_context(), &[1e6]).unwrap();
+        assert!(curve[0].channel_utilization > 0.9);
+        assert!(curve[0].channel_utilization < 1.0);
+    }
+}

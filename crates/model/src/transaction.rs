@@ -1,0 +1,175 @@
+//! The transaction model (Section 2.2 of the paper).
+//!
+//! A *communication transaction* is the unit of inter-processor
+//! communication seen by the application — in the paper's experiments,
+//! a cache-coherency transaction. Satisfying one transaction requires
+//! `g` network messages on average, of which `c` lie on the critical path,
+//! plus a fixed overhead `T_f` (send/receive overhead, coherence
+//! processing, memory access):
+//!
+//! * `T_t = c * T_m + T_f`   (Eq. 7)
+//! * `t_t = g * t_m`         (Eq. 8)
+
+use crate::error::{ensure_non_negative, ensure_positive, Result};
+
+/// Transaction model: how communication transactions decompose into
+/// network messages (Section 2.2).
+///
+/// # Examples
+///
+/// ```
+/// use commloc_model::TransactionModel;
+///
+/// # fn main() -> Result<(), commloc_model::ModelError> {
+/// // Request/response critical path (c = 2), 3.2 messages per
+/// // transaction, 88 network cycles of fixed overhead — the calibrated
+/// // Alewife-like values.
+/// let txn = TransactionModel::new(2.0, 3.2, 88.0)?;
+/// assert_eq!(txn.transaction_latency(50.0), 2.0 * 50.0 + 88.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TransactionModel {
+    critical_path_messages: f64,
+    messages_per_transaction: f64,
+    fixed_overhead: f64,
+}
+
+impl TransactionModel {
+    /// Creates a transaction model.
+    ///
+    /// * `critical_path_messages` — `c`, the number of messages whose
+    ///   latency is serialized into the transaction latency. Simple
+    ///   request/response mechanisms have `c = 2`.
+    /// * `messages_per_transaction` — `g`, the average total number of
+    ///   messages a transaction injects into the network.
+    /// * `fixed_overhead` — `T_f`, cycles of latency independent of the
+    ///   network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`](crate::ModelError) if `c`
+    /// or `g` is not strictly positive, if `g < c` (the critical path
+    /// cannot exceed the total message count), or if `T_f` is negative.
+    pub fn new(
+        critical_path_messages: f64,
+        messages_per_transaction: f64,
+        fixed_overhead: f64,
+    ) -> Result<Self> {
+        let c = ensure_positive("c", critical_path_messages)?;
+        let g = ensure_positive("g", messages_per_transaction)?;
+        let fixed_overhead = ensure_non_negative("T_f", fixed_overhead)?;
+        if g < c {
+            return Err(crate::ModelError::InvalidParameter {
+                name: "g",
+                value: g,
+                reason: "messages per transaction must be at least the critical-path count",
+            });
+        }
+        Ok(Self {
+            critical_path_messages: c,
+            messages_per_transaction: g,
+            fixed_overhead,
+        })
+    }
+
+    /// `c`, the number of messages on the transaction critical path.
+    pub fn critical_path_messages(&self) -> f64 {
+        self.critical_path_messages
+    }
+
+    /// `g`, the average number of messages per transaction.
+    pub fn messages_per_transaction(&self) -> f64 {
+        self.messages_per_transaction
+    }
+
+    /// `T_f`, the fixed (network-independent) transaction overhead.
+    pub fn fixed_overhead(&self) -> f64 {
+        self.fixed_overhead
+    }
+
+    /// Average transaction latency for a given average message latency
+    /// (Eq. 7): `T_t = c * T_m + T_f`.
+    pub fn transaction_latency(&self, message_latency: f64) -> f64 {
+        self.critical_path_messages * message_latency + self.fixed_overhead
+    }
+
+    /// Inverts Eq. 7: the message latency implied by a transaction
+    /// latency. Clamped at zero.
+    pub fn message_latency_for_transaction(&self, transaction_latency: f64) -> f64 {
+        ((transaction_latency - self.fixed_overhead) / self.critical_path_messages).max(0.0)
+    }
+
+    /// Average inter-message injection time from the inter-transaction
+    /// issue time (Eq. 8 rearranged): `t_m = t_t / g`.
+    pub fn message_interval(&self, issue_interval: f64) -> f64 {
+        issue_interval / self.messages_per_transaction
+    }
+
+    /// Average inter-transaction issue time from the inter-message
+    /// injection time (Eq. 8): `t_t = g * t_m`.
+    pub fn issue_interval(&self, message_interval: f64) -> f64 {
+        self.messages_per_transaction * message_interval
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txn() -> TransactionModel {
+        TransactionModel::new(2.0, 3.2, 88.0).expect("valid model")
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(TransactionModel::new(0.0, 3.2, 88.0).is_err());
+        assert!(TransactionModel::new(2.0, 0.0, 88.0).is_err());
+        assert!(TransactionModel::new(2.0, 3.2, -1.0).is_err());
+        assert!(TransactionModel::new(4.0, 3.2, 0.0).is_err(), "g < c");
+        assert!(TransactionModel::new(f64::INFINITY, 3.2, 0.0).is_err());
+    }
+
+    #[test]
+    fn eq7_transaction_latency() {
+        let t = txn();
+        assert_eq!(t.transaction_latency(0.0), 88.0);
+        assert_eq!(t.transaction_latency(100.0), 288.0);
+    }
+
+    #[test]
+    fn eq7_inversion_round_trips() {
+        let t = txn();
+        for latency in [0.0, 13.0, 500.0] {
+            let total = t.transaction_latency(latency);
+            let back = t.message_latency_for_transaction(total);
+            assert!((back - latency).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn eq7_inversion_clamps_below_fixed_overhead() {
+        let t = txn();
+        assert_eq!(t.message_latency_for_transaction(10.0), 0.0);
+    }
+
+    #[test]
+    fn eq8_interval_relations() {
+        let t = txn();
+        assert!((t.message_interval(320.0) - 100.0).abs() < 1e-12);
+        assert!((t.issue_interval(100.0) - 320.0).abs() < 1e-12);
+        // Round trip.
+        let t_t = 123.456;
+        assert!((t.issue_interval(t.message_interval(t_t)) - t_t).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accessors_expose_parameters() {
+        let t = txn();
+        assert_eq!(t.critical_path_messages(), 2.0);
+        assert_eq!(t.messages_per_transaction(), 3.2);
+        assert_eq!(t.fixed_overhead(), 88.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Cycle-level wormhole-routed k-ary n-cube torus network simulator.
+//!
+//! This crate implements the interconnection-network substrate of the
+//! validation experiments in Johnson, *"The Impact of Communication
+//! Locality on Large-Scale Multiprocessor Performance"* (ISCA 1992): a
+//! packet-switched torus with separate unidirectional channels in both
+//! directions of every dimension, wormhole flow control, deterministic
+//! e-cube routing, and a one-cycle base switch delay — the Alewife-style
+//! mesh network of the paper's Section 3, plus dateline virtual channels
+//! for torus deadlock freedom.
+//!
+//! # Structure
+//!
+//! * [`Torus`] — geometry: coordinates, neighbors, minimal distances.
+//! * [`routing`] — e-cube dimension-order routing and dateline VC classes.
+//! * [`Fabric`] — routers, links, and network interfaces; advance it one
+//!   network cycle at a time with [`Fabric::step`].
+//! * [`FabricStats`] — measured `T_m`, `T_h`, `r_m`, and channel
+//!   utilization, matching the quantities of the paper's network model.
+//! * [`traffic`] — open-loop synthetic load for standalone validation.
+//!
+//! # Quick start
+//!
+//! ```
+//! use commloc_net::{Fabric, FabricConfig, Message, NodeId, Torus};
+//!
+//! // The paper's 64-node machine: an 8x8 torus.
+//! let mut fabric = Fabric::new(Torus::new(2, 8), FabricConfig::default());
+//! // A 12-flit message (96 bits over 8-bit channels).
+//! fabric.inject(Message::new(NodeId(0), NodeId(10), 12, ()));
+//! while fabric.in_flight() > 0 {
+//!     fabric.step();
+//! }
+//! let d = fabric.poll_delivery(NodeId(10)).expect("delivered");
+//! assert_eq!(d.hops, 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod fabric;
+mod message;
+mod router;
+pub mod routing;
+mod stats;
+mod topology;
+pub mod traffic;
+
+pub use fabric::{Fabric, FabricConfig};
+pub use message::{Delivery, Flit, FlitKind, Message, MessageId};
+pub use stats::FabricStats;
+pub use topology::{Direction, NodeId, Torus};

@@ -1,0 +1,194 @@
+//! Messages and flits.
+//!
+//! A message is the unit of communication the fabric's clients see; inside
+//! the fabric it travels as a *wormhole* of flits — a head flit that
+//! carries routing information, body flits, and a tail flit that releases
+//! the channels the worm holds. Only flit bookkeeping moves through router
+//! buffers; payloads are held in a side table and surface again at
+//! delivery.
+
+use crate::topology::NodeId;
+
+/// Unique identifier of a message within one fabric instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MessageId(pub u64);
+
+/// Position of a flit within its message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlitKind {
+    /// First flit; carries the route.
+    Head,
+    /// Interior flit.
+    Body,
+    /// Last flit; releases wormhole channel locks.
+    Tail,
+    /// Single-flit message: head and tail at once.
+    HeadTail,
+}
+
+impl FlitKind {
+    /// Whether this flit starts a message (acquires routes/channels).
+    pub fn is_head(self) -> bool {
+        matches!(self, FlitKind::Head | FlitKind::HeadTail)
+    }
+
+    /// Whether this flit ends a message (releases channels).
+    pub fn is_tail(self) -> bool {
+        matches!(self, FlitKind::Tail | FlitKind::HeadTail)
+    }
+}
+
+/// A flow-control digit: the unit of buffer space and channel bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Flit {
+    /// The message this flit belongs to.
+    pub message: MessageId,
+    /// Head/body/tail marker.
+    pub kind: FlitKind,
+}
+
+/// A message travelling through the fabric, carrying a caller-defined
+/// payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message<P> {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Message length in flits (including head and tail). Determines how
+    /// many cycles of channel bandwidth the message consumes per hop.
+    pub length: u32,
+    /// Caller payload, returned intact at delivery.
+    pub payload: P,
+}
+
+impl<P> Message<P> {
+    /// Creates a message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is zero — a message must contain at least one
+    /// flit.
+    pub fn new(src: NodeId, dst: NodeId, length: u32, payload: P) -> Self {
+        assert!(length > 0, "message must be at least one flit long");
+        Self {
+            src,
+            dst,
+            length,
+            payload,
+        }
+    }
+
+    /// The flit kind at position `index` (0-based) of this message.
+    pub fn flit_kind(&self, index: u32) -> FlitKind {
+        debug_assert!(index < self.length);
+        if self.length == 1 {
+            FlitKind::HeadTail
+        } else if index == 0 {
+            FlitKind::Head
+        } else if index == self.length - 1 {
+            FlitKind::Tail
+        } else {
+            FlitKind::Body
+        }
+    }
+}
+
+/// A delivered message together with its timing record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery<P> {
+    /// The message, payload intact.
+    pub message: Message<P>,
+    /// Cycle the message entered the source node's injection queue.
+    pub enqueued_at: u64,
+    /// Cycle the head flit left the source network interface (start of
+    /// actual network transmission).
+    pub injected_at: u64,
+    /// Cycle the head flit was ejected at the destination.
+    pub head_delivered_at: u64,
+    /// Cycle the tail flit was ejected (the message is complete).
+    pub delivered_at: u64,
+    /// Network hops traversed (the torus distance from source to
+    /// destination).
+    pub hops: u32,
+}
+
+impl<P> Delivery<P> {
+    /// Total message latency as the paper's `T_m` measures it: from
+    /// entering the source queue to complete delivery.
+    pub fn total_latency(&self) -> u64 {
+        self.delivered_at - self.enqueued_at
+    }
+
+    /// Latency of the head flit through the network proper (excludes
+    /// source queueing).
+    pub fn head_network_latency(&self) -> u64 {
+        self.head_delivered_at - self.injected_at
+    }
+
+    /// Average per-hop latency of the head flit (`T_h` as measured);
+    /// `None` for zero-hop (self) deliveries.
+    pub fn per_hop_latency(&self) -> Option<f64> {
+        if self.hops == 0 {
+            None
+        } else {
+            Some(self.head_network_latency() as f64 / f64::from(self.hops))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flit_kinds_by_position() {
+        let m = Message::new(NodeId(0), NodeId(1), 4, ());
+        assert_eq!(m.flit_kind(0), FlitKind::Head);
+        assert_eq!(m.flit_kind(1), FlitKind::Body);
+        assert_eq!(m.flit_kind(2), FlitKind::Body);
+        assert_eq!(m.flit_kind(3), FlitKind::Tail);
+    }
+
+    #[test]
+    fn single_flit_message_is_head_tail() {
+        let m = Message::new(NodeId(0), NodeId(1), 1, ());
+        assert_eq!(m.flit_kind(0), FlitKind::HeadTail);
+        assert!(m.flit_kind(0).is_head());
+        assert!(m.flit_kind(0).is_tail());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn zero_length_panics() {
+        Message::new(NodeId(0), NodeId(1), 0, ());
+    }
+
+    #[test]
+    fn delivery_latency_accessors() {
+        let d = Delivery {
+            message: Message::new(NodeId(0), NodeId(3), 12, 42u32),
+            enqueued_at: 100,
+            injected_at: 104,
+            head_delivered_at: 110,
+            delivered_at: 121,
+            hops: 3,
+        };
+        assert_eq!(d.total_latency(), 21);
+        assert_eq!(d.head_network_latency(), 6);
+        assert_eq!(d.per_hop_latency(), Some(2.0));
+    }
+
+    #[test]
+    fn zero_hop_delivery_has_no_per_hop() {
+        let d = Delivery {
+            message: Message::new(NodeId(0), NodeId(0), 1, ()),
+            enqueued_at: 0,
+            injected_at: 0,
+            head_delivered_at: 1,
+            delivered_at: 1,
+            hops: 0,
+        };
+        assert_eq!(d.per_hop_latency(), None);
+    }
+}

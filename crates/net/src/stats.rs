@@ -1,0 +1,239 @@
+//! Fabric statistics: latency, rate, and channel-utilization measurement.
+//!
+//! Counters accumulate from construction or the last
+//! [`reset`](FabricStats::reset); latency statistics are recorded at
+//! delivery time. The accessors expose the quantities the paper's
+//! validation experiments measure: average message latency `T_m`, average
+//! per-hop latency `T_h`, per-node injection rate `r_m`, and network
+//! channel utilization `rho`.
+
+/// Statistics collected by a [`Fabric`](crate::Fabric).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Cycles elapsed in the current measurement window.
+    pub cycles: u64,
+    /// Absolute cycle at which the window started.
+    pub window_start: u64,
+    /// Flits that crossed inter-router links.
+    pub link_flits: u64,
+    /// Busy cycles per inter-router link (`node * link_ports + port`).
+    pub link_busy: Vec<u64>,
+    /// Busy cycles per injection channel.
+    pub injection_busy: Vec<u64>,
+    /// Busy cycles per ejection channel.
+    pub ejection_busy: Vec<u64>,
+    /// Messages whose first flit entered the network in this window.
+    pub injected_messages: u64,
+    /// Flits injected in this window.
+    pub injected_flits: u64,
+    /// Messages fully delivered in this window.
+    pub delivered_messages: u64,
+    /// Flits of messages fully delivered in this window.
+    pub delivered_flits: u64,
+    /// Sum of squared message lengths over deliveries (for the
+    /// residual-service size `E[B^2]/E[B]`).
+    pub delivered_flits_sq: u64,
+    /// Sum over deliveries of total latency (enqueue to tail delivery).
+    pub sum_total_latency: u64,
+    /// Sum over deliveries of head network latency (injection to head
+    /// ejection), network-crossing messages only.
+    pub sum_head_latency: u64,
+    /// Sum of hop counts over network-crossing deliveries.
+    pub sum_hops: u64,
+    /// Network-crossing deliveries (hops > 0).
+    pub network_deliveries: u64,
+    /// Sum over deliveries of source-queue wait (enqueue to injection).
+    pub sum_queue_wait: u64,
+}
+
+impl FabricStats {
+    pub(crate) fn new(nodes: usize, link_ports: usize) -> Self {
+        Self {
+            cycles: 0,
+            window_start: 0,
+            link_flits: 0,
+            link_busy: vec![0; nodes * link_ports],
+            injection_busy: vec![0; nodes],
+            ejection_busy: vec![0; nodes],
+            injected_messages: 0,
+            injected_flits: 0,
+            delivered_messages: 0,
+            delivered_flits: 0,
+            delivered_flits_sq: 0,
+            sum_total_latency: 0,
+            sum_head_latency: 0,
+            sum_hops: 0,
+            network_deliveries: 0,
+            sum_queue_wait: 0,
+        }
+    }
+
+    pub(crate) fn reset(&mut self, now: u64) {
+        let nodes = self.injection_busy.len();
+        let links = self.link_busy.len();
+        *self = Self::new(nodes, links.checked_div(nodes).unwrap_or(0));
+        self.window_start = now;
+    }
+
+    pub(crate) fn record_delivery(
+        &mut self,
+        total_latency: u64,
+        head_latency: u64,
+        hops: u32,
+        queue_wait: u64,
+        length: u32,
+    ) {
+        self.delivered_messages += 1;
+        self.delivered_flits += u64::from(length);
+        self.delivered_flits_sq += u64::from(length) * u64::from(length);
+        self.sum_total_latency += total_latency;
+        self.sum_queue_wait += queue_wait;
+        if hops > 0 {
+            self.sum_head_latency += head_latency;
+            self.sum_hops += u64::from(hops);
+            self.network_deliveries += 1;
+        }
+    }
+
+    /// Average total message latency `T_m` over deliveries in this window
+    /// (enqueue to complete delivery), in network cycles.
+    pub fn avg_message_latency(&self) -> f64 {
+        ratio(self.sum_total_latency, self.delivered_messages)
+    }
+
+    /// Average source-queue wait per delivered message.
+    pub fn avg_queue_wait(&self) -> f64 {
+        ratio(self.sum_queue_wait, self.delivered_messages)
+    }
+
+    /// Average hops per network-crossing delivery — the measured
+    /// communication distance `d`.
+    pub fn avg_distance(&self) -> f64 {
+        ratio(self.sum_hops, self.network_deliveries)
+    }
+
+    /// Hop-weighted average per-hop head latency `T_h`: total head network
+    /// latency (minus one cycle per message for the injection-channel
+    /// crossing) divided by total hops.
+    pub fn avg_per_hop_latency(&self) -> f64 {
+        if self.sum_hops == 0 {
+            return 0.0;
+        }
+        let in_network = self.sum_head_latency.saturating_sub(self.network_deliveries);
+        in_network as f64 / self.sum_hops as f64
+    }
+
+    /// Aggregate message injection rate over the window (messages per
+    /// cycle, whole machine).
+    pub fn injection_rate(&self) -> f64 {
+        ratio(self.injected_messages, self.cycles)
+    }
+
+    /// Per-node message injection rate `r_m` (messages per cycle per
+    /// node).
+    pub fn per_node_injection_rate(&self) -> f64 {
+        self.injection_rate() / self.injection_busy.len() as f64
+    }
+
+    /// Mean utilization of inter-router network channels `rho`.
+    pub fn channel_utilization(&self) -> f64 {
+        if self.cycles == 0 || self.link_busy.is_empty() {
+            return 0.0;
+        }
+        let busy: u64 = self.link_busy.iter().sum();
+        busy as f64 / (self.cycles as f64 * self.link_busy.len() as f64)
+    }
+
+    /// Peak utilization across individual network channels.
+    pub fn max_channel_utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.link_busy
+            .iter()
+            .map(|&b| b as f64 / self.cycles as f64)
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean utilization of the injection channels.
+    pub fn injection_utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.injection_busy.iter().sum();
+        busy as f64 / (self.cycles as f64 * self.injection_busy.len() as f64)
+    }
+
+    /// Average delivered message size in flits.
+    pub fn avg_message_size(&self) -> f64 {
+        ratio(self.delivered_flits, self.delivered_messages)
+    }
+
+    /// Residual-service message size `E[B^2]/E[B]` — the size that
+    /// governs waiting times when message sizes vary (M/G/1).
+    pub fn residual_message_size(&self) -> f64 {
+        ratio(self.delivered_flits_sq, self.delivered_flits)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = FabricStats::new(4, 4);
+        assert_eq!(s.avg_message_latency(), 0.0);
+        assert_eq!(s.avg_per_hop_latency(), 0.0);
+        assert_eq!(s.channel_utilization(), 0.0);
+        assert_eq!(s.injection_rate(), 0.0);
+    }
+
+    #[test]
+    fn record_delivery_accumulates() {
+        let mut s = FabricStats::new(4, 4);
+        s.cycles = 100;
+        s.record_delivery(20, 6, 5, 2, 12);
+        s.record_delivery(30, 0, 0, 4, 4); // loopback
+        assert_eq!(s.delivered_messages, 2);
+        assert_eq!(s.network_deliveries, 1);
+        assert_eq!(s.avg_message_latency(), 25.0);
+        assert_eq!(s.avg_queue_wait(), 3.0);
+        assert_eq!(s.avg_distance(), 5.0);
+        // Per-hop excludes the injection-channel cycle: (6-1)/5.
+        assert_eq!(s.avg_per_hop_latency(), 1.0);
+        assert_eq!(s.avg_message_size(), 8.0);
+        // E[B^2]/E[B] = (144 + 16) / 16 = 10.
+        assert_eq!(s.residual_message_size(), 10.0);
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut s = FabricStats::new(2, 4);
+        s.cycles = 10;
+        s.link_busy[0] = 10;
+        s.link_busy[3] = 5;
+        // 8 channels, 15 busy cycles over 10 cycles.
+        assert!((s.channel_utilization() - 15.0 / 80.0).abs() < 1e-12);
+        assert_eq!(s.max_channel_utilization(), 1.0);
+    }
+
+    #[test]
+    fn reset_clears_and_stamps_window() {
+        let mut s = FabricStats::new(2, 4);
+        s.cycles = 50;
+        s.link_busy[1] = 7;
+        s.reset(123);
+        assert_eq!(s.cycles, 0);
+        assert_eq!(s.window_start, 123);
+        assert_eq!(s.link_busy, vec![0; 8]);
+    }
+}

@@ -1,0 +1,298 @@
+//! k-ary n-dimensional torus topology: coordinates, distances, and
+//! neighbor relations.
+//!
+//! The simulated interconnect matches the paper's Section 3 architecture:
+//! a torus with separate unidirectional channels in both directions of
+//! every dimension. This module is purely geometric; routing policy lives
+//! in [`crate::routing`].
+
+use std::fmt;
+
+/// Identifies a node (and its router) in the fabric. Node ids are the
+/// row-major linearization of torus coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Direction of travel along a torus dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Increasing coordinate (with wraparound `k-1 -> 0`).
+    Plus,
+    /// Decreasing coordinate (with wraparound `0 -> k-1`).
+    Minus,
+}
+
+impl Direction {
+    /// Both directions, in canonical order.
+    pub const ALL: [Direction; 2] = [Direction::Plus, Direction::Minus];
+
+    /// The canonical index of the direction (Plus = 0, Minus = 1).
+    pub fn index(self) -> usize {
+        match self {
+            Direction::Plus => 0,
+            Direction::Minus => 1,
+        }
+    }
+}
+
+/// A k-ary n-dimensional torus.
+///
+/// # Examples
+///
+/// ```
+/// use commloc_net::{NodeId, Torus};
+///
+/// let torus = Torus::new(2, 8); // the paper's 8x8 machine
+/// assert_eq!(torus.nodes(), 64);
+/// // Opposite corners of an 8x8 torus are 4+4 hops apart.
+/// assert_eq!(torus.distance(NodeId(0), torus.node_at(&[4, 4])), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Torus {
+    radix: usize,
+    dims: u32,
+}
+
+impl Torus {
+    /// Creates a torus with `dims` dimensions of radix `radix`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is zero or `radix` is zero (a torus needs at least
+    /// one node per ring).
+    pub fn new(dims: u32, radix: usize) -> Self {
+        assert!(dims > 0, "torus must have at least one dimension");
+        assert!(radix > 0, "torus radix must be at least 1");
+        Self { radix, dims }
+    }
+
+    /// The number of dimensions `n`.
+    pub fn dims(&self) -> u32 {
+        self.dims
+    }
+
+    /// The per-dimension radix `k`.
+    pub fn radix(&self) -> usize {
+        self.radix
+    }
+
+    /// Total number of nodes `k^n`.
+    pub fn nodes(&self) -> usize {
+        self.radix.pow(self.dims)
+    }
+
+    /// The coordinates of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn coordinates(&self, node: NodeId) -> Vec<usize> {
+        assert!(node.0 < self.nodes(), "node {node} out of range");
+        let mut rest = node.0;
+        let mut coords = vec![0; self.dims as usize];
+        for c in coords.iter_mut() {
+            *c = rest % self.radix;
+            rest /= self.radix;
+        }
+        coords
+    }
+
+    /// The node at the given coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate count does not match the dimension count
+    /// or any coordinate is out of range.
+    pub fn node_at(&self, coords: &[usize]) -> NodeId {
+        assert_eq!(
+            coords.len(),
+            self.dims as usize,
+            "coordinate count must equal dimension count"
+        );
+        let mut id = 0;
+        for (i, &c) in coords.iter().enumerate().rev() {
+            assert!(c < self.radix, "coordinate {c} out of range in dim {i}");
+            id = id * self.radix + c;
+        }
+        NodeId(id)
+    }
+
+    /// The coordinate of `node` in dimension `dim` only (cheaper than
+    /// materializing all coordinates).
+    pub fn coordinate(&self, node: NodeId, dim: u32) -> usize {
+        (node.0 / self.radix.pow(dim)) % self.radix
+    }
+
+    /// The neighbor of `node` one hop away in `dim`/`direction`.
+    pub fn neighbor(&self, node: NodeId, dim: u32, direction: Direction) -> NodeId {
+        let mut coords = self.coordinates(node);
+        let c = coords[dim as usize];
+        coords[dim as usize] = match direction {
+            Direction::Plus => (c + 1) % self.radix,
+            Direction::Minus => (c + self.radix - 1) % self.radix,
+        };
+        self.node_at(&coords)
+    }
+
+    /// Minimal hop distance between `a` and `b` in a single dimension's
+    /// ring, given their coordinates in that dimension.
+    pub fn ring_distance(&self, from: usize, to: usize) -> usize {
+        let fwd = (to + self.radix - from) % self.radix;
+        fwd.min(self.radix - fwd)
+    }
+
+    /// The minimal-direction hop count and direction of travel in one
+    /// dimension. Ties (exactly half way around an even ring) resolve to
+    /// [`Direction::Plus`], matching the deterministic e-cube router.
+    pub fn ring_step(&self, from: usize, to: usize) -> (usize, Direction) {
+        let fwd = (to + self.radix - from) % self.radix;
+        let bwd = self.radix - fwd;
+        if fwd == 0 {
+            (0, Direction::Plus)
+        } else if fwd <= bwd {
+            (fwd, Direction::Plus)
+        } else {
+            (bwd, Direction::Minus)
+        }
+    }
+
+    /// Minimal torus (hop) distance between two nodes — the number of
+    /// network hops an e-cube-routed message between them traverses.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> usize {
+        (0..self.dims)
+            .map(|d| self.ring_distance(self.coordinate(a, d), self.coordinate(b, d)))
+            .sum()
+    }
+
+    /// Average distance between all ordered pairs of *distinct* nodes —
+    /// the exact finite-machine counterpart of the paper's Eq. 17.
+    pub fn mean_pairwise_distance(&self) -> f64 {
+        let n = self.nodes();
+        if n <= 1 {
+            return 0.0;
+        }
+        // Sum of distances from one node to all others; by symmetry every
+        // source sees the same multiset of distances.
+        let origin = NodeId(0);
+        let total: usize = (0..n)
+            .filter(|&i| i != origin.0)
+            .map(|i| self.distance(origin, NodeId(i)))
+            .sum();
+        total as f64 / (n - 1) as f64
+    }
+
+    /// Iterator over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes()).map(NodeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn zero_dims_panics() {
+        Torus::new(0, 8);
+    }
+
+    #[test]
+    fn coordinates_round_trip() {
+        let t = Torus::new(3, 5);
+        for id in t.node_ids() {
+            let coords = t.coordinates(id);
+            assert_eq!(t.node_at(&coords), id);
+            for (d, &c) in coords.iter().enumerate() {
+                assert_eq!(t.coordinate(id, d as u32), c);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_wraps_around() {
+        let t = Torus::new(2, 8);
+        let corner = t.node_at(&[7, 0]);
+        assert_eq!(t.neighbor(corner, 0, Direction::Plus), t.node_at(&[0, 0]));
+        assert_eq!(t.neighbor(corner, 1, Direction::Minus), t.node_at(&[7, 7]));
+    }
+
+    #[test]
+    fn neighbor_inverse() {
+        let t = Torus::new(2, 4);
+        for id in t.node_ids() {
+            for dim in 0..2 {
+                let p = t.neighbor(id, dim, Direction::Plus);
+                assert_eq!(t.neighbor(p, dim, Direction::Minus), id);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_distance_symmetric_and_bounded() {
+        let t = Torus::new(1, 8);
+        for a in 0..8 {
+            for b in 0..8 {
+                let d = t.ring_distance(a, b);
+                assert_eq!(d, t.ring_distance(b, a));
+                assert!(d <= 4);
+            }
+        }
+        assert_eq!(t.ring_distance(0, 7), 1);
+        assert_eq!(t.ring_distance(0, 4), 4);
+    }
+
+    #[test]
+    fn ring_step_prefers_plus_on_tie() {
+        let t = Torus::new(1, 8);
+        assert_eq!(t.ring_step(0, 4), (4, Direction::Plus));
+        assert_eq!(t.ring_step(0, 5), (3, Direction::Minus));
+        assert_eq!(t.ring_step(0, 3), (3, Direction::Plus));
+        assert_eq!(t.ring_step(6, 6), (0, Direction::Plus));
+    }
+
+    #[test]
+    fn distance_matches_per_dimension_sum() {
+        let t = Torus::new(2, 8);
+        let a = t.node_at(&[1, 2]);
+        let b = t.node_at(&[7, 6]);
+        // dim 0: 1 -> 7 is 2 hops (backwards); dim 1: 2 -> 6 is 4 hops.
+        assert_eq!(t.distance(a, b), 6);
+        assert_eq!(t.distance(a, a), 0);
+        assert_eq!(t.distance(a, b), t.distance(b, a));
+    }
+
+    #[test]
+    fn mean_pairwise_distance_matches_eq17_closely() {
+        // Eq. 17 for k = 8, n = 2 gives 1024/252 = 4.063...; the exact
+        // enumeration over distinct pairs gives the same value (Eq. 17 is
+        // exact for even k).
+        let t = Torus::new(2, 8);
+        let exact = t.mean_pairwise_distance();
+        let eq17 = 2.0 * 8f64.powi(3) / (4.0 * (64.0 - 1.0));
+        assert!((exact - eq17).abs() < 1e-12, "exact={exact} eq17={eq17}");
+    }
+
+    #[test]
+    fn mean_pairwise_distance_single_node() {
+        assert_eq!(Torus::new(2, 1).mean_pairwise_distance(), 0.0);
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let t = Torus::new(2, 5);
+        for a in t.node_ids().step_by(3) {
+            for b in t.node_ids().step_by(4) {
+                for c in t.node_ids().step_by(5) {
+                    assert!(t.distance(a, c) <= t.distance(a, b) + t.distance(b, c));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Synthetic traffic generators for standalone network characterization.
+//!
+//! These generators drive the fabric without a processor model — open-loop
+//! load, as in Agarwal's original network analysis. They are used to
+//! validate the fabric against the analytical
+//! [`NetworkModel`](https://docs.rs/commloc-model) (Eqs. 10–14) and to
+//! measure saturation behavior. The full-system simulator
+//! (`commloc-sim`) instead closes the loop through the processor and
+//! coherence models, which is the paper's central point.
+
+use crate::fabric::Fabric;
+use crate::message::Message;
+use crate::topology::NodeId;
+
+/// Destination selection pattern for synthetic traffic.
+#[derive(Debug, Clone)]
+pub enum TrafficPattern {
+    /// Uniformly random destination, excluding self.
+    UniformRandom,
+    /// Fixed permutation: node `i` always sends to `permutation[i]`.
+    Permutation(Vec<NodeId>),
+    /// Nearest neighbor: node `i` sends round-robin to its `2n` torus
+    /// neighbors.
+    NearestNeighbor,
+}
+
+/// An open-loop Bernoulli traffic source: each node independently starts a
+/// new message each cycle with probability `rate`.
+#[derive(Debug)]
+pub struct BernoulliTraffic {
+    pattern: TrafficPattern,
+    rate: f64,
+    message_length: u32,
+    /// Simple deterministic PRNG state (xorshift64*), one per node.
+    rng_state: Vec<u64>,
+    /// Round-robin neighbor index per node (for nearest-neighbor).
+    neighbor_index: Vec<usize>,
+}
+
+impl BernoulliTraffic {
+    /// Creates a traffic source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not within `[0, 1]` or `message_length` is
+    /// zero.
+    pub fn new(
+        nodes: usize,
+        pattern: TrafficPattern,
+        rate: f64,
+        message_length: u32,
+        seed: u64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        assert!(message_length > 0, "messages must contain flits");
+        Self {
+            pattern,
+            rate,
+            message_length,
+            rng_state: (0..nodes as u64)
+                .map(|i| seed.wrapping_mul(0x9E3779B97F4A7C15) ^ (i + 1).wrapping_mul(0xD1B54A32D192ED03))
+                .map(|s| if s == 0 { 1 } else { s })
+                .collect(),
+            neighbor_index: vec![0; nodes],
+        }
+    }
+
+    /// Injects this cycle's new messages into the fabric. Returns how many
+    /// messages were injected.
+    pub fn pulse<P: Default>(&mut self, fabric: &mut Fabric<P>) -> usize {
+        let nodes = fabric.torus().nodes();
+        let mut injected = 0;
+        for node in 0..nodes {
+            if self.next_f64(node) >= self.rate {
+                continue;
+            }
+            let src = NodeId(node);
+            let dst = self.pick_destination(fabric, node);
+            if dst == src {
+                continue;
+            }
+            fabric.inject(Message::new(src, dst, self.message_length, P::default()));
+            injected += 1;
+        }
+        injected
+    }
+
+    fn pick_destination<P>(&mut self, fabric: &Fabric<P>, node: usize) -> NodeId {
+        match &self.pattern {
+            TrafficPattern::UniformRandom => {
+                let nodes = fabric.torus().nodes();
+                loop {
+                    let r = self.next_u64(node) as usize % nodes;
+                    if r != node {
+                        return NodeId(r);
+                    }
+                }
+            }
+            TrafficPattern::Permutation(perm) => perm[node],
+            TrafficPattern::NearestNeighbor => {
+                let torus = fabric.torus();
+                let dirs = 2 * torus.dims() as usize;
+                let i = self.neighbor_index[node];
+                self.neighbor_index[node] = (i + 1) % dirs;
+                let dim = (i / 2) as u32;
+                let dir = if i.is_multiple_of(2) {
+                    crate::topology::Direction::Plus
+                } else {
+                    crate::topology::Direction::Minus
+                };
+                torus.neighbor(NodeId(node), dim, dir)
+            }
+        }
+    }
+
+    fn next_u64(&mut self, node: usize) -> u64 {
+        // xorshift64* — adequate for load generation, fully deterministic.
+        let s = &mut self.rng_state[node];
+        *s ^= *s >> 12;
+        *s ^= *s << 25;
+        *s ^= *s >> 27;
+        s.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn next_f64(&mut self, node: usize) -> f64 {
+        (self.next_u64(node) >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::FabricConfig;
+    use crate::topology::Torus;
+
+    fn fabric() -> Fabric<()> {
+        Fabric::new(Torus::new(2, 8), FabricConfig::default())
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in")]
+    fn rejects_bad_rate() {
+        BernoulliTraffic::new(64, TrafficPattern::UniformRandom, 1.5, 12, 1);
+    }
+
+    #[test]
+    fn injection_rate_matches_request() {
+        let mut f = fabric();
+        let rate = 0.01;
+        let mut traffic =
+            BernoulliTraffic::new(64, TrafficPattern::UniformRandom, rate, 12, 42);
+        let cycles = 20_000;
+        for _ in 0..cycles {
+            traffic.pulse(&mut f);
+            f.step();
+        }
+        let measured = f.stats().injected_messages as f64 / (cycles as f64 * 64.0);
+        assert!(
+            (measured - rate).abs() / rate < 0.1,
+            "requested {rate}, measured {measured}"
+        );
+    }
+
+    #[test]
+    fn uniform_random_traffic_drains() {
+        let mut f = fabric();
+        let mut traffic =
+            BernoulliTraffic::new(64, TrafficPattern::UniformRandom, 0.005, 12, 7);
+        for _ in 0..5_000 {
+            traffic.pulse(&mut f);
+            f.step();
+        }
+        assert!(f.run_until_idle(100_000), "traffic did not drain");
+        let s = f.stats();
+        assert!(s.delivered_messages > 1_000);
+        // Mean distance should approximate Eq. 17's 4.06 hops.
+        let d = s.avg_distance();
+        assert!((d - 4.06).abs() < 0.3, "mean distance {d}");
+    }
+
+    #[test]
+    fn nearest_neighbor_distance_is_one() {
+        let mut f = fabric();
+        let mut traffic =
+            BernoulliTraffic::new(64, TrafficPattern::NearestNeighbor, 0.02, 12, 3);
+        for _ in 0..2_000 {
+            traffic.pulse(&mut f);
+            f.step();
+        }
+        assert!(f.run_until_idle(50_000));
+        assert_eq!(f.stats().avg_distance(), 1.0);
+    }
+
+    #[test]
+    fn permutation_traffic_respects_mapping() {
+        let mut f = fabric();
+        let perm: Vec<NodeId> = (0..64).map(|i| NodeId((i + 8) % 64)).collect();
+        let mut traffic = BernoulliTraffic::new(
+            64,
+            TrafficPattern::Permutation(perm),
+            0.02,
+            12,
+            9,
+        );
+        for _ in 0..1_000 {
+            traffic.pulse(&mut f);
+            f.step();
+        }
+        assert!(f.run_until_idle(50_000));
+        // (i+8)%64 is one hop away in dimension 1 on an 8x8 torus.
+        assert_eq!(f.stats().avg_distance(), 1.0);
+    }
+}

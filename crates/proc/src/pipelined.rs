@@ -1,0 +1,300 @@
+//! Non-blocking (pipelined) processors: multiple outstanding
+//! transactions without context switching.
+//!
+//! Section 2.1 of the paper notes that mechanisms other than block
+//! multithreading — weak ordering, data prefetching, non-blocking loads —
+//! have essentially the same effect on the application model: a processor
+//! that keeps an average of `w` transactions outstanding has an
+//! application transaction curve with slope `w` times that of a blocking
+//! processor. This module provides such a processor: a single thread
+//! whose memory operations enter a bounded outstanding window, stalling
+//! only when the window is full (or, for reads whose values feed the
+//! program, at the consuming instruction).
+
+use crate::processor::IssueRequest;
+use crate::program::{ThreadOp, ThreadProgram};
+use commloc_mem::MemOp;
+use std::collections::VecDeque;
+
+/// A single-threaded processor with a bounded window of outstanding
+/// memory transactions (a model of prefetching / weakly-ordered
+/// architectures).
+///
+/// Reads conceptually return their value at *use* time; since the
+/// [`ThreadProgram`] interface consumes read values at the next fetch,
+/// this processor hands the program the most recently completed read —
+/// adequate for the paper's synthetic workload, whose "trivial
+/// computation" tolerates value staleness (threads never synchronize).
+///
+/// # Examples
+///
+/// ```
+/// use commloc_mem::Addr;
+/// use commloc_proc::{LoopProgram, PipelinedProcessor, ThreadOp};
+///
+/// let program = LoopProgram::new(vec![ThreadOp::Compute(4), ThreadOp::Read(Addr(0))]);
+/// let mut cpu = PipelinedProcessor::new(Box::new(program), 4);
+/// // The window lets several reads overlap: issue without waiting.
+/// let mut issued = 0;
+/// for _ in 0..30 {
+///     if cpu.step().is_some() {
+///         issued += 1;
+///     }
+/// }
+/// assert!(issued >= 4, "window of 4 should overlap issues: {issued}");
+/// ```
+#[derive(Debug)]
+pub struct PipelinedProcessor {
+    program: Box<dyn ThreadProgram>,
+    window: usize,
+    outstanding: VecDeque<usize>,
+    next_slot: usize,
+    computing: u32,
+    last_read: Option<u64>,
+    stalled_cycles: u64,
+    busy_cycles: u64,
+    issued: u64,
+    cycles: u64,
+}
+
+impl PipelinedProcessor {
+    /// Creates a pipelined processor with the given outstanding-window
+    /// size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(program: Box<dyn ThreadProgram>, window: usize) -> Self {
+        assert!(window > 0, "window must admit at least one transaction");
+        Self {
+            program,
+            window,
+            outstanding: VecDeque::new(),
+            next_slot: 0,
+            computing: 0,
+            last_read: None,
+            stalled_cycles: 0,
+            busy_cycles: 0,
+            issued: 0,
+            cycles: 0,
+        }
+    }
+
+    /// The outstanding-window size `w`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Transactions currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Memory operations issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Cycles stepped so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Cycles stalled on a full window.
+    pub fn stalled_cycles(&self) -> u64 {
+        self.stalled_cycles
+    }
+
+    /// Cycles spent computing.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Average inter-issue time over the processor's lifetime.
+    pub fn avg_issue_interval(&self) -> f64 {
+        if self.issued == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.issued as f64
+        }
+    }
+
+    /// Completes the transaction issued with `IssueRequest::context ==
+    /// slot`, freeing a window entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is not outstanding.
+    pub fn complete(&mut self, slot: usize, value: u64) {
+        let pos = self
+            .outstanding
+            .iter()
+            .position(|&s| s == slot)
+            .expect("completion for unknown slot");
+        self.outstanding.remove(pos);
+        self.last_read = Some(value);
+    }
+
+    /// Advances one processor cycle; returns an issue if one happened.
+    /// The `context` field of the returned request carries the window
+    /// slot to pass back to [`PipelinedProcessor::complete`].
+    pub fn step(&mut self) -> Option<IssueRequest> {
+        self.cycles += 1;
+        if self.computing > 0 {
+            self.computing -= 1;
+            self.busy_cycles += 1;
+            return None;
+        }
+        if self.outstanding.len() >= self.window {
+            self.stalled_cycles += 1;
+            return None;
+        }
+        loop {
+            match self.program.next(self.last_read.take()) {
+                ThreadOp::Compute(0) => continue,
+                ThreadOp::Compute(cycles) => {
+                    // Execute the first cycle now.
+                    self.computing = cycles - 1;
+                    self.busy_cycles += 1;
+                    return None;
+                }
+                ThreadOp::Read(addr) => return Some(self.issue(MemOp::Read(addr))),
+                ThreadOp::Write(addr, value) => {
+                    return Some(self.issue(MemOp::Write(addr, value)))
+                }
+            }
+        }
+    }
+
+    fn issue(&mut self, op: MemOp) -> IssueRequest {
+        let slot = self.next_slot;
+        self.next_slot = self.next_slot.wrapping_add(1) % (self.window * 2 + 1);
+        // Slots must be unique among outstanding entries; with a ring of
+        // 2w+1 ids and at most w outstanding, reuse cannot collide.
+        self.outstanding.push_back(slot);
+        self.issued += 1;
+        IssueRequest { context: slot, op }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::LoopProgram;
+    use commloc_mem::Addr;
+
+    fn run_fixed_latency(cpu: &mut PipelinedProcessor, cycles: u64, latency: u64) -> u64 {
+        let mut outstanding: Vec<(u64, usize)> = Vec::new();
+        for now in 0..cycles {
+            outstanding.retain(|&(due, slot)| {
+                if due <= now {
+                    cpu.complete(slot, 0);
+                    false
+                } else {
+                    true
+                }
+            });
+            if let Some(req) = cpu.step() {
+                outstanding.push((now + latency, req.context));
+            }
+        }
+        cpu.issued()
+    }
+
+    fn cpu(grain: u32, window: usize) -> PipelinedProcessor {
+        PipelinedProcessor::new(
+            Box::new(LoopProgram::new(vec![
+                ThreadOp::Compute(grain),
+                ThreadOp::Read(Addr(0)),
+            ])),
+            window,
+        )
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one transaction")]
+    fn zero_window_panics() {
+        cpu(5, 0);
+    }
+
+    #[test]
+    fn window_one_behaves_like_blocking_processor() {
+        // Eq. 1: t_t = T_r + T_t (+1 issue cycle).
+        let mut p = cpu(20, 1);
+        let total = 30_000;
+        let issues = run_fixed_latency(&mut p, total, 100);
+        let t_t = total as f64 / issues as f64;
+        assert!((t_t - 121.0).abs() <= 2.0, "t_t = {t_t}");
+    }
+
+    #[test]
+    fn window_w_divides_latency_sensitivity() {
+        // The paper's claim: w outstanding transactions multiply the
+        // transaction-curve slope by w, so at large latency
+        // t_t ~ (T_r + T_t)/w.
+        let grain = 10;
+        let latency = 400u64;
+        for window in [2usize, 4] {
+            let mut p = cpu(grain, window);
+            let total = 60_000;
+            let issues = run_fixed_latency(&mut p, total, latency);
+            let t_t = total as f64 / issues as f64;
+            let expected = (grain as f64 + 1.0 + latency as f64) / window as f64;
+            assert!(
+                (t_t - expected).abs() / expected < 0.08,
+                "w={window}: t_t = {t_t}, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_latency_is_fully_hidden() {
+        // With latency below w * (T_r + 1), the window never fills: the
+        // processor issues every T_r + 1 cycles, like a zero-latency
+        // machine.
+        let mut p = cpu(10, 4);
+        let total = 20_000;
+        let issues = run_fixed_latency(&mut p, total, 30);
+        let t_t = total as f64 / issues as f64;
+        assert!((t_t - 11.0).abs() < 1.0, "t_t = {t_t}");
+        assert_eq!(p.stalled_cycles(), 0, "window never fills at low latency");
+    }
+
+    #[test]
+    fn in_flight_bounded_by_window() {
+        let mut p = cpu(2, 3);
+        let mut outstanding: Vec<(u64, usize)> = Vec::new();
+        for now in 0..5_000u64 {
+            outstanding.retain(|&(due, slot)| {
+                if due <= now {
+                    p.complete(slot, 0);
+                    false
+                } else {
+                    true
+                }
+            });
+            if let Some(req) = p.step() {
+                outstanding.push((now + 500, req.context));
+            }
+            assert!(p.in_flight() <= 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown slot")]
+    fn bogus_completion_panics() {
+        let mut p = cpu(2, 2);
+        p.complete(7, 0);
+    }
+
+    #[test]
+    fn cycle_accounting_consistent() {
+        let mut p = cpu(5, 2);
+        run_fixed_latency(&mut p, 10_000, 80);
+        assert_eq!(
+            p.busy_cycles() + p.stalled_cycles() + p.issued(),
+            p.cycles(),
+            "busy + stalled + issue cycles must cover every cycle"
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Thread programs: the instruction-stream abstraction.
+//!
+//! The paper's model observes processors only through their computation
+//! grain and transaction issue behavior, so threads are represented as
+//! generators of [`ThreadOp`]s — compute for some cycles, then read or
+//! write a shared word (see DESIGN.md's substitution note on
+//! instruction-level Sparcle simulation).
+
+use commloc_mem::Addr;
+use std::fmt;
+
+/// One step of a thread's execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadOp {
+    /// Execute for the given number of processor cycles.
+    Compute(u32),
+    /// Load a shared word (a potential communication transaction).
+    Read(Addr),
+    /// Store a shared word (a potential communication transaction).
+    Write(Addr, u64),
+}
+
+/// A thread: an unbounded generator of operations.
+///
+/// `last_read` carries the value returned by the thread's most recent
+/// [`ThreadOp::Read`], if the previous operation was a read — programs
+/// that compute on loaded data (like the paper's synthetic application)
+/// consume it; others may ignore it.
+pub trait ThreadProgram: fmt::Debug {
+    /// Produces the thread's next operation.
+    fn next(&mut self, last_read: Option<u64>) -> ThreadOp;
+}
+
+/// A program that cycles through a fixed sequence of operations forever.
+/// Useful for tests and microbenchmarks.
+#[derive(Debug, Clone)]
+pub struct LoopProgram {
+    ops: Vec<ThreadOp>,
+    index: usize,
+    /// Number of completed passes through the sequence.
+    iterations: u64,
+}
+
+impl LoopProgram {
+    /// Creates a looping program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty or contains only zero-cycle computes (the
+    /// program must consume time each iteration).
+    pub fn new(ops: Vec<ThreadOp>) -> Self {
+        assert!(!ops.is_empty(), "program must contain operations");
+        assert!(
+            ops.iter().any(|op| !matches!(op, ThreadOp::Compute(0))),
+            "program must consume cycles"
+        );
+        Self {
+            ops,
+            index: 0,
+            iterations: 0,
+        }
+    }
+
+    /// Completed passes through the operation sequence.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+}
+
+impl ThreadProgram for LoopProgram {
+    fn next(&mut self, _last_read: Option<u64>) -> ThreadOp {
+        let op = self.ops[self.index];
+        self.index += 1;
+        if self.index == self.ops.len() {
+            self.index = 0;
+            self.iterations += 1;
+        }
+        op
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "must contain operations")]
+    fn empty_program_panics() {
+        LoopProgram::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must consume cycles")]
+    fn zero_cycle_program_panics() {
+        LoopProgram::new(vec![ThreadOp::Compute(0)]);
+    }
+
+    #[test]
+    fn loops_and_counts_iterations() {
+        let mut p = LoopProgram::new(vec![
+            ThreadOp::Compute(3),
+            ThreadOp::Read(Addr(0)),
+        ]);
+        assert_eq!(p.next(None), ThreadOp::Compute(3));
+        assert_eq!(p.iterations(), 0);
+        assert_eq!(p.next(None), ThreadOp::Read(Addr(0)));
+        assert_eq!(p.iterations(), 1);
+        assert_eq!(p.next(Some(9)), ThreadOp::Compute(3));
+    }
+}

@@ -1,0 +1,332 @@
+//! `commloc` — command-line front end to the models and the simulator.
+//!
+//! ```text
+//! commloc solve --nodes 1000 --contexts 2 --distance 4.06
+//! commloc gain  --contexts 1 --sizes 10,100,1000,1000000
+//! commloc scale --contexts 2
+//! commloc sim   --mapping random --contexts 2 --warmup 20000 --window 60000
+//! commloc suite --contexts 1 --csv
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free: `--key value` pairs
+//! only, with per-subcommand defaults matching the paper's Section 3
+//! machine.
+
+use commloc_model::{
+    expected_gain, limiting_per_hop_latency, log_spaced_sizes, per_hop_latency_curve,
+    MachineConfig,
+};
+use commloc_net::Torus;
+use commloc_sim::{
+    mapping_suite, run_experiment, Mapping, SimConfig, MEASUREMENTS_CSV_HEADER,
+};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+commloc — communication locality models and simulator (Johnson, ISCA '92)
+
+USAGE:
+    commloc <COMMAND> [--key value ...]
+
+COMMANDS:
+    solve   solve the combined model at one operating point
+            --nodes N --contexts P --distance D --grain T_r --ratio F
+    gain    expected gain from ideal vs random thread placement
+            --contexts P --sizes N1,N2,...
+    scale   per-hop latency saturation across machine sizes (Fig. 6)
+            --contexts P
+    sim     run the cycle-level 64-node simulator with one mapping
+            --mapping identity|random|worst|swaps-K --seed S
+            --contexts P --warmup W --window C [--csv]
+    suite   run the full validation mapping suite
+            --contexts P --seed S [--csv]
+    help    print this message
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let options = match parse_options(&args[1..]) {
+        Ok(options) => options,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "solve" => cmd_solve(&options),
+        "gain" => cmd_gain(&options),
+        "scale" => cmd_scale(&options),
+        "sim" => cmd_sim(&options),
+        "suite" => cmd_suite(&options),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`; try `commloc help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses `--key value` pairs.
+fn parse_options(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut options = HashMap::new();
+    let mut iter = args.iter();
+    while let Some(key) = iter.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected `--key`, found `{key}`"));
+        };
+        if name == "csv" {
+            options.insert(name.to_owned(), "true".to_owned());
+            continue;
+        }
+        let Some(value) = iter.next() else {
+            return Err(format!("missing value for `--{name}`"));
+        };
+        options.insert(name.to_owned(), value.clone());
+    }
+    Ok(options)
+}
+
+fn get_f64(options: &HashMap<String, String>, key: &str, default: f64) -> Result<f64, String> {
+    options
+        .get(key)
+        .map_or(Ok(default), |v| {
+            v.parse().map_err(|_| format!("--{key}: `{v}` is not a number"))
+        })
+}
+
+fn get_u64(options: &HashMap<String, String>, key: &str, default: u64) -> Result<u64, String> {
+    options
+        .get(key)
+        .map_or(Ok(default), |v| {
+            v.parse().map_err(|_| format!("--{key}: `{v}` is not an integer"))
+        })
+}
+
+fn machine_from(options: &HashMap<String, String>) -> Result<MachineConfig, String> {
+    let mut machine = MachineConfig::alewife();
+    machine = machine.with_contexts(get_u64(options, "contexts", 1)? as u32);
+    if let Some(nodes) = options.get("nodes") {
+        let nodes: f64 = nodes.parse().map_err(|_| "--nodes: not a number")?;
+        machine = machine.with_nodes(nodes);
+    }
+    machine = machine.with_grain(get_f64(options, "grain", machine.grain())?);
+    machine = machine.with_clock_ratio(get_f64(options, "ratio", machine.clock_ratio())?);
+    Ok(machine)
+}
+
+fn cmd_solve(options: &HashMap<String, String>) -> Result<(), String> {
+    let machine = machine_from(options)?;
+    let distance = get_f64(
+        options,
+        "distance",
+        machine.random_mapping_distance().map_err(err)?,
+    )?;
+    let model = machine.to_combined_model().map_err(err)?;
+    let op = model.solve(distance).map_err(err)?;
+    println!("machine: N = {:.0}, p = {}, clock ratio = {}", machine.nodes(), machine.contexts(), machine.clock_ratio());
+    println!("operating point at d = {distance} hops (network cycles):");
+    println!("  t_t  = {:>9.2}   (issue interval)", op.issue_interval);
+    println!("  T_t  = {:>9.2}   (transaction latency)", op.transaction_latency);
+    println!("  t_m  = {:>9.2}   (message interval)", op.message_interval);
+    println!("  T_m  = {:>9.2}   (message latency)", op.message_latency);
+    println!("  T_h  = {:>9.2}   (per-hop latency)", op.per_hop_latency);
+    println!("  rho  = {:>9.3}   (channel utilization)", op.channel_utilization);
+    println!("  mode = {:?}", op.mode);
+    Ok(())
+}
+
+fn cmd_gain(options: &HashMap<String, String>) -> Result<(), String> {
+    let machine = machine_from(options)?;
+    let sizes: Vec<f64> = match options.get("sizes") {
+        Some(list) => list
+            .split(',')
+            .map(|s| s.parse().map_err(|_| format!("--sizes: `{s}` is not a number")))
+            .collect::<Result<_, _>>()?,
+        None => vec![10.0, 100.0, 1000.0, 1e4, 1e5, 1e6],
+    };
+    println!("{:>12} {:>10} {:>10}", "N", "d_random", "gain");
+    for n in sizes {
+        let point = expected_gain(&machine.with_nodes(n)).map_err(err)?;
+        println!("{n:>12.0} {:>10.2} {:>10.2}", point.random_distance, point.gain);
+    }
+    Ok(())
+}
+
+fn cmd_scale(options: &HashMap<String, String>) -> Result<(), String> {
+    let machine = machine_from(options)?;
+    let sizes = log_spaced_sizes(10.0, 1e6, 2);
+    println!(
+        "Eq. 16 limit: {:.2} network cycles",
+        limiting_per_hop_latency(&machine)
+    );
+    println!("{:>12} {:>10} {:>8} {:>8}", "N", "d_random", "T_h", "rho");
+    for point in per_hop_latency_curve(&machine, &sizes).map_err(err)? {
+        println!(
+            "{:>12.0} {:>10.2} {:>8.2} {:>8.3}",
+            point.nodes, point.distance, point.per_hop_latency, point.channel_utilization
+        );
+    }
+    Ok(())
+}
+
+fn mapping_from(options: &HashMap<String, String>, torus: &Torus) -> Result<Mapping, String> {
+    let seed = get_u64(options, "seed", 1992)?;
+    let name = options
+        .get("mapping")
+        .map(String::as_str)
+        .unwrap_or("identity");
+    match name {
+        "identity" => Ok(Mapping::identity(torus.nodes())),
+        "random" => Ok(Mapping::random(torus.nodes(), seed)),
+        "worst" => Ok(Mapping::maximize_distance(torus, seed, 4000)),
+        other => {
+            if let Some(k) = other.strip_prefix("swaps-") {
+                let k: usize = k
+                    .parse()
+                    .map_err(|_| format!("--mapping: bad swap count in `{other}`"))?;
+                Ok(Mapping::random_swaps(torus.nodes(), k, seed))
+            } else {
+                Err(format!(
+                    "--mapping: unknown `{other}` (identity|random|worst|swaps-K)"
+                ))
+            }
+        }
+    }
+}
+
+fn sim_config(options: &HashMap<String, String>) -> Result<SimConfig, String> {
+    Ok(SimConfig {
+        contexts: get_u64(options, "contexts", 1)? as usize,
+        ..SimConfig::default()
+    })
+}
+
+fn cmd_sim(options: &HashMap<String, String>) -> Result<(), String> {
+    let config = sim_config(options)?;
+    let torus = Torus::new(config.dims, config.radix);
+    let mapping = mapping_from(options, &torus)?;
+    let warmup = get_u64(options, "warmup", 20_000)?;
+    let window = get_u64(options, "window", 60_000)?;
+    let m = run_experiment(config, &mapping, warmup, window);
+    if options.contains_key("csv") {
+        println!("{MEASUREMENTS_CSV_HEADER}");
+        println!("{}", m.to_csv_row());
+    } else {
+        println!("measured over {} network cycles on {} nodes:", m.net_cycles, m.nodes);
+        println!("  d    = {:>8.2} hops", m.distance);
+        println!("  t_t  = {:>8.2}   T_t = {:>8.2}", m.issue_interval, m.transaction_latency);
+        println!("  t_m  = {:>8.2}   T_m = {:>8.2}", m.message_interval, m.message_latency);
+        println!("  T_h  = {:>8.2}   rho = {:>8.3}", m.per_hop_latency, m.channel_utilization);
+        println!("  g    = {:>8.2}   B   = {:>8.2}", m.messages_per_transaction, m.avg_message_size);
+    }
+    Ok(())
+}
+
+fn cmd_suite(options: &HashMap<String, String>) -> Result<(), String> {
+    let config = sim_config(options)?;
+    let torus = Torus::new(config.dims, config.radix);
+    let seed = get_u64(options, "seed", 1992)?;
+    let warmup = get_u64(options, "warmup", 15_000)?;
+    let window = get_u64(options, "window", 45_000)?;
+    let csv = options.contains_key("csv");
+    if csv {
+        println!("mapping,{MEASUREMENTS_CSV_HEADER}");
+    } else {
+        println!(
+            "{:<16} {:>6} {:>9} {:>9} {:>8} {:>7}",
+            "mapping", "d", "r_t", "T_m", "T_h", "rho"
+        );
+    }
+    for named in mapping_suite(&torus, seed) {
+        let m = run_experiment(config.clone(), &named.mapping, warmup, window);
+        if csv {
+            println!("{},{}", named.name, m.to_csv_row());
+        } else {
+            println!(
+                "{:<16} {:>6.2} {:>9.5} {:>9.1} {:>8.2} {:>7.3}",
+                named.name,
+                m.distance,
+                m.transaction_rate,
+                m.message_latency,
+                m.per_hop_latency,
+                m.channel_utilization
+            );
+        }
+    }
+    Ok(())
+}
+
+fn err(e: commloc_model::ModelError) -> String {
+    e.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(pairs: &[&str]) -> HashMap<String, String> {
+        parse_options(&pairs.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn parse_key_value_pairs() {
+        let o = opts(&["--nodes", "1000", "--contexts", "2", "--csv"]);
+        assert_eq!(o.get("nodes").unwrap(), "1000");
+        assert_eq!(o.get("contexts").unwrap(), "2");
+        assert_eq!(o.get("csv").unwrap(), "true");
+    }
+
+    #[test]
+    fn parse_rejects_bare_words() {
+        let args = vec!["oops".to_owned()];
+        assert!(parse_options(&args).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_missing_value() {
+        let args = vec!["--nodes".to_owned()];
+        assert!(parse_options(&args).is_err());
+    }
+
+    #[test]
+    fn numeric_getters_apply_defaults_and_validate() {
+        let o = opts(&["--distance", "4.5"]);
+        assert_eq!(get_f64(&o, "distance", 1.0).unwrap(), 4.5);
+        assert_eq!(get_f64(&o, "grain", 10.0).unwrap(), 10.0);
+        let bad = opts(&["--warmup", "soon"]);
+        assert!(get_u64(&bad, "warmup", 0).is_err());
+    }
+
+    #[test]
+    fn machine_builder_honours_options() {
+        let o = opts(&["--nodes", "256", "--contexts", "4", "--ratio", "0.5"]);
+        let m = machine_from(&o).unwrap();
+        assert!((m.nodes() - 256.0).abs() < 1e-6);
+        assert_eq!(m.contexts(), 4);
+        assert_eq!(m.clock_ratio(), 0.5);
+    }
+
+    #[test]
+    fn mapping_selector_variants() {
+        let torus = Torus::new(2, 8);
+        let o = opts(&["--mapping", "swaps-12", "--seed", "5"]);
+        let m = mapping_from(&o, &torus).unwrap();
+        assert_eq!(m.threads(), 64);
+        let o = opts(&["--mapping", "nonsense"]);
+        assert!(mapping_from(&o, &torus).is_err());
+        let o = opts(&[]);
+        assert_eq!(mapping_from(&o, &torus).unwrap(), Mapping::identity(64));
+    }
+}

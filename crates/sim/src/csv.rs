@@ -1,0 +1,61 @@
+//! Plain-text (CSV) serialization of measurement records, for piping
+//! simulator output into plotting tools.
+
+use crate::machine::Measurements;
+
+/// CSV header matching [`Measurements::to_csv_row`].
+pub const MEASUREMENTS_CSV_HEADER: &str = "net_cycles,nodes,distance,message_rate,\
+message_interval,message_latency,per_hop_latency,channel_utilization,\
+injection_utilization,transaction_rate,issue_interval,transaction_latency,\
+messages_per_transaction,avg_message_size,residual_message_size,run_length,hit_fraction";
+
+impl Measurements {
+    /// One CSV row of this record, column order per
+    /// [`MEASUREMENTS_CSV_HEADER`].
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "{},{},{:.6},{:.8},{:.4},{:.4},{:.4},{:.6},{:.6},{:.8},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.6}",
+            self.net_cycles,
+            self.nodes,
+            self.distance,
+            self.message_rate,
+            self.message_interval,
+            self.message_latency,
+            self.per_hop_latency,
+            self.channel_utilization,
+            self.injection_utilization,
+            self.transaction_rate,
+            self.issue_interval,
+            self.transaction_latency,
+            self.messages_per_transaction,
+            self.avg_message_size,
+            self.residual_message_size,
+            self.run_length,
+            self.hit_fraction,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{run_experiment, SimConfig};
+    use crate::mapping::Mapping;
+
+    #[test]
+    fn header_and_row_have_matching_column_counts() {
+        let m = run_experiment(SimConfig::default(), &Mapping::identity(64), 2_000, 6_000);
+        let header_cols = MEASUREMENTS_CSV_HEADER.split(',').count();
+        let row_cols = m.to_csv_row().split(',').count();
+        assert_eq!(header_cols, row_cols);
+        assert_eq!(header_cols, 17);
+    }
+
+    #[test]
+    fn row_is_parseable_numbers() {
+        let m = run_experiment(SimConfig::default(), &Mapping::identity(64), 2_000, 6_000);
+        for field in m.to_csv_row().split(',') {
+            field.parse::<f64>().expect("numeric field");
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Least-squares line fitting for application message curves.
+//!
+//! The paper's Figure 3 plots measured `(t_m, T_m)` pairs across mappings
+//! and reads off the slope — the latency sensitivity `s` — and intercept.
+//! This module provides the ordinary-least-squares fit used to reproduce
+//! that analysis.
+
+/// Result of fitting `y = intercept + slope * x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination (1 = perfect fit).
+    pub r_squared: f64,
+}
+
+/// Ordinary least squares over `(x, y)` pairs.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are given or all `x` coincide.
+pub fn fit_line(points: &[(f64, f64)]) -> LineFit {
+    assert!(points.len() >= 2, "need at least two points to fit a line");
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let mx = sx / n;
+    let my = sy / n;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mx) * (p.0 - mx)).sum();
+    let sxy: f64 = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+    assert!(sxx > 0.0, "x values must not all coincide");
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| {
+            let e = p.1 - (intercept + slope * p.0);
+            e * e
+        })
+        .sum();
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - my) * (p.1 - my)).sum();
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    LineFit {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovers_parameters() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let fit = fit_line(&pts);
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 3.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_fits_reasonably() {
+        let pts: Vec<(f64, f64)> = (0..20)
+            .map(|i| {
+                let x = i as f64;
+                let noise = if i % 2 == 0 { 0.5 } else { -0.5 };
+                (x, 1.0 + 4.0 * x + noise)
+            })
+            .collect();
+        let fit = fit_line(&pts);
+        assert!((fit.slope - 4.0).abs() < 0.05);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn single_point_panics() {
+        fit_line(&[(1.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not all coincide")]
+    fn vertical_line_panics() {
+        fit_line(&[(1.0, 1.0), (1.0, 2.0)]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Full-system multiprocessor simulator for the locality validation
+//! experiments.
+//!
+//! This crate assembles the substrates — block-multithreaded processors
+//! ([`commloc_proc`]), a directory-coherent memory system
+//! ([`commloc_mem`]), and a cycle-level wormhole torus fabric
+//! ([`commloc_net`]) — into the Alewife-like 64-node machine of Section 3
+//! of Johnson, *"The Impact of Communication Locality on Large-Scale
+//! Multiprocessor Performance"* (ISCA 1992), running the paper's
+//! synthetic torus-neighbour application under a suite of
+//! thread-to-processor mappings.
+//!
+//! The measurements it produces (`t_t`, `T_t`, `t_m`, `T_m`, `T_h`, `d`,
+//! `rho`, `g`, `B`) are exactly the quantities the paper's combined model
+//! predicts, enabling the model-versus-simulation validation of
+//! Figures 3–5.
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use commloc_sim::{run_experiment, Mapping, SimConfig};
+//!
+//! let mapping = Mapping::random(64, 42);
+//! let m = run_experiment(SimConfig::default(), &mapping, 20_000, 60_000);
+//! println!("d = {:.2} hops, T_m = {:.1} cycles", m.distance, m.message_latency);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod csv;
+mod fit;
+mod machine;
+mod mapping;
+mod workload;
+
+pub use csv::MEASUREMENTS_CSV_HEADER;
+pub use fit::{fit_line, LineFit};
+pub use machine::{run_experiment, Machine, Measurements, SimConfig};
+pub use mapping::{mapping_suite, Mapping, NamedMapping};
+pub use workload::{state_word, workload_home_map, TorusNeighborProgram};

@@ -1,0 +1,373 @@
+//! Thread-to-processor mappings.
+//!
+//! The paper's validation suite (Section 3.2) varies the average
+//! communication distance of the torus-neighbour application "drastically"
+//! — from one to just over six network hops — purely by changing the
+//! thread-to-processor mapping. This module provides a generated
+//! equivalent of that suite: structured permutations with known dilation,
+//! seeded random permutations (expected distance from Eq. 17), and a
+//! hill-climbing search for a near-pessimal mapping.
+
+use commloc_net::{NodeId, Torus};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A bijective assignment of application threads to processors. Thread
+/// `t`'s communication graph neighbours are the torus neighbours of `t`
+/// interpreted as a node id (the application's communication graph *is*
+/// the torus, paper Section 3.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mapping {
+    map: Vec<NodeId>,
+}
+
+impl Mapping {
+    /// Wraps an explicit permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` is not a permutation of `0..map.len()`.
+    pub fn new(map: Vec<NodeId>) -> Self {
+        let mut seen = vec![false; map.len()];
+        for node in &map {
+            assert!(node.0 < map.len(), "node {node} out of range");
+            assert!(!seen[node.0], "node {node} assigned twice");
+            seen[node.0] = true;
+        }
+        Self { map }
+    }
+
+    /// The identity mapping: thread `t` on processor `t` — the ideal
+    /// mapping for the torus-neighbour application (every communication
+    /// one hop).
+    pub fn identity(threads: usize) -> Self {
+        Self {
+            map: (0..threads).map(NodeId).collect(),
+        }
+    }
+
+    /// Applies a per-coordinate transformation to every thread's torus
+    /// coordinates. Used by the structured mapping constructors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transformation is not a permutation.
+    pub fn from_coordinate_fn(torus: &Torus, f: impl Fn(&[usize]) -> Vec<usize>) -> Self {
+        let map = torus
+            .node_ids()
+            .map(|t| torus.node_at(&f(&torus.coordinates(t))))
+            .collect();
+        Self::new(map)
+    }
+
+    /// Multiplies one coordinate by an odd factor (mod k) — a classic
+    /// dilation-`min(a, k-a)` permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not coprime with the radix (not a
+    /// permutation) or `dim` is out of range.
+    pub fn scale_coordinate(torus: &Torus, dim: u32, factor: usize) -> Self {
+        assert!(dim < torus.dims(), "dimension out of range");
+        let k = torus.radix();
+        Self::from_coordinate_fn(torus, |coords| {
+            let mut c = coords.to_vec();
+            c[dim as usize] = (c[dim as usize] * factor) % k;
+            c
+        })
+    }
+
+    /// Bit-reverses every coordinate (radix must be a power of two) — the
+    /// FFT-style scatter mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the radix is not a power of two.
+    pub fn bit_reversal(torus: &Torus) -> Self {
+        let k = torus.radix();
+        assert!(k.is_power_of_two(), "bit reversal requires power-of-two radix");
+        let bits = k.trailing_zeros();
+        Self::from_coordinate_fn(torus, |coords| {
+            coords
+                .iter()
+                .map(|&c| {
+                    let mut r = 0usize;
+                    for b in 0..bits {
+                        if c & (1 << b) != 0 {
+                            r |= 1 << (bits - 1 - b);
+                        }
+                    }
+                    r
+                })
+                .collect()
+        })
+    }
+
+    /// Shears the second coordinate by the first (`y += shear * x`),
+    /// stretching one dimension's neighbours across the machine. Requires
+    /// at least two dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the torus has fewer than two dimensions.
+    pub fn shear(torus: &Torus, shear: usize) -> Self {
+        assert!(torus.dims() >= 2, "shear requires two dimensions");
+        let k = torus.radix();
+        Self::from_coordinate_fn(torus, |coords| {
+            let mut c = coords.to_vec();
+            c[1] = (c[1] + shear * c[0]) % k;
+            c
+        })
+    }
+
+    /// Starts from the identity and applies `swaps` random transpositions
+    /// — a load-balanced way of dialing average neighbour distance
+    /// smoothly between the ideal mapping and a fully random one.
+    pub fn random_swaps(threads: usize, swaps: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut map: Vec<NodeId> = (0..threads).map(NodeId).collect();
+        for _ in 0..swaps {
+            let a = rng.gen_range(0..threads);
+            let b = rng.gen_range(0..threads);
+            map.swap(a, b);
+        }
+        Self { map }
+    }
+
+    /// A uniformly random permutation (expected neighbour distance per
+    /// Eq. 17 for large machines).
+    pub fn random(threads: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut map: Vec<NodeId> = (0..threads).map(NodeId).collect();
+        map.shuffle(&mut rng);
+        Self { map }
+    }
+
+    /// Hill-climbs pairwise swaps to (approximately) maximize the average
+    /// neighbour distance — the pessimal end of the paper's mapping range.
+    pub fn maximize_distance(torus: &Torus, seed: u64, iterations: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut best = Self::random(torus.nodes(), seed ^ 0x5EED);
+        let mut best_score = best.total_neighbor_distance(torus);
+        for _ in 0..iterations {
+            let a = rng.gen_range(0..best.map.len());
+            let b = rng.gen_range(0..best.map.len());
+            if a == b {
+                continue;
+            }
+            best.map.swap(a, b);
+            let score = best.total_neighbor_distance(torus);
+            if score > best_score {
+                best_score = score;
+            } else {
+                best.map.swap(a, b);
+            }
+        }
+        best
+    }
+
+    /// Number of threads.
+    pub fn threads(&self) -> usize {
+        self.map.len()
+    }
+
+    /// The processor thread `t` runs on.
+    pub fn processor(&self, thread: usize) -> NodeId {
+        self.map[thread]
+    }
+
+    /// Average torus distance between mapped communication-graph
+    /// neighbours — the mapping's operational `d` of the paper.
+    pub fn average_neighbor_distance(&self, torus: &Torus) -> f64 {
+        let total = self.total_neighbor_distance(torus);
+        let edges = self.map.len() * 2 * torus.dims() as usize;
+        total as f64 / edges as f64
+    }
+
+    fn total_neighbor_distance(&self, torus: &Torus) -> usize {
+        assert_eq!(self.map.len(), torus.nodes(), "mapping size mismatch");
+        let mut total = 0;
+        for t in torus.node_ids() {
+            for dim in 0..torus.dims() {
+                for dir in commloc_net::Direction::ALL {
+                    let n = torus.neighbor(t, dim, dir);
+                    total += torus.distance(self.map[t.0], self.map[n.0]);
+                }
+            }
+        }
+        total
+    }
+}
+
+/// A named mapping together with its analytic average neighbour distance.
+#[derive(Debug, Clone)]
+pub struct NamedMapping {
+    /// Short identifier, e.g. `"identity"` or `"random-1"`.
+    pub name: String,
+    /// The mapping.
+    pub mapping: Mapping,
+    /// Average neighbour distance on the torus it was built for.
+    pub distance: f64,
+}
+
+/// The validation mapping suite: nine mappings spanning average
+/// communication distances from one to just over six hops on the 8x8
+/// torus, mirroring the paper's Section 3.2 range.
+pub fn mapping_suite(torus: &Torus, seed: u64) -> Vec<NamedMapping> {
+    let named = |name: &str, mapping: Mapping| {
+        let distance = mapping.average_neighbor_distance(torus);
+        NamedMapping {
+            name: name.to_owned(),
+            mapping,
+            distance,
+        }
+    };
+    let n = torus.nodes();
+    let mut suite = vec![
+        named("identity", Mapping::identity(n)),
+        named("swaps-8", Mapping::random_swaps(n, 8, seed ^ 0x11)),
+        named("scale3-x", Mapping::scale_coordinate(torus, 0, 3)),
+        named("swaps-20", Mapping::random_swaps(n, 20, seed ^ 0x22)),
+        named(
+            "scale3-xy",
+            Mapping::from_coordinate_fn(torus, |c| {
+                c.iter().map(|&v| (v * 3) % torus.radix()).collect()
+            }),
+        ),
+        named("bitrev", Mapping::bit_reversal(torus)),
+        named("swaps-48", Mapping::random_swaps(n, 48, seed ^ 0x33)),
+        named("random-1", Mapping::random(n, seed)),
+        named("random-2", Mapping::random(n, seed ^ 0xABCD)),
+        named("worst", Mapping::maximize_distance(torus, seed, 4000)),
+    ];
+    suite.sort_by(|a, b| a.distance.total_cmp(&b.distance));
+    suite
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn torus() -> Torus {
+        Torus::new(2, 8)
+    }
+
+    #[test]
+    fn identity_distance_is_one() {
+        let t = torus();
+        let m = Mapping::identity(64);
+        assert_eq!(m.average_neighbor_distance(&t), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned twice")]
+    fn rejects_non_permutation() {
+        Mapping::new(vec![NodeId(0), NodeId(0)]);
+    }
+
+    #[test]
+    fn scale3_distance_is_expected() {
+        let t = torus();
+        // Scaling x by 3: x-neighbours land 3 apart, y-neighbours 1.
+        let m = Mapping::scale_coordinate(&t, 0, 3);
+        assert_eq!(m.average_neighbor_distance(&t), 2.0);
+        let m2 = Mapping::from_coordinate_fn(&t, |c| {
+            c.iter().map(|&v| (v * 3) % 8).collect()
+        });
+        assert_eq!(m2.average_neighbor_distance(&t), 3.0);
+    }
+
+    #[test]
+    fn shear_stretches_one_dimension() {
+        let t = torus();
+        // shear 4: x-neighbours land (1, 4) apart -> 5 hops; y-neighbours
+        // stay 1 hop. Average (5 + 1) / 2 = 3.
+        let m = Mapping::shear(&t, 4);
+        assert_eq!(m.average_neighbor_distance(&t), 3.0);
+    }
+
+    #[test]
+    fn bit_reversal_distance() {
+        let t = torus();
+        let m = Mapping::bit_reversal(&t);
+        // Per-dimension neighbour distances of 3-bit reversal average 3.
+        assert_eq!(m.average_neighbor_distance(&t), 3.0);
+    }
+
+    #[test]
+    fn random_mapping_near_eq17() {
+        let t = torus();
+        let mut sum = 0.0;
+        for seed in 0..10 {
+            sum += Mapping::random(64, seed).average_neighbor_distance(&t);
+        }
+        let avg = sum / 10.0;
+        // Eq. 17 gives 4.06 for random communication.
+        assert!((avg - 4.06).abs() < 0.35, "avg {avg}");
+    }
+
+    #[test]
+    fn worst_mapping_beats_random() {
+        let t = torus();
+        let random = Mapping::random(64, 11).average_neighbor_distance(&t);
+        let worst = Mapping::maximize_distance(&t, 11, 2000).average_neighbor_distance(&t);
+        assert!(worst > random + 0.8, "worst={worst} random={random}");
+        assert!(worst > 6.0, "paper suite tops out just over six: {worst}");
+    }
+
+    #[test]
+    fn random_swaps_interpolate_distance() {
+        let t = torus();
+        let d8 = Mapping::random_swaps(64, 8, 3).average_neighbor_distance(&t);
+        let d48 = Mapping::random_swaps(64, 48, 3).average_neighbor_distance(&t);
+        assert!(d8 > 1.0 && d8 < 3.0, "d8 = {d8}");
+        assert!(d48 > d8, "d48 = {d48} not past d8 = {d8}");
+        assert_eq!(
+            Mapping::random_swaps(64, 0, 3),
+            Mapping::identity(64),
+            "zero swaps is the identity"
+        );
+    }
+
+    #[test]
+    fn suite_spans_one_to_six_hops() {
+        let t = torus();
+        let suite = mapping_suite(&t, 42);
+        assert!(suite.len() >= 9, "paper used nine mappings");
+        assert_eq!(suite.first().unwrap().distance, 1.0);
+        assert!(suite.last().unwrap().distance > 6.0);
+        // Sorted and reasonably spread.
+        for pair in suite.windows(2) {
+            assert!(pair[0].distance <= pair[1].distance);
+        }
+        let distinct: std::collections::BTreeSet<u64> =
+            suite.iter().map(|m| (m.distance * 4.0) as u64).collect();
+        assert!(distinct.len() >= 6, "suite too clustered: {distinct:?}");
+    }
+
+    #[test]
+    fn suite_mappings_are_permutations() {
+        let t = torus();
+        for named in mapping_suite(&t, 7) {
+            // Constructor validated; double-check threads() and range.
+            assert_eq!(named.mapping.threads(), 64);
+            let mut seen = [false; 64];
+            for thread in 0..64 {
+                let p = named.mapping.processor(thread);
+                assert!(!seen[p.0], "{}: duplicate {p}", named.name);
+                seen[p.0] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn mapping_determinism() {
+        let t = torus();
+        assert_eq!(Mapping::random(64, 5), Mapping::random(64, 5));
+        assert_eq!(
+            Mapping::maximize_distance(&t, 5, 500),
+            Mapping::maximize_distance(&t, 5, 500)
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! The paper's synthetic torus-neighbour application (Section 3.2).
+//!
+//! Each thread maintains a single word of state. One pass through the
+//! inner loop reads the state word of each of the thread's four (2n)
+//! neighbours in the application's torus-shaped communication graph,
+//! performs trivial computation, and writes a new value to its own state
+//! word. Threads never synchronize. With coherent caches, almost every
+//! neighbour read and every own-word write becomes a cache-coherency
+//! transaction.
+//!
+//! When `p` hardware contexts are used, `p` independent instances of the
+//! application run simultaneously, one thread of each instance per
+//! processor, sharing nothing across instances (paper Section 3.2).
+
+use crate::mapping::Mapping;
+use commloc_mem::{Addr, HomeMap, WORDS_PER_LINE};
+use commloc_net::Torus;
+use commloc_proc::{ThreadOp, ThreadProgram};
+
+/// The state word of thread `thread` in application instance `instance`,
+/// for a machine of `threads` threads per instance.
+///
+/// Each thread's word lives alone in its own cache line (lines are
+/// two words; the partner word is never used) so that false sharing never
+/// clouds the measurement.
+pub fn state_word(instance: usize, thread: usize, threads: usize) -> Addr {
+    Addr(((instance * threads + thread) * WORDS_PER_LINE) as u64)
+}
+
+/// Builds the home map placing every thread's state line at the processor
+/// its thread runs on — "a single word of state in local memory". Data
+/// placement thus follows the mapping, exactly as in the paper.
+pub fn workload_home_map(torus: &Torus, mapping: &Mapping, instances: usize) -> HomeMap {
+    let threads = torus.nodes();
+    let mut home = HomeMap::interleaved(threads);
+    for instance in 0..instances {
+        for thread in 0..threads {
+            home.assign(
+                state_word(instance, thread, threads).line(),
+                mapping.processor(thread),
+            );
+        }
+    }
+    home
+}
+
+/// One thread of the synthetic application.
+#[derive(Debug, Clone)]
+pub struct TorusNeighborProgram {
+    own: Addr,
+    neighbors: Vec<Addr>,
+    work: u32,
+    /// Next step within the iteration: 0..neighbors.len() are
+    /// compute+read pairs; the final step is compute+write.
+    step: usize,
+    /// Whether the compute half of the current step has been emitted.
+    computed: bool,
+    iteration: u64,
+    checksum: u64,
+}
+
+impl TorusNeighborProgram {
+    /// Creates the program for `thread` of `instance` on the given torus:
+    /// `work` processor cycles of computation precede every memory
+    /// access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `work` is zero (the paper's application has small but
+    /// nonzero grain).
+    pub fn new(torus: &Torus, instance: usize, thread: usize, work: u32) -> Self {
+        assert!(work > 0, "computation grain must be positive");
+        let threads = torus.nodes();
+        let t = commloc_net::NodeId(thread);
+        let mut neighbors = Vec::new();
+        for dim in 0..torus.dims() {
+            for dir in commloc_net::Direction::ALL {
+                let n = torus.neighbor(t, dim, dir);
+                neighbors.push(state_word(instance, n.0, threads));
+            }
+        }
+        Self {
+            own: state_word(instance, thread, threads),
+            neighbors,
+            work,
+            step: 0,
+            computed: false,
+            iteration: 0,
+            checksum: 0,
+        }
+    }
+
+    /// Completed inner-loop iterations.
+    pub fn iterations(&self) -> u64 {
+        self.iteration
+    }
+
+    /// Running sum of all neighbour values read (the "trivial
+    /// computation"; also a correctness probe for tests).
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+}
+
+impl ThreadProgram for TorusNeighborProgram {
+    fn next(&mut self, last_read: Option<u64>) -> ThreadOp {
+        if let Some(v) = last_read {
+            self.checksum = self.checksum.wrapping_add(v);
+        }
+        if !self.computed {
+            self.computed = true;
+            return ThreadOp::Compute(self.work);
+        }
+        self.computed = false;
+        if self.step < self.neighbors.len() {
+            let addr = self.neighbors[self.step];
+            self.step += 1;
+            ThreadOp::Read(addr)
+        } else {
+            self.step = 0;
+            self.iteration += 1;
+            ThreadOp::Write(self.own, self.iteration)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn torus() -> Torus {
+        Torus::new(2, 8)
+    }
+
+    #[test]
+    fn state_words_are_line_disjoint() {
+        let mut lines = std::collections::BTreeSet::new();
+        for instance in 0..4 {
+            for thread in 0..64 {
+                assert!(
+                    lines.insert(state_word(instance, thread, 64).line()),
+                    "line collision at {instance}/{thread}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn program_emits_paper_iteration_shape() {
+        let t = torus();
+        let mut p = TorusNeighborProgram::new(&t, 0, 9, 5);
+        let mut ops = Vec::new();
+        for _ in 0..10 {
+            ops.push(p.next(None));
+        }
+        // compute, read x4 (interleaved with computes), compute, write.
+        assert!(matches!(ops[0], ThreadOp::Compute(5)));
+        assert!(matches!(ops[1], ThreadOp::Read(_)));
+        assert!(matches!(ops[8], ThreadOp::Compute(5)));
+        match ops[9] {
+            ThreadOp::Write(addr, value) => {
+                assert_eq!(addr, state_word(0, 9, 64));
+                assert_eq!(value, 1);
+            }
+            other => panic!("expected write, got {other:?}"),
+        }
+        assert_eq!(p.iterations(), 1);
+    }
+
+    #[test]
+    fn neighbors_are_torus_neighbors() {
+        let t = torus();
+        let p = TorusNeighborProgram::new(&t, 0, 0, 1);
+        let neighbor_threads: Vec<u64> = p
+            .neighbors
+            .iter()
+            .map(|a| a.0 / WORDS_PER_LINE as u64)
+            .collect();
+        // Node 0 of an 8x8 torus neighbours 1, 7, 8, 56.
+        assert_eq!(neighbor_threads, vec![1, 7, 8, 56]);
+    }
+
+    #[test]
+    fn home_map_follows_mapping() {
+        let t = torus();
+        let mapping = crate::mapping::Mapping::random(64, 3);
+        let home = workload_home_map(&t, &mapping, 2);
+        for thread in 0..64 {
+            for instance in 0..2 {
+                let line = state_word(instance, thread, 64).line();
+                assert_eq!(home.home(line), mapping.processor(thread));
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_accumulates_reads() {
+        let t = torus();
+        let mut p = TorusNeighborProgram::new(&t, 0, 0, 1);
+        p.next(None); // compute
+        p.next(None); // read
+        p.next(Some(10)); // compute (value consumed)
+        assert_eq!(p.checksum(), 10);
+    }
+}

@@ -1,0 +1,65 @@
+//! Prefetching study: the paper's Section 2.1 claim that *any* mechanism
+//! for keeping `w` transactions outstanding — block multithreading, weak
+//! ordering, prefetching — multiplies the application transaction curve's
+//! slope by `w`.
+//!
+//! This example drives a non-blocking [`PipelinedProcessor`] against a
+//! fixed-latency memory and measures the issue interval as latency grows:
+//! the sensitivity (inverse slope) falls as `1/w`, exactly like hardware
+//! contexts in the block-multithreaded processor.
+//!
+//! Run with: `cargo run --release --example prefetching`
+
+use commloc::mem::Addr;
+use commloc::proc::{LoopProgram, PipelinedProcessor, ThreadOp};
+use commloc::sim::fit_line;
+
+fn issue_interval(window: usize, grain: u32, latency: u64, cycles: u64) -> f64 {
+    let program = LoopProgram::new(vec![ThreadOp::Compute(grain), ThreadOp::Read(Addr(0))]);
+    let mut cpu = PipelinedProcessor::new(Box::new(program), window);
+    let mut outstanding: Vec<(u64, usize)> = Vec::new();
+    for now in 0..cycles {
+        outstanding.retain(|&(due, slot)| {
+            if due <= now {
+                cpu.complete(slot, 0);
+                false
+            } else {
+                true
+            }
+        });
+        if let Some(req) = cpu.step() {
+            outstanding.push((now + latency, req.context));
+        }
+    }
+    cpu.avg_issue_interval()
+}
+
+fn main() {
+    let grain = 10;
+    let latencies: Vec<u64> = (1..=8).map(|i| i * 100).collect();
+    println!("issue interval t_t vs transaction latency T_t (grain = {grain}):\n");
+    print!("{:>8}", "T_t");
+    for w in [1usize, 2, 4, 8] {
+        print!(" {:>9}", format!("w={w}"));
+    }
+    println!();
+    for &latency in &latencies {
+        print!("{latency:>8}");
+        for w in [1usize, 2, 4, 8] {
+            print!(" {:>9.1}", issue_interval(w, grain, latency, 200_000));
+        }
+        println!();
+    }
+    println!("\nfitted transaction-curve slopes (T_t per unit t_t):");
+    for w in [1usize, 2, 4, 8] {
+        let points: Vec<(f64, f64)> = latencies
+            .iter()
+            .map(|&l| (issue_interval(w, grain, l, 200_000), l as f64))
+            .collect();
+        let fit = fit_line(&points);
+        println!(
+            "  w = {w}: slope = {:>5.2}  (model: slope = w = {w})",
+            fit.slope
+        );
+    }
+}

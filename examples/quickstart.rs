@@ -1,0 +1,52 @@
+//! Quickstart: solve the combined model for an Alewife-like machine and
+//! see how communication distance shapes performance.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use commloc::model::{
+    CombinedModel, IssueTimeBreakdown, MachineConfig, ModelError,
+};
+
+fn main() -> Result<(), ModelError> {
+    // The paper's Section 3 machine: a 64-node, 8x8 torus with network
+    // switches clocked twice as fast as the processors, running an
+    // application with very small computation grain.
+    let machine = MachineConfig::alewife().with_contexts(2);
+    let model: CombinedModel = machine.to_combined_model()?;
+
+    println!("machine: {} nodes, {} contexts/processor", machine.nodes(), machine.contexts());
+    println!(
+        "latency sensitivity s = p*g/c = {:.2}",
+        machine.latency_sensitivity()
+    );
+    println!(
+        "random-mapping communication distance (Eq. 17): {:.2} hops\n",
+        machine.random_mapping_distance()?
+    );
+
+    println!(
+        "{:>6} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "d", "t_t", "T_t", "T_m", "T_h", "rho"
+    );
+    for distance in [0.5, 1.0, 2.0, 3.0, 4.06, 5.0, 6.0] {
+        let op = model.solve(distance)?;
+        println!(
+            "{distance:>6.2} {:>8.1} {:>8.1} {:>8.1} {:>8.2} {:>8.3}",
+            op.issue_interval,
+            op.transaction_latency,
+            op.message_latency,
+            op.per_hop_latency,
+            op.channel_utilization
+        );
+    }
+
+    // Where does the time go? (Eq. 18 decomposition, Figure 8.)
+    let op = model.solve(1.0)?;
+    let parts = IssueTimeBreakdown::from_operating_point(&model, &op);
+    println!("\nideal mapping (d = 1) issue-time breakdown, network cycles:");
+    println!("  variable message overhead: {:>7.1}", parts.variable_message);
+    println!("  fixed message overhead:    {:>7.1}", parts.fixed_message);
+    println!("  fixed transaction overhead:{:>7.1}", parts.fixed_transaction);
+    println!("  actual CPU cycles:         {:>7.1}", parts.cpu);
+    Ok(())
+}

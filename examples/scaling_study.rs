@@ -1,0 +1,46 @@
+//! Scaling study: the analytical model from 10 to a million processors —
+//! per-hop latency saturation (Figure 6) and the expected gain from
+//! exploiting physical locality (Figure 7 / Table 1).
+//!
+//! Run with: `cargo run --release --example scaling_study`
+
+use commloc::model::{
+    expected_gain, limiting_per_hop_latency, log_spaced_sizes, per_hop_latency_curve,
+    MachineConfig, ModelError,
+};
+
+fn main() -> Result<(), ModelError> {
+    let machine = MachineConfig::alewife().with_contexts(2);
+    let sizes = log_spaced_sizes(10.0, 1e6, 1);
+
+    println!("per-hop latency saturation (Eq. 16 limit = {:.1} cycles):\n",
+        limiting_per_hop_latency(&machine));
+    println!("{:>10} {:>8} {:>8} {:>8}", "N", "d_rand", "T_h", "rho");
+    for point in per_hop_latency_curve(&machine, &sizes)? {
+        println!(
+            "{:>10.0} {:>8.1} {:>8.2} {:>8.3}",
+            point.nodes, point.distance, point.per_hop_latency, point.channel_utilization
+        );
+    }
+
+    println!("\nexpected gain from ideal vs random thread placement:\n");
+    println!("{:>10} {:>8} {:>8} {:>8}", "N", "p=1", "p=2", "p=4");
+    for n in [10.0, 100.0, 1000.0, 1e4, 1e5, 1e6] {
+        let mut row = format!("{n:>10.0}");
+        for p in [1, 2, 4] {
+            let g = expected_gain(&machine.with_contexts(p).with_nodes(n))?.gain;
+            row.push_str(&format!(" {g:>8.2}"));
+        }
+        println!("{row}");
+    }
+
+    println!("\nslower networks value locality more (Table 1):\n");
+    println!("{:>12} {:>10} {:>10}", "net speed", "gain(10^3)", "gain(10^6)");
+    for (label, factor) in [("2x faster", 1.0), ("same", 0.5), ("2x slower", 0.25), ("4x slower", 0.125)] {
+        let cfg = machine.with_contexts(1).scale_network_speed(factor);
+        let g3 = expected_gain(&cfg.with_nodes(1e3))?.gain;
+        let g6 = expected_gain(&cfg.with_nodes(1e6))?.gain;
+        println!("{label:>12} {g3:>10.1} {g6:>10.1}");
+    }
+    Ok(())
+}

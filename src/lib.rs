@@ -1,0 +1,39 @@
+//! # commloc — communication locality in large-scale multiprocessors
+//!
+//! A faithful reimplementation of the system behind Kirk L. Johnson,
+//! *"The Impact of Communication Locality on Large-Scale Multiprocessor
+//! Performance"* (ISCA 1992): an analytical framework that couples
+//! application, transaction, and network models with feedback, plus the
+//! complete cycle-level multiprocessor simulator (multithreaded
+//! processors, directory-coherent caches, wormhole torus network) the
+//! paper validates it against.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`model`] — the paper's analytical framework (Sections 2 and 4).
+//! * [`net`] — cycle-level k-ary n-cube wormhole fabric.
+//! * [`mem`] — full-map MSI directory coherence.
+//! * [`proc`] — Sparcle-style block-multithreaded processors.
+//! * [`sim`] — the assembled Alewife-like machine and the synthetic
+//!   torus-neighbour workload (Section 3).
+//!
+//! # Quick start
+//!
+//! ```
+//! use commloc::model::{expected_gain, MachineConfig};
+//!
+//! # fn main() -> Result<(), commloc::model::ModelError> {
+//! let machine = MachineConfig::alewife().with_nodes(1000.0);
+//! println!("locality gain bound: {:.1}x", expected_gain(&machine)?.gain);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use commloc_mem as mem;
+pub use commloc_model as model;
+pub use commloc_net as net;
+pub use commloc_proc as proc;
+pub use commloc_sim as sim;

@@ -1,0 +1,136 @@
+//! Cross-crate integration tests: the full simulated machine against the
+//! analytical model, spanning every workspace crate through the facade.
+
+use commloc::model::{
+    expected_gain, limiting_per_hop_latency, EndpointContention, MachineConfig,
+};
+use commloc::net::Torus;
+use commloc::sim::{fit_line, run_experiment, Mapping, SimConfig};
+
+/// The centerpiece validation: message-curve slopes measured from the
+/// cycle-level simulator scale with the hardware context count as the
+/// node model predicts (Figure 3's conclusion).
+#[test]
+fn message_curve_slopes_scale_with_contexts() {
+    let mappings = [
+        Mapping::identity(64),
+        Mapping::random_swaps(64, 20, 9),
+        Mapping::random(64, 9),
+        Mapping::maximize_distance(&Torus::new(2, 8), 9, 1500),
+    ];
+    let mut slopes = Vec::new();
+    for contexts in [1usize, 2] {
+        let points: Vec<(f64, f64)> = mappings
+            .iter()
+            .map(|m| {
+                let cfg = SimConfig {
+                    contexts,
+                    ..SimConfig::default()
+                };
+                let meas = run_experiment(cfg, m, 10_000, 30_000);
+                (meas.message_interval, meas.message_latency)
+            })
+            .collect();
+        slopes.push(fit_line(&points).slope);
+    }
+    let ratio = slopes[1] / slopes[0];
+    assert!(
+        (1.6..=2.4).contains(&ratio),
+        "slope ratio p2/p1 = {ratio} (expected about 2, slightly less in practice)"
+    );
+}
+
+/// Simulated per-processor performance ratio between ideal and random
+/// mappings on the 64-node machine is modest (well under the distance
+/// ratio), exactly as the model predicts for a machine this size.
+#[test]
+fn locality_gain_at_64_nodes_is_modest() {
+    let cfg = SimConfig::default();
+    let ideal = run_experiment(cfg.clone(), &Mapping::identity(64), 10_000, 30_000);
+    let random = run_experiment(cfg, &Mapping::random(64, 17), 10_000, 30_000);
+    let sim_gain = ideal.transaction_rate / random.transaction_rate;
+    // Model prediction for the same machine.
+    let machine = MachineConfig::alewife().with_nodes(64.0);
+    let model_gain = expected_gain(&machine).expect("solvable").gain;
+    assert!(sim_gain > 1.0, "locality must help: {sim_gain}");
+    assert!(
+        sim_gain < 2.0,
+        "64 nodes is far from the communication-bound regime: {sim_gain}"
+    );
+    // Model and simulation agree on the magnitude of the gain.
+    assert!(
+        (sim_gain - model_gain).abs() / model_gain < 0.35,
+        "sim gain {sim_gain} vs model gain {model_gain}"
+    );
+}
+
+/// The measured g and B of the simulated coherence protocol match the
+/// values the paper reports for its workload (Section 3.2), which the
+/// analytical defaults encode.
+#[test]
+fn protocol_statistics_match_calibration() {
+    let m = run_experiment(SimConfig::default(), &Mapping::identity(64), 10_000, 30_000);
+    let machine = MachineConfig::alewife();
+    assert!(
+        (m.messages_per_transaction - machine.messages_per_transaction()).abs() < 0.4,
+        "g: sim {} vs calibrated {}",
+        m.messages_per_transaction,
+        machine.messages_per_transaction()
+    );
+    assert!(
+        (m.avg_message_size - machine.message_size()).abs() < 1.5,
+        "B: sim {} vs calibrated {}",
+        m.avg_message_size,
+        machine.message_size()
+    );
+}
+
+/// The simulator's per-hop latency stays below the Eq. 16 limit for its
+/// latency sensitivity — the feedback bound applies to the real machine,
+/// not just the model.
+#[test]
+fn simulated_per_hop_latency_respects_eq16_style_bound() {
+    for contexts in [1usize, 2] {
+        let cfg = SimConfig {
+            contexts,
+            ..SimConfig::default()
+        };
+        let m = run_experiment(cfg, &Mapping::random(64, 23), 10_000, 30_000);
+        // Eq. 16 with the measured effective sensitivity: B*s/(2n), where
+        // s is bounded by p*g/c = p*g/2.
+        let s = contexts as f64 * m.messages_per_transaction / 2.0;
+        let limit = m.avg_message_size * s / 4.0;
+        assert!(
+            m.per_hop_latency < limit.max(2.0) * 1.5,
+            "p={contexts}: T_h = {} vs bound {limit}",
+            m.per_hop_latency
+        );
+    }
+}
+
+/// Model-side sanity from the facade: the headline numbers of the
+/// abstract (gain about 2 at 1,000 processors, tens at a million,
+/// three-ish times more with an 8x slower network).
+#[test]
+fn headline_numbers_from_the_abstract() {
+    let base = MachineConfig::alewife().with_endpoint_contention(EndpointContention::Ignore);
+    let g1k = expected_gain(&base.with_nodes(1e3)).unwrap().gain;
+    let g1m = expected_gain(&base.with_nodes(1e6)).unwrap().gain;
+    assert!((1.5..=2.5).contains(&g1k), "gain(10^3) = {g1k}");
+    assert!((30.0..=60.0).contains(&g1m), "gain(10^6) = {g1m}");
+    let slow = base.scale_network_speed(0.125);
+    let s1k = expected_gain(&slow.with_nodes(1e3)).unwrap().gain;
+    let ratio = s1k / g1k;
+    assert!(
+        (2.2..=3.8).contains(&ratio),
+        "8x slowdown gain ratio = {ratio} (paper: about 3)"
+    );
+}
+
+/// The limiting per-hop latency matches the paper's 9.8-cycle figure for
+/// the two-context application.
+#[test]
+fn limiting_latency_matches_paper() {
+    let limit = limiting_per_hop_latency(&MachineConfig::alewife().with_contexts(2));
+    assert!((limit - 9.8).abs() < 0.5, "limit = {limit}");
+}

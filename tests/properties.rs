@@ -1,0 +1,216 @@
+//! Property-based tests over the analytical models and the network
+//! substrate, via the facade crate.
+
+use commloc::model::{
+    CombinedModel, EndpointContention, MachineConfig, NetworkModel, NodeModel, TorusGeometry,
+};
+use commloc::net::{Fabric, FabricConfig, Message, NodeId, Torus};
+use proptest::prelude::*;
+
+fn arbitrary_machine() -> impl Strategy<Value = MachineConfig> {
+    (
+        1.0f64..500.0,   // grain
+        1u32..=8,        // contexts
+        0.0f64..40.0,    // context switch
+        1.2f64..4.0,     // c
+        0.0f64..200.0,   // T_f
+        4.0f64..40.0,    // B
+        2u32..=3,        // n
+        2.0f64..64.0,    // k
+        0.25f64..4.0,    // clock ratio
+    )
+        .prop_map(|(grain, p, switch, c, t_f, b, n, k, ratio)| {
+            MachineConfig::alewife()
+                .with_grain(grain)
+                .with_contexts(p)
+                .with_context_switch(switch)
+                .with_critical_path_messages(c)
+                .with_messages_per_transaction(c * 1.6)
+                .with_fixed_overhead(t_f)
+                .with_message_size(b)
+                .with_dimension(n)
+                .with_radix(k)
+                .with_clock_ratio(ratio)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The combined model always finds a feasible operating point with
+    /// sub-saturation utilization, for any sane machine and distance.
+    #[test]
+    fn solver_always_finds_feasible_point(
+        machine in arbitrary_machine(),
+        distance in 0.0f64..200.0,
+    ) {
+        let model = machine.to_combined_model().unwrap();
+        let op = model.solve(distance).unwrap();
+        prop_assert!(op.message_rate > 0.0);
+        prop_assert!(op.channel_utilization >= 0.0);
+        prop_assert!(op.channel_utilization < 1.0);
+        prop_assert!(op.message_latency >= 0.0);
+        prop_assert!(op.issue_interval > 0.0);
+    }
+
+    /// Monotonicity: longer communication distances never increase the
+    /// transaction rate and never decrease the message latency.
+    #[test]
+    fn distance_monotonicity(
+        machine in arbitrary_machine(),
+        d_lo in 0.0f64..50.0,
+        delta in 0.1f64..50.0,
+    ) {
+        let model = machine.to_combined_model().unwrap();
+        let near = model.solve(d_lo).unwrap();
+        let far = model.solve(d_lo + delta).unwrap();
+        prop_assert!(far.transaction_rate <= near.transaction_rate * (1.0 + 1e-9));
+        prop_assert!(far.message_latency >= near.message_latency - 1e-9);
+    }
+
+    /// The solved operating point is a true fixed point: the network
+    /// latency at the solved rate equals the node's absorbed latency.
+    #[test]
+    fn solution_is_fixed_point(
+        machine in arbitrary_machine(),
+        distance in 0.5f64..100.0,
+    ) {
+        let model = machine.to_combined_model().unwrap();
+        let op = model.solve(distance).unwrap();
+        let network = model.network().message_latency(op.message_rate, distance).unwrap();
+        // Either the latency balance holds, or the node is pinned at its
+        // latency-masked floor (processor-bound).
+        let node_interval = model.node().message_interval_for_latency(network);
+        prop_assert!(
+            (node_interval - op.message_interval).abs() / op.message_interval < 1e-6,
+            "interval {} vs {}", node_interval, op.message_interval
+        );
+    }
+
+    /// Expected gain is at least one and bounded by the distance ratio
+    /// (the paper's "at most linear" law).
+    #[test]
+    fn gain_bounded_by_distance_ratio(
+        machine in arbitrary_machine(),
+        nodes in 4.0f64..1e6,
+    ) {
+        let cfg = machine.with_nodes(nodes);
+        let point = commloc::model::expected_gain(&cfg).unwrap();
+        prop_assert!(point.gain >= 1.0 - 1e-9);
+        let distance_ratio = point.random_distance / point.ideal_distance;
+        // Linear-in-distance-reduction bound, with slack for the
+        // contention reduction that shrinking distance also brings
+        // (bounded by the limiting per-hop latency ratio).
+        let t_h_limit = commloc::model::limiting_per_hop_latency(&cfg);
+        prop_assert!(
+            point.gain <= distance_ratio * t_h_limit + 1e-6,
+            "gain {} vs distance ratio {} x T_h limit {}",
+            point.gain, distance_ratio, t_h_limit
+        );
+    }
+
+    /// Node model: the latency-for-interval line and its inversion agree
+    /// everywhere in the latency-bound regime.
+    #[test]
+    fn node_model_round_trip(
+        grain in 1.0f64..500.0,
+        contexts in 1u32..=8,
+        t_f in 0.0f64..300.0,
+        latency in 0.0f64..5_000.0,
+    ) {
+        let node = NodeModel::from_parameters(grain, contexts, 22.0, 2.0, 3.2, t_f).unwrap();
+        let threshold = node.masking_latency_threshold();
+        prop_assume!(latency > threshold);
+        let interval = node.message_interval_for_latency(latency);
+        let back = node.message_latency_for_interval(interval);
+        prop_assert!((back - latency).abs() < 1e-6);
+    }
+
+    /// Network model: per-hop latency is monotone in utilization and
+    /// always at least the single-cycle base delay.
+    #[test]
+    fn per_hop_latency_monotone(
+        b in 1.0f64..64.0,
+        k_d in 0.1f64..100.0,
+        rho_lo in 0.0f64..0.98,
+        d_rho in 0.0f64..0.01,
+    ) {
+        let net = NetworkModel::new(TorusGeometry::new(2, 8.0).unwrap(), b)
+            .unwrap()
+            .with_endpoint_contention(EndpointContention::Ignore);
+        let lo = net.per_hop_latency(rho_lo, k_d).unwrap();
+        let hi = net.per_hop_latency((rho_lo + d_rho).min(0.989), k_d).unwrap();
+        prop_assert!(lo >= 1.0);
+        prop_assert!(hi >= lo - 1e-12);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Network substrate: every injected message is delivered intact,
+    /// with a hop count equal to the torus distance, under random traffic
+    /// on random torus shapes.
+    #[test]
+    fn fabric_delivers_everything(
+        dims in 1u32..=3,
+        radix in 2usize..=6,
+        pairs in proptest::collection::vec((0usize..1000, 0usize..1000, 1u32..30), 1..60),
+    ) {
+        let torus = Torus::new(dims, radix);
+        let n = torus.nodes();
+        let mut fabric: Fabric<usize> = Fabric::new(torus.clone(), FabricConfig::default());
+        let mut expected: Vec<usize> = vec![0; n];
+        let mut sent = 0;
+        for (i, (src, dst, len)) in pairs.iter().enumerate() {
+            let (src, dst) = (NodeId(src % n), NodeId(dst % n));
+            fabric.inject(Message::new(src, dst, *len, i));
+            expected[dst.0] += 1;
+            sent += 1;
+        }
+        prop_assert!(fabric.run_until_idle(2_000_000), "fabric did not drain");
+        let mut received = 0;
+        for node in torus.node_ids() {
+            while let Some(d) = fabric.poll_delivery(node) {
+                prop_assert_eq!(d.message.dst, node);
+                prop_assert_eq!(
+                    d.hops as usize,
+                    torus.distance(d.message.src, d.message.dst)
+                );
+                received += 1;
+                expected[node.0] -= 1;
+            }
+            prop_assert_eq!(expected[node.0], 0);
+        }
+        prop_assert_eq!(received, sent);
+        prop_assert_eq!(fabric.buffered_flits(), 0);
+    }
+}
+
+/// Combined model solved via quadratic and bisection agree on random
+/// parameter draws within the quadratic's domain.
+#[test]
+fn quadratic_bisection_agreement_random_draws() {
+    use proptest::strategy::{Strategy, ValueTree};
+    use proptest::test_runner::TestRunner;
+    let mut runner = TestRunner::deterministic();
+    let strategy = (1.0f64..300.0, 1u32..=4, 0.0f64..200.0, 4.0f64..30.0, 2.0f64..60.0);
+    for _ in 0..200 {
+        let (grain, p, t_f, b, d) = strategy
+            .new_tree(&mut runner)
+            .expect("strategy")
+            .current();
+        let node = NodeModel::from_parameters(grain, p, 22.0, 2.0, 3.2, t_f).unwrap();
+        let net = NetworkModel::new(TorusGeometry::new(2, 8.0).unwrap(), b)
+            .unwrap()
+            .with_endpoint_contention(EndpointContention::Ignore);
+        let model = CombinedModel::new(node, net);
+        let r_floor = 1.0 / model.node().min_message_interval();
+        let bisect = model.solve(d).unwrap().message_rate;
+        let quad = model.solve_quadratic(d).unwrap().min(r_floor);
+        assert!(
+            (bisect - quad).abs() / quad < 1e-5,
+            "grain={grain} p={p} t_f={t_f} b={b} d={d}: {bisect} vs {quad}"
+        );
+    }
+}
