@@ -8,12 +8,11 @@
 //! all four on/off combinations, plus the network-dimension study of
 //! Section 4.2's closing remark.
 
-use commloc_bench::{fit_message_curve, pct_err, validation_runs, ValidationRun};
+use commloc_bench::{fit_message_curve, pct_err, time_it, validation_runs, ValidationRun};
 use commloc_model::{
     dimension_study, ApplicationModel, CombinedModel, EndpointContention, MachineConfig,
     NetworkModel, NodeModel, TorusGeometry, TransactionModel,
 };
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 /// Builds the calibrated model with explicit feature switches.
@@ -30,7 +29,11 @@ fn model_variant(
         .map(|r| r.measured.messages_per_transaction)
         .sum::<f64>()
         / n;
-    let b: f64 = runs.iter().map(|r| r.measured.avg_message_size).sum::<f64>() / n;
+    let b: f64 = runs
+        .iter()
+        .map(|r| r.measured.avg_message_size)
+        .sum::<f64>()
+        / n;
     let b_resid: f64 = runs
         .iter()
         .map(|r| r.measured.residual_message_size)
@@ -69,13 +72,14 @@ fn reproduce() {
     for contexts in [1usize, 2] {
         let runs = validation_runs(contexts);
         println!("\n-- {contexts} context(s): mean |rate error| across the mapping suite --");
-        println!(
-            "{:<44} {:>10}",
-            "variant", "mean |err|"
-        );
+        println!("{:<44} {:>10}", "variant", "mean |err|");
         let variants = [
             ("core equations only", EndpointContention::Ignore, false),
-            ("+ endpoint channel (paper ext. [7])", EndpointContention::MD1, false),
+            (
+                "+ endpoint channel (paper ext. [7])",
+                EndpointContention::MD1,
+                false,
+            ),
             ("+ M/G/1 residual size", EndpointContention::Ignore, true),
             ("+ both (shipping default)", EndpointContention::MD1, true),
         ];
@@ -87,7 +91,10 @@ fn reproduce() {
     }
 
     println!("\n=== Section 4.2 closing remark: gain vs network dimension (N = 10^6) ===");
-    println!("{:>4} {:>8} {:>10} {:>10} {:>8}", "n", "k", "d_random", "T_h limit", "gain");
+    println!(
+        "{:>4} {:>8} {:>10} {:>10} {:>8}",
+        "n", "k", "d_random", "T_h limit", "gain"
+    );
     let cfg = MachineConfig::alewife().with_contexts(2).with_nodes(1e6);
     for point in dimension_study(&cfg, &[2, 3, 4, 5]).expect("solvable") {
         println!(
@@ -101,13 +108,10 @@ fn reproduce() {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     reproduce();
     let cfg = MachineConfig::alewife().with_contexts(2).with_nodes(1e6);
-    c.bench_function("ablation/dimension_study", |b| {
-        b.iter(|| black_box(dimension_study(&cfg, black_box(&[2, 3, 4, 5])).unwrap()))
+    time_it("ablation/dimension_study", 1_000, || {
+        black_box(dimension_study(&cfg, black_box(&[2, 3, 4, 5])).unwrap())
     });
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -10,8 +10,7 @@
 //! This bench regenerates the measured curves from the cycle-level
 //! simulator, fits each line, and compares slopes against `s = p*g/c`.
 
-use commloc_bench::{fit_message_curve, validation_runs};
-use criterion::{criterion_group, criterion_main, Criterion};
+use commloc_bench::{fit_message_curve, time_it, validation_runs};
 use std::hint::black_box;
 
 fn reproduce() {
@@ -49,22 +48,13 @@ fn reproduce() {
     );
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     reproduce();
-    // Criterion target: a short burst of the underlying simulation.
-    c.bench_function("fig3/short_sim_window", |b| {
-        b.iter(|| {
-            let cfg = commloc_sim::SimConfig::default();
-            let mapping = commloc_sim::Mapping::identity(64);
-            let m = commloc_sim::run_experiment(cfg, &mapping, 500, 1_500);
-            black_box(m.message_rate)
-        })
+    // Timing target: a short burst of the underlying simulation.
+    time_it("fig3/short_sim_window", 10, || {
+        let cfg = commloc_sim::SimConfig::default();
+        let mapping = commloc_sim::Mapping::identity(64);
+        let m = commloc_sim::run_experiment(cfg, &mapping, 500, 1_500).expect("fault-free run");
+        black_box(m.message_rate)
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

@@ -8,8 +8,7 @@
 //! the analytical network model), and prints measured vs. predicted
 //! per-node message rates with their relative error.
 
-use commloc_bench::{calibrated_model, pct_err, validation_runs};
-use criterion::{criterion_group, criterion_main, Criterion};
+use commloc_bench::{calibrated_model, pct_err, time_it, validation_runs};
 use std::hint::black_box;
 
 fn reproduce() {
@@ -39,19 +38,12 @@ fn reproduce() {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     reproduce();
-    // Criterion target: the combined-model solve used for every point.
+    // Timing target: the combined-model solve used for every point.
     let runs = validation_runs(1);
     let model = calibrated_model(1, &runs);
-    c.bench_function("fig4/combined_model_solve", |b| {
-        b.iter(|| black_box(model.solve(black_box(4.06)).unwrap().message_rate))
+    time_it("fig4/combined_model_solve", 10_000, || {
+        black_box(model.solve(black_box(4.06)).unwrap().message_rate)
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench
-}
-criterion_main!(benches);

@@ -5,8 +5,7 @@
 //! a few network cycles". Same setup as the Figure 4 bench, comparing
 //! `T_m` instead of `r_m`.
 
-use commloc_bench::{calibrated_model, validation_runs};
-use criterion::{criterion_group, criterion_main, Criterion};
+use commloc_bench::{calibrated_model, time_it, validation_runs};
 use std::hint::black_box;
 
 fn reproduce() {
@@ -29,11 +28,7 @@ fn reproduce() {
             worst = worst.max(diff.abs());
             println!(
                 "{:<16} {:>6.2} {:>10.1} {:>10.1} {:>8.1}",
-                run.name,
-                run.measured.distance,
-                run.measured.message_latency,
-                predicted,
-                diff
+                run.name, run.measured.distance, run.measured.message_latency, predicted, diff
             );
         }
         println!(
@@ -43,18 +38,11 @@ fn reproduce() {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     reproduce();
     let runs = validation_runs(2);
     let model = calibrated_model(2, &runs);
-    c.bench_function("fig5/combined_model_solve", |b| {
-        b.iter(|| black_box(model.solve(black_box(6.0)).unwrap().message_latency))
+    time_it("fig5/combined_model_solve", 10_000, || {
+        black_box(model.solve(black_box(6.0)).unwrap().message_latency)
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench
-}
-criterion_main!(benches);

@@ -7,10 +7,10 @@
 //! `B = 12`, `n = 2`); the small-grain application reaches over eighty
 //! percent of it with a few thousand processors.
 
+use commloc_bench::time_it;
 use commloc_model::{
     limiting_per_hop_latency, log_spaced_sizes, per_hop_latency_curve, MachineConfig,
 };
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn reproduce() {
@@ -43,14 +43,11 @@ fn reproduce() {
     println!("\nbase application reaches 80% of the limit at N = {reach} (paper: a few thousand)");
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     reproduce();
     let cfg = MachineConfig::alewife().with_contexts(2);
     let sizes = log_spaced_sizes(10.0, 1e6, 2);
-    c.bench_function("fig6/per_hop_latency_curve", |b| {
-        b.iter(|| black_box(per_hop_latency_curve(&cfg, black_box(&sizes)).unwrap()))
+    time_it("fig6/per_hop_latency_curve", 1_000, || {
+        black_box(per_hop_latency_curve(&cfg, black_box(&sizes)).unwrap())
     });
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -7,8 +7,8 @@
 //! has a very small computation grain, these are rough **upper bounds**
 //! on the gain available to any application.
 
+use commloc_bench::time_it;
 use commloc_model::{expected_gain, log_spaced_sizes, MachineConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn reproduce() {
@@ -45,13 +45,10 @@ fn reproduce() {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     reproduce();
     let cfg = MachineConfig::alewife().with_contexts(2).with_nodes(1e6);
-    c.bench_function("fig7/expected_gain_1e6", |b| {
-        b.iter(|| black_box(expected_gain(black_box(&cfg)).unwrap().gain))
+    time_it("fig7/expected_gain_1e6", 1_000, || {
+        black_box(expected_gain(black_box(&cfg)).unwrap().gain)
     });
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

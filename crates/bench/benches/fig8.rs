@@ -8,10 +8,10 @@
 //! impact on `t_t` is limited to about a factor of two; fixed transaction
 //! overhead is roughly two-thirds of the total fixed component.
 
+use commloc_bench::time_it;
 use commloc_model::{
     EndpointContention, IssueTimeBreakdown, MachineConfig, IDEAL_MAPPING_DISTANCE,
 };
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn reproduce() {
@@ -53,17 +53,12 @@ fn reproduce() {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     reproduce();
     let cfg = MachineConfig::alewife().with_nodes(1000.0);
     let model = cfg.to_combined_model().unwrap();
-    c.bench_function("fig8/breakdown", |b| {
-        b.iter(|| {
-            let op = model.solve(black_box(15.8)).unwrap();
-            black_box(IssueTimeBreakdown::from_operating_point(&model, &op).total())
-        })
+    time_it("fig8/breakdown", 10_000, || {
+        let op = model.solve(black_box(15.8)).unwrap();
+        black_box(IssueTimeBreakdown::from_operating_point(&model, &op).total())
     });
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

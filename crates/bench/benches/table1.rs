@@ -9,8 +9,8 @@
 //! disabled here (at the slow-network extremes it would dominate the
 //! ideal mapping; see EXPERIMENTS.md).
 
+use commloc_bench::time_it;
 use commloc_model::{expected_gain, EndpointContention, MachineConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 const PAPER: [(&str, f64, f64, f64); 4] = [
@@ -48,15 +48,12 @@ fn reproduce() {
     );
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     reproduce();
     let cfg = MachineConfig::alewife()
         .scale_network_speed(0.125)
         .with_nodes(1e6);
-    c.bench_function("table1/expected_gain_slow_net", |b| {
-        b.iter(|| black_box(expected_gain(black_box(&cfg)).unwrap().gain))
+    time_it("table1/expected_gain_slow_net", 1_000, || {
+        black_box(expected_gain(black_box(&cfg)).unwrap().gain)
     });
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -2,13 +2,14 @@
 //!
 //! Each bench target under `benches/` regenerates one table or figure of
 //! the paper's evaluation: it prints the reproduced rows/series to stdout
-//! (so `cargo bench` output is the reproduction record) and then
-//! Criterion-times the underlying computation. The expensive cycle-level
-//! simulations run **once**, outside the Criterion measurement loops.
+//! (so `cargo bench` output is the reproduction record) and then times
+//! the underlying computation with the in-tree [`time_it`] loop. The
+//! expensive cycle-level simulations run **once**, outside the
+//! measurement loops.
 
 use commloc_model::{
-    ApplicationModel, CombinedModel, EndpointContention, NetworkModel, NodeModel,
-    TorusGeometry, TransactionModel,
+    ApplicationModel, CombinedModel, EndpointContention, NetworkModel, NodeModel, TorusGeometry,
+    TransactionModel,
 };
 use commloc_net::Torus;
 use commloc_sim::{
@@ -42,11 +43,18 @@ pub fn validation_runs(contexts: usize) -> Vec<ValidationRun> {
     let torus = Torus::new(config.dims, config.radix);
     mapping_suite(&torus, SUITE_SEED)
         .into_iter()
-        .map(|NamedMapping { name, mapping, distance }| ValidationRun {
-            name,
-            distance,
-            measured: run_experiment(config.clone(), &mapping, WARMUP, WINDOW),
-        })
+        .map(
+            |NamedMapping {
+                 name,
+                 mapping,
+                 distance,
+             }| ValidationRun {
+                name,
+                distance,
+                measured: run_experiment(config.clone(), &mapping, WARMUP, WINDOW)
+                    .expect("fault-free validation run"),
+            },
+        )
         .collect()
 }
 
@@ -74,7 +82,11 @@ pub fn calibrated_model(contexts: usize, runs: &[ValidationRun]) -> CombinedMode
         .map(|r| r.measured.messages_per_transaction)
         .sum::<f64>()
         / n;
-    let b: f64 = runs.iter().map(|r| r.measured.avg_message_size).sum::<f64>() / n;
+    let b: f64 = runs
+        .iter()
+        .map(|r| r.measured.avg_message_size)
+        .sum::<f64>()
+        / n;
     let b_resid: f64 = runs
         .iter()
         .map(|r| r.measured.residual_message_size)
@@ -101,6 +113,29 @@ pub fn pct_err(model: f64, measured: f64) -> f64 {
     (model - measured) / measured * 100.0
 }
 
+/// Times `f` with a warmup pass and a fixed iteration loop, printing a
+/// mean per-iteration figure. The in-tree replacement for an external
+/// bench harness: the workspace builds without registry access, so the
+/// bench targets carry their own timing loop.
+pub fn time_it<T>(label: &str, iters: u32, mut f: impl FnMut() -> T) {
+    std::hint::black_box(f());
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let per_iter = start.elapsed().as_secs_f64() / f64::from(iters.max(1));
+    let (value, unit) = if per_iter >= 1.0 {
+        (per_iter, "s")
+    } else if per_iter >= 1e-3 {
+        (per_iter * 1e3, "ms")
+    } else if per_iter >= 1e-6 {
+        (per_iter * 1e6, "us")
+    } else {
+        (per_iter * 1e9, "ns")
+    };
+    println!("time/{label}: {value:.3} {unit}/iter over {iters} iters");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,7 +152,8 @@ mod tests {
             .map(|m| ValidationRun {
                 name: m.name,
                 distance: m.distance,
-                measured: run_experiment(config.clone(), &m.mapping, 4_000, 10_000),
+                measured: run_experiment(config.clone(), &m.mapping, 4_000, 10_000)
+                    .expect("fault-free smoke run"),
             })
             .collect();
         let model = calibrated_model(1, &runs);

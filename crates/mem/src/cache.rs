@@ -141,9 +141,9 @@ impl Cache {
 
     /// Invalidates a line, returning its data if it was modified.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<LineData> {
-        self.lines.remove(&line).and_then(|l| {
-            (l.state == CacheState::Modified).then_some(l.data)
-        })
+        self.lines
+            .remove(&line)
+            .and_then(|l| (l.state == CacheState::Modified).then_some(l.data))
     }
 
     fn evict_lru(&mut self) -> Option<Eviction> {

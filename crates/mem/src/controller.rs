@@ -28,6 +28,9 @@ use crate::msg::{MemConfig, ProtocolMsg};
 use commloc_net::NodeId;
 use std::collections::{HashMap, VecDeque};
 
+/// Cap on the exponential-backoff shift so deadlines stay bounded.
+const MAX_BACKOFF_SHIFT: u32 = 6;
+
 /// Identifier the processor attaches to a memory transaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TxnId(pub u64);
@@ -96,6 +99,22 @@ pub struct MemStats {
     pub invalidations_sent: u64,
     /// Writebacks issued by evictions.
     pub writebacks: u64,
+    /// Transaction timeouts that fired (each may trigger a retry).
+    pub timeouts: u64,
+    /// Requests retransmitted after a timeout.
+    pub retries: u64,
+    /// Transactions whose retry budget ran out (left to the watchdog).
+    pub retries_exhausted: u64,
+    /// Grants that arrived for a line with no outstanding MSHR — a
+    /// duplicate reply from a retransmitted request, dropped harmlessly.
+    pub stale_grants: u64,
+    /// Duplicate requests the home detected and answered idempotently.
+    pub duplicate_requests: u64,
+    /// Fetch negative-acknowledgements received by the home role.
+    pub fetch_nacks: u64,
+    /// Protocol messages that arrived in a directory state that cannot
+    /// consume them (late duplicates); ignored rather than asserted on.
+    pub protocol_surprises: u64,
 }
 
 /// Outstanding-transaction record for one line: the head of `pending` is
@@ -103,6 +122,26 @@ pub struct MemStats {
 #[derive(Debug)]
 struct Mshr {
     pending: VecDeque<(TxnId, MemOp)>,
+    /// Retransmissions already performed for the in-flight request.
+    attempts: u32,
+    /// Local cycle at which the in-flight request times out (`None` when
+    /// timeouts are disabled or the retry budget is exhausted).
+    deadline: Option<u64>,
+}
+
+impl Mshr {
+    fn new(config: &MemConfig, now: u64) -> Self {
+        Self {
+            pending: VecDeque::new(),
+            attempts: 0,
+            deadline: initial_deadline(config, now),
+        }
+    }
+}
+
+/// The first-timeout deadline, or `None` when timeouts are disabled.
+fn initial_deadline(config: &MemConfig, now: u64) -> Option<u64> {
+    (config.timeout_cycles > 0).then(|| now + u64::from(config.timeout_cycles))
 }
 
 /// Work accepted by the controller, processed one per idle cycle.
@@ -145,6 +184,8 @@ pub struct Controller {
     completions: VecDeque<Completion>,
     mshr: HashMap<LineAddr, Mshr>,
     stats: MemStats,
+    /// Local cycle counter driving transaction timeouts.
+    cycle: u64,
 }
 
 impl Controller {
@@ -163,6 +204,7 @@ impl Controller {
             completions: VecDeque::new(),
             mshr: HashMap::new(),
             stats: MemStats::default(),
+            cycle: 0,
         }
     }
 
@@ -225,8 +267,18 @@ impl Controller {
         self.memory.get(&line).copied().unwrap_or_default()
     }
 
+    /// Number of outstanding coherence transactions (lines with an active
+    /// MSHR) — surfaced in watchdog stall diagnostics.
+    pub fn outstanding_transactions(&self) -> usize {
+        self.mshr.len()
+    }
+
     /// Advances the controller by one processor cycle.
     pub fn step(&mut self) {
+        self.cycle += 1;
+        if self.config.timeout_cycles > 0 {
+            self.check_timeouts();
+        }
         if self.busy > 0 {
             self.busy -= 1;
             return;
@@ -239,6 +291,46 @@ impl Controller {
             WorkItem::Msg(msg) => self.handle_msg(msg),
         };
         self.busy = cost.saturating_sub(1);
+    }
+
+    /// Retransmits requests whose replies are overdue, with bounded
+    /// exponential backoff: the n-th retry waits `timeout_cycles << n`
+    /// (shift capped) before the next. When the retry budget runs out the
+    /// transaction is left for the machine-level watchdog to report.
+    fn check_timeouts(&mut self) {
+        let now = self.cycle;
+        let mut resend = Vec::new();
+        for (&line, entry) in self.mshr.iter_mut() {
+            let Some(deadline) = entry.deadline else {
+                continue;
+            };
+            if now < deadline {
+                continue;
+            }
+            self.stats.timeouts += 1;
+            if entry.attempts >= self.config.max_retries {
+                self.stats.retries_exhausted += 1;
+                entry.deadline = None;
+                continue;
+            }
+            entry.attempts += 1;
+            let backoff =
+                u64::from(self.config.timeout_cycles) << entry.attempts.min(MAX_BACKOFF_SHIFT);
+            entry.deadline = Some(now + backoff);
+            let write = entry.pending.front().is_some_and(|(_, op)| op.is_write());
+            resend.push((line, write));
+        }
+        for (line, write) in resend {
+            self.stats.retries += 1;
+            let home = self.home.home(line);
+            let requester = self.node;
+            let msg = if write {
+                ProtocolMsg::WriteReq { line, requester }
+            } else {
+                ProtocolMsg::ReadReq { line, requester }
+            };
+            self.send(home, msg);
+        }
     }
 
     /// Sends a protocol message, short-circuiting local destinations.
@@ -296,9 +388,9 @@ impl Controller {
     }
 
     fn start_miss(&mut self, line: LineAddr, txn: TxnId, op: MemOp, write: bool) {
-        let mut pending = VecDeque::new();
-        pending.push_back((txn, op));
-        self.mshr.insert(line, Mshr { pending });
+        let mut entry = Mshr::new(&self.config, self.cycle);
+        entry.pending.push_back((txn, op));
+        self.mshr.insert(line, entry);
         let home = self.home.home(line);
         let requester = self.node;
         let msg = if write {
@@ -322,8 +414,8 @@ impl Controller {
                 self.home_request(line, requester, true);
                 base + self.config.memory_cycles
             }
-            ProtocolMsg::InvAck { line, .. } => {
-                self.home_inv_ack(line);
+            ProtocolMsg::InvAck { line, from } => {
+                self.home_inv_ack(line, from);
                 base
             }
             ProtocolMsg::OwnerData { line, data, from } => {
@@ -334,9 +426,25 @@ impl Controller {
                 self.home_writeback(line, data, from);
                 base + self.config.memory_cycles
             }
-            ProtocolMsg::FetchNack { .. } => {
-                // The crossing writeback is already in flight and will
-                // complete the pending grant; nothing to do.
+            ProtocolMsg::FetchNack { line, from } => {
+                self.stats.fetch_nacks += 1;
+                if matches!(
+                    self.directory.entry(line).state,
+                    DirState::PendingData { owner, .. } if owner == from
+                ) {
+                    // Point-to-point FIFO means a writeback that crossed
+                    // our fetch would have arrived (and resolved the
+                    // pending grant) before this nack. Still pending *on
+                    // this owner*, the owner's data return was lost in the
+                    // network: recover with memory's copy so the requester
+                    // is not wedged. A nack from any other node answers a
+                    // duplicate fetch of an older grant chain and must not
+                    // short-circuit the current one.
+                    let data = self.memory_line(line);
+                    self.home_owner_data(line, data, None);
+                }
+                // In the ordinary crossing case the writeback already
+                // completed the grant; nothing to do.
                 base
             }
             // ---- Cache role ------------------------------------------
@@ -381,11 +489,11 @@ impl Controller {
                 base
             }
             ProtocolMsg::ReadReply { line, data } => {
-                self.fill_and_drain(line, CacheState::Shared, data);
+                self.fill_and_drain(line, CacheState::Shared, data, false);
                 base
             }
             ProtocolMsg::WriteReply { line, data } => {
-                self.fill_and_drain(line, CacheState::Modified, data);
+                self.fill_and_drain(line, CacheState::Modified, data, true);
                 base
             }
         }
@@ -417,14 +525,13 @@ impl Controller {
                         self.directory.entry(line).state = DirState::Exclusive(requester);
                         self.send(requester, ProtocolMsg::WriteReply { line, data });
                     } else {
-                        let remaining = sharers.len();
-                        for sharer in sharers {
+                        for &sharer in &sharers {
                             self.stats.invalidations_sent += 1;
                             self.send(sharer, ProtocolMsg::Invalidate { line });
                         }
                         self.directory.entry(line).state = DirState::PendingAcks {
                             requester,
-                            remaining,
+                            waiting_acks: sharers,
                         };
                     }
                 } else {
@@ -432,6 +539,26 @@ impl Controller {
                     sharers.insert(requester);
                     self.directory.entry(line).state = DirState::Shared(sharers);
                     self.send(requester, ProtocolMsg::ReadReply { line, data });
+                }
+            }
+            DirState::Exclusive(owner) if owner == requester => {
+                self.stats.duplicate_requests += 1;
+                if write {
+                    // The owner's WriteReply was lost (we recorded the
+                    // grant; it never arrived). Re-grant idempotently from
+                    // memory rather than fetching from the requester
+                    // itself.
+                    let data = self.memory_line(line);
+                    self.send(requester, ProtocolMsg::WriteReply { line, data });
+                } else {
+                    // A *read* from the recorded owner can only be the
+                    // stale duplicate of an older, completed transaction:
+                    // per-pair FIFO delivers a writeback before any later
+                    // request from the same node, so a live read miss at
+                    // the owner implies we would no longer record it as
+                    // owner. Demoting to Shared here would strand the
+                    // owner's Modified copy outside the directory's view —
+                    // ignore the duplicate instead.
                 }
             }
             DirState::Exclusive(owner) => {
@@ -444,31 +571,86 @@ impl Controller {
                 self.directory.entry(line).state = DirState::PendingData {
                     requester,
                     for_write: write,
+                    owner,
                 };
             }
-            DirState::PendingData { .. } | DirState::PendingAcks { .. } => {
-                self.directory
-                    .entry(line)
-                    .waiting
-                    .push_back(QueuedRequest { requester, write });
+            DirState::PendingData {
+                requester: pending_for,
+                for_write,
+                owner,
+            } => {
+                if (pending_for == requester && for_write == write)
+                    || self.queue_waiting(line, requester, write)
+                {
+                    // A retransmission reached us — either the duplicate
+                    // of the grant in progress, or of a request already
+                    // queued behind it. Either way the requester is still
+                    // waiting, which means the transient chain may have
+                    // stalled on a lost fetch (or data return): nudge the
+                    // owner again.
+                    self.stats.duplicate_requests += 1;
+                    let msg = if for_write {
+                        ProtocolMsg::FetchInv { line }
+                    } else {
+                        ProtocolMsg::Fetch { line }
+                    };
+                    self.send(owner, msg);
+                }
+            }
+            DirState::PendingAcks {
+                requester: pending_for,
+                waiting_acks,
+            } => {
+                if (pending_for == requester && write) || self.queue_waiting(line, requester, write)
+                {
+                    // Same reasoning as the PendingData arm: any
+                    // retransmission on this line re-invalidates exactly
+                    // the sharers that have not acknowledged yet, in case
+                    // an invalidation (or its ack) was lost.
+                    self.stats.duplicate_requests += 1;
+                    for sharer in waiting_acks {
+                        self.send(sharer, ProtocolMsg::Invalidate { line });
+                    }
+                }
             }
         }
     }
 
-    fn home_inv_ack(&mut self, line: LineAddr) {
+    /// Defers a request on a transient line. Exact duplicates are dropped
+    /// (retransmissions must not inflate the queue); returns whether the
+    /// request was such a duplicate, so callers can re-drive the transient
+    /// chain the duplicate proves someone is still waiting on.
+    fn queue_waiting(&mut self, line: LineAddr, requester: NodeId, write: bool) -> bool {
+        let entry = self.directory.entry(line);
+        let req = QueuedRequest { requester, write };
+        if entry.waiting.contains(&req) {
+            return true;
+        }
+        entry.waiting.push_back(req);
+        false
+    }
+
+    fn home_inv_ack(&mut self, line: LineAddr, from: NodeId) {
         let state = self.directory.entry(line).state.clone();
         let DirState::PendingAcks {
             requester,
-            remaining,
+            mut waiting_acks,
         } = state
         else {
-            debug_assert!(false, "InvAck in state {state:?}");
+            // A late or duplicate acknowledgement after the grant already
+            // completed; harmless.
+            self.stats.protocol_surprises += 1;
             return;
         };
-        if remaining > 1 {
+        if !waiting_acks.remove(&from) {
+            // Duplicate ack from a sharer that already acknowledged.
+            self.stats.protocol_surprises += 1;
+            return;
+        }
+        if !waiting_acks.is_empty() {
             self.directory.entry(line).state = DirState::PendingAcks {
                 requester,
-                remaining: remaining - 1,
+                waiting_acks,
             };
             return;
         }
@@ -483,22 +665,26 @@ impl Controller {
     /// `None` means the owner surrendered the line entirely (fetch-
     /// invalidate, or a writeback that crossed the fetch).
     fn home_owner_data(&mut self, line: LineAddr, data: LineData, still_shared: Option<NodeId>) {
-        self.memory.insert(line, data);
         let state = self.directory.entry(line).state.clone();
         let DirState::PendingData {
             requester,
             for_write,
+            owner: _,
         } = state
         else {
-            debug_assert!(false, "OwnerData in state {state:?}");
+            // A duplicate data return after the grant already completed
+            // (the owner answered both the original fetch and a retried
+            // one). Memory is NOT refreshed: a newer writeback may already
+            // have superseded this copy.
+            self.stats.protocol_surprises += 1;
             return;
         };
+        self.memory.insert(line, data);
         if for_write {
             self.directory.entry(line).state = DirState::Exclusive(requester);
             self.send(requester, ProtocolMsg::WriteReply { line, data });
         } else {
-            let mut sharers: std::collections::BTreeSet<NodeId> =
-                [requester].into_iter().collect();
+            let mut sharers: std::collections::BTreeSet<NodeId> = [requester].into_iter().collect();
             if let Some(owner) = still_shared {
                 sharers.insert(owner);
             }
@@ -523,10 +709,13 @@ impl Controller {
                 // fresh shared grant.
                 self.home_owner_data(line, data, None);
             }
-            other => {
+            _ => {
                 // A writeback for a line we no longer consider owned by
-                // `from` cannot occur under this protocol's orderings.
-                debug_assert!(false, "Writeback from {from} in state {other:?}");
+                // `from` cannot occur under this protocol's orderings on a
+                // perfect network — under retries it shows up as a late
+                // duplicate. Memory is NOT overwritten (the current grant
+                // chain is authoritative); just count it.
+                self.stats.protocol_surprises += 1;
             }
         }
         self.stats.writebacks += 1;
@@ -551,7 +740,36 @@ impl Controller {
 
     /// Fills a granted line, performs the waiting operations it enables,
     /// and re-issues any queued write that still needs exclusivity.
-    fn fill_and_drain(&mut self, line: LineAddr, state: CacheState, data: LineData) {
+    ///
+    /// `exclusive_grant` says which reply kind delivered the fill. A read
+    /// request only ever elicits `ReadReply` and a write request only
+    /// `WriteReply`, so a reply whose kind does not match the MSHR's head
+    /// operation can only be the duplicate of an *earlier, completed*
+    /// transaction's retransmitted request — filling from it would plant a
+    /// cache state the directory no longer accounts for (e.g. Modified
+    /// here while another node legitimately holds the line Shared).
+    fn fill_and_drain(
+        &mut self,
+        line: LineAddr,
+        state: CacheState,
+        data: LineData,
+        exclusive_grant: bool,
+    ) {
+        let head_is_write = self
+            .mshr
+            .get(&line)
+            .is_some_and(|e| matches!(e.pending.front(), Some((_, MemOp::Write(..)))));
+        let Some(mut entry) = (head_is_write == exclusive_grant)
+            .then(|| self.mshr.remove(&line))
+            .flatten()
+        else {
+            // A grant we no longer wait for: the duplicate reply of a
+            // retransmitted request (no MSHR, or one of the wrong kind).
+            // The cache's (possibly newer) copy must not be clobbered
+            // with this stale data — drop it.
+            self.stats.stale_grants += 1;
+            return;
+        };
         if let Some(eviction) = self.cache.fill(line, state, data) {
             if let Some(dirty) = eviction.writeback {
                 let home = self.home.home(eviction.line);
@@ -566,10 +784,6 @@ impl Controller {
                 );
             }
         }
-        let Some(mut entry) = self.mshr.remove(&line) else {
-            debug_assert!(false, "grant for line with no MSHR");
-            return;
-        };
         while let Some((txn, op)) = entry.pending.pop_front() {
             match op {
                 MemOp::Read(addr) => {
@@ -585,8 +799,11 @@ impl Controller {
                     } else {
                         // Shared fill cannot satisfy a write: re-issue an
                         // upgrade with this op at the head and keep the
-                        // rest queued behind it.
+                        // rest queued behind it. The upgrade is a fresh
+                        // request, so its timeout clock starts over.
                         entry.pending.push_front((txn, op));
+                        entry.attempts = 0;
+                        entry.deadline = initial_deadline(&self.config, self.cycle);
                         let home = self.home.home(line);
                         let requester = self.node;
                         self.mshr.insert(line, entry);

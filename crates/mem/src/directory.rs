@@ -27,13 +27,19 @@ pub enum DirState {
         requester: NodeId,
         /// Whether the grant is exclusive.
         for_write: bool,
+        /// The owner the fetch was sent to — kept so a retransmitted
+        /// request can re-fetch if the first fetch (or its data return)
+        /// was lost.
+        owner: NodeId,
     },
     /// Waiting for sharers to acknowledge invalidations.
     PendingAcks {
         /// Node to grant exclusivity to once all acks arrive.
         requester: NodeId,
-        /// Outstanding acknowledgements.
-        remaining: usize,
+        /// Sharers that have not yet acknowledged — kept as a set (not a
+        /// count) so duplicate acknowledgements are idempotent and a
+        /// retransmitted request can re-invalidate exactly the laggards.
+        waiting_acks: BTreeSet<NodeId>,
     },
 }
 
@@ -134,12 +140,13 @@ mod tests {
         assert!(DirState::Exclusive(NodeId(0)).is_stable());
         assert!(!DirState::PendingData {
             requester: NodeId(0),
-            for_write: false
+            for_write: false,
+            owner: NodeId(1)
         }
         .is_stable());
         assert!(!DirState::PendingAcks {
             requester: NodeId(0),
-            remaining: 2
+            waiting_acks: [NodeId(1), NodeId(2)].into_iter().collect()
         }
         .is_stable());
     }

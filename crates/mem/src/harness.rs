@@ -11,7 +11,7 @@ use crate::addr::Addr;
 use crate::controller::{Completion, Controller, MemOp, TxnId};
 use crate::home::HomeMap;
 use crate::msg::{MemConfig, ProtocolMsg};
-use commloc_net::NodeId;
+use commloc_net::{DetRng, NodeId};
 use std::collections::VecDeque;
 
 /// A set of controllers connected by an order-preserving fixed-latency
@@ -24,6 +24,10 @@ pub struct ProtocolRig {
     latency: u64,
     cycle: u64,
     next_txn: u64,
+    /// Per-message drop probability of the lossy transport (0 = perfect).
+    drop_rate: f64,
+    rng: DetRng,
+    dropped: u64,
 }
 
 impl ProtocolRig {
@@ -34,12 +38,7 @@ impl ProtocolRig {
     }
 
     /// Builds a rig with an explicit home map.
-    pub fn with_home_map(
-        nodes: usize,
-        latency: u64,
-        config: MemConfig,
-        home: HomeMap,
-    ) -> Self {
+    pub fn with_home_map(nodes: usize, latency: u64, config: MemConfig, home: HomeMap) -> Self {
         let controllers = (0..nodes)
             .map(|i| Controller::new(NodeId(i), home.clone(), config))
             .collect();
@@ -49,7 +48,27 @@ impl ProtocolRig {
             latency,
             cycle: 0,
             next_txn: 0,
+            drop_rate: 0.0,
+            rng: DetRng::new(0),
+            dropped: 0,
         }
+    }
+
+    /// Builds a rig whose transport loses each message with probability
+    /// `drop_rate`, deterministically per `seed` — the unit-level test bed
+    /// for the controller's timeout/retry machinery. Configure
+    /// [`MemConfig::timeout_cycles`] or the system will simply wedge.
+    pub fn lossy(nodes: usize, latency: u64, config: MemConfig, drop_rate: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&drop_rate), "drop rate in [0, 1)");
+        let mut rig = Self::new(nodes, latency, config);
+        rig.drop_rate = drop_rate;
+        rig.rng = DetRng::new(seed);
+        rig
+    }
+
+    /// Messages the lossy transport has destroyed so far.
+    pub fn dropped_messages(&self) -> u64 {
+        self.dropped
     }
 
     /// The controller of `node`.
@@ -81,7 +100,12 @@ impl ProtocolRig {
         }
         for i in 0..self.controllers.len() {
             while let Some((dst, msg)) = self.controllers[i].take_outgoing() {
-                self.in_flight.push_back((self.cycle + self.latency, dst, msg));
+                if self.drop_rate > 0.0 && self.rng.chance(self.drop_rate) {
+                    self.dropped += 1;
+                    continue;
+                }
+                self.in_flight
+                    .push_back((self.cycle + self.latency, dst, msg));
             }
         }
     }
@@ -90,8 +114,7 @@ impl ProtocolRig {
     /// or `max_cycles` pass. Returns collected completions per node, or
     /// `None` if the system failed to quiesce.
     pub fn run_to_quiescence(&mut self, max_cycles: u64) -> Option<Vec<Vec<Completion>>> {
-        let mut completions: Vec<Vec<Completion>> =
-            vec![Vec::new(); self.controllers.len()];
+        let mut completions: Vec<Vec<Completion>> = vec![Vec::new(); self.controllers.len()];
         for _ in 0..max_cycles {
             self.step();
             for (i, ctrl) in self.controllers.iter_mut().enumerate() {

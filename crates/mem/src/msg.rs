@@ -29,6 +29,15 @@ pub struct MemConfig {
     pub memory_cycles: u32,
     /// Number of lines the cache can hold.
     pub cache_lines: usize,
+    /// Processor cycles a requester waits on an outstanding miss before
+    /// retransmitting its request (`0` disables timeouts entirely — the
+    /// right setting for a fault-free fabric, and the default so the
+    /// paper-calibrated experiments are unchanged). Each successive retry
+    /// doubles the wait, up to [`MemConfig::max_retries`] retransmissions.
+    pub timeout_cycles: u32,
+    /// Maximum retransmissions per transaction before the controller
+    /// gives up and leaves the stall to the machine-level watchdog.
+    pub max_retries: u32,
 }
 
 impl Default for MemConfig {
@@ -43,6 +52,8 @@ impl Default for MemConfig {
             processing_cycles: 2,
             memory_cycles: 5,
             cache_lines: 4096,
+            timeout_cycles: 0,
+            max_retries: 8,
         }
     }
 }
@@ -181,10 +192,7 @@ mod tests {
             line,
             requester: NodeId(1),
         };
-        let data = ProtocolMsg::ReadReply {
-            line,
-            data: [1, 2],
-        };
+        let data = ProtocolMsg::ReadReply { line, data: [1, 2] };
         assert_eq!(control.flits(&cfg), 8);
         assert_eq!(data.flits(&cfg), 24);
     }

@@ -1,9 +1,7 @@
 //! Protocol-level correctness tests for the directory coherence protocol,
 //! driven through the idealized-network rig.
 
-use commloc_mem::{
-    Addr, CacheState, DirState, HomeMap, LineAddr, MemConfig, MemOp, ProtocolRig,
-};
+use commloc_mem::{Addr, CacheState, DirState, HomeMap, LineAddr, MemConfig, MemOp, ProtocolRig};
 use commloc_net::NodeId;
 
 fn rig(nodes: usize) -> ProtocolRig {
@@ -165,11 +163,13 @@ fn tiny_cache_forces_writebacks_without_losing_data() {
     for i in 0..20u64 {
         assert_eq!(r.read(NodeId(2), Addr(i * 2)), 1000 + i, "line {i} lost");
     }
-    assert!(r.controller(NodeId(1)).stats().writebacks > 0 || {
-        // Writebacks land at the evicting node's stats only if remote;
-        // check globally.
-        (0..4).any(|n| r.controller(NodeId(n)).stats().writebacks > 0)
-    });
+    assert!(
+        r.controller(NodeId(1)).stats().writebacks > 0 || {
+            // Writebacks land at the evicting node's stats only if remote;
+            // check globally.
+            (0..4).any(|n| r.controller(NodeId(n)).stats().writebacks > 0)
+        }
+    );
     r.assert_coherence_invariant();
 }
 
@@ -250,7 +250,10 @@ fn torus_neighbor_iteration_pattern() {
     for iter in 1..=5u64 {
         // Everyone writes its own word.
         for t in 0..nodes {
-            r.issue(NodeId(t), MemOp::Write(Addr(t as u64 * 2), iter * 10 + t as u64));
+            r.issue(
+                NodeId(t),
+                MemOp::Write(Addr(t as u64 * 2), iter * 10 + t as u64),
+            );
         }
         r.run_to_quiescence(100_000).expect("writes quiesced");
         // Everyone reads both neighbors.

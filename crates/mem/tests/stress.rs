@@ -1,29 +1,24 @@
 //! Randomized protocol stress tests: concurrent operation storms with
 //! structural invariants checked throughout, and serial random traces
-//! checked against a reference memory.
+//! checked against a reference memory. All randomness comes from the
+//! in-tree seeded [`DetRng`], so every run (and every failure) replays
+//! identically.
 
 use commloc_mem::{Addr, MemConfig, MemOp, ProtocolRig};
-use commloc_net::NodeId;
-use proptest::prelude::*;
+use commloc_net::{DetRng, NodeId};
 use std::collections::HashMap;
 
 /// Serial random traces behave exactly like a flat memory.
 #[test]
 fn serial_random_trace_matches_reference() {
-    use proptest::strategy::{Strategy, ValueTree};
-    use proptest::test_runner::TestRunner;
-    let mut runner = TestRunner::deterministic();
-    let op_strategy = (0usize..8, 0u64..24, 0u64..1000u64, proptest::bool::ANY);
+    let mut rng = DetRng::new(0x5e41a1);
     let mut rig = ProtocolRig::new(8, 7, MemConfig::default());
     let mut reference: HashMap<u64, u64> = HashMap::new();
     for step in 0..400 {
-        let (node, addr, value, is_write) = op_strategy
-            .new_tree(&mut runner)
-            .expect("strategy")
-            .current();
-        let node = NodeId(node);
-        let addr = Addr(addr);
-        if is_write {
+        let node = NodeId(rng.index(8));
+        let addr = Addr(rng.range_u64(0, 24));
+        let value = rng.range_u64(0, 1000);
+        if rng.chance(0.5) {
             rig.write(node, addr, value);
             reference.insert(addr.0, value);
         } else {
@@ -38,98 +33,92 @@ fn serial_random_trace_matches_reference() {
     rig.assert_coherence_invariant();
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Concurrent storms of reads and writes quiesce, preserve the
-    /// single-writer invariant, and every read observes a value some
-    /// write produced (or zero).
-    #[test]
-    fn concurrent_storm_quiesces_coherently(
-        ops in proptest::collection::vec(
-            (0usize..8, 0u64..12, 1u64..1_000_000, proptest::bool::ANY),
-            1..80
-        ),
-        latency in 1u64..25,
-    ) {
+/// Concurrent storms of reads and writes quiesce, preserve the
+/// single-writer invariant, and every read observes a value some write
+/// produced (or zero).
+#[test]
+fn concurrent_storm_quiesces_coherently() {
+    let mut rng = DetRng::new(0xc0ffee);
+    for case in 0..24 {
+        let latency = rng.range_u64(1, 25);
+        let op_count = 1 + rng.index(79);
         let mut rig = ProtocolRig::new(8, latency, MemConfig::default());
         let mut written: HashMap<u64, Vec<u64>> = HashMap::new();
-        for &(node, addr, value, is_write) in &ops {
-            if is_write {
+        let mut issued = 0usize;
+        for _ in 0..op_count {
+            let node = NodeId(rng.index(8));
+            let addr = rng.range_u64(0, 12);
+            let value = rng.range_u64(1, 1_000_000);
+            if rng.chance(0.5) {
                 written.entry(addr).or_default().push(value);
-                rig.issue(NodeId(node), MemOp::Write(Addr(addr), value));
+                rig.issue(node, MemOp::Write(Addr(addr), value));
             } else {
-                rig.issue(NodeId(node), MemOp::Read(Addr(addr)));
+                rig.issue(node, MemOp::Read(Addr(addr)));
             }
+            issued += 1;
         }
         let completions = rig
             .run_to_quiescence(2_000_000)
             .expect("storm failed to quiesce");
         rig.assert_coherence_invariant();
-        prop_assert_eq!(
+        assert_eq!(
             completions.iter().map(Vec::len).sum::<usize>(),
-            ops.len(),
-            "some operations never completed"
+            issued,
+            "case {case}: some operations never completed"
         );
         for node_completions in &completions {
             for c in node_completions {
                 if let MemOp::Read(addr) = c.op {
                     let candidates = written.get(&addr.0);
-                    let legal = c.value == 0
-                        || candidates.is_some_and(|v| v.contains(&c.value));
-                    prop_assert!(
+                    let legal = c.value == 0 || candidates.is_some_and(|v| v.contains(&c.value));
+                    assert!(
                         legal,
-                        "read of {} returned {} which was never written",
-                        addr,
-                        c.value
+                        "case {case}: read of {} returned {} which was never written",
+                        addr, c.value
                     );
                 }
             }
         }
         // After quiescence, all nodes agree on every touched word.
-        let mut consensus = ProtocolRigProbe::new(&mut rig);
         for addr in written.keys() {
-            consensus.assert_agreement(Addr(*addr));
+            assert_agreement(&mut rig, Addr(*addr));
         }
     }
+}
 
-    /// Tiny caches under a concurrent storm: constant evictions and
-    /// writebacks must not lose data or deadlock.
-    #[test]
-    fn tiny_cache_storm(
-        ops in proptest::collection::vec(
-            (0usize..4, 0u64..16, 1u64..1000),
-            1..60
-        ),
-    ) {
-        let cfg = MemConfig { cache_lines: 1, ..MemConfig::default() };
+/// Tiny caches under a concurrent storm: constant evictions and
+/// writebacks must not lose data or deadlock.
+#[test]
+fn tiny_cache_storm() {
+    let mut rng = DetRng::new(0x7141);
+    for case in 0..24 {
+        let cfg = MemConfig {
+            cache_lines: 1,
+            ..MemConfig::default()
+        };
         let mut rig = ProtocolRig::new(4, 9, cfg);
-        for &(node, addr, value) in &ops {
-            rig.issue(NodeId(node), MemOp::Write(Addr(addr), value));
+        for _ in 0..(1 + rng.index(59)) {
+            let node = NodeId(rng.index(4));
+            let addr = Addr(rng.range_u64(0, 16));
+            let value = rng.range_u64(1, 1000);
+            rig.issue(node, MemOp::Write(addr, value));
         }
-        prop_assert!(rig.run_to_quiescence(2_000_000).is_some(), "storm deadlocked");
+        assert!(
+            rig.run_to_quiescence(2_000_000).is_some(),
+            "case {case}: storm deadlocked"
+        );
         rig.assert_coherence_invariant();
     }
 }
 
-/// Helper asserting all nodes read the same value for a word.
-struct ProtocolRigProbe<'a> {
-    rig: &'a mut ProtocolRig,
-}
-
-impl<'a> ProtocolRigProbe<'a> {
-    fn new(rig: &'a mut ProtocolRig) -> Self {
-        Self { rig }
-    }
-
-    fn assert_agreement(&mut self, addr: Addr) {
-        let baseline = self.rig.read(NodeId(0), addr);
-        for n in 1..4 {
-            assert_eq!(
-                self.rig.read(NodeId(n), addr),
-                baseline,
-                "node {n} disagrees on {addr}"
-            );
-        }
+/// Asserts all nodes read the same value for a word.
+fn assert_agreement(rig: &mut ProtocolRig, addr: Addr) {
+    let baseline = rig.read(NodeId(0), addr);
+    for n in 1..4 {
+        assert_eq!(
+            rig.read(NodeId(n), addr),
+            baseline,
+            "node {n} disagrees on {addr}"
+        );
     }
 }

@@ -56,7 +56,6 @@ pub enum OperatingMode {
 /// # }
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ApplicationModel {
     grain: f64,
     contexts: u32,

@@ -18,7 +18,6 @@ use crate::combined::{CombinedModel, OperatingPoint};
 /// The four Eq. 18 components of the average inter-transaction issue time,
 /// in network cycles.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct IssueTimeBreakdown {
     /// `c * n * k_d * T_h / p` — message latency that grows with
     /// communication distance.
@@ -125,10 +124,7 @@ mod tests {
                 let op = model.solve(d).unwrap();
                 let b = IssueTimeBreakdown::from_operating_point(&model, &op);
                 let share = b.fixed_transaction_share();
-                assert!(
-                    share > 0.55 && share < 0.75,
-                    "p={p} d={d}: share={share}"
-                );
+                assert!(share > 0.55 && share < 0.75, "p={p} d={d}: share={share}");
             }
         }
     }

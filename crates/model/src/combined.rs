@@ -23,7 +23,6 @@ use crate::node::NodeModel;
 ///
 /// All rates are per network cycle and all times in network cycles.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct OperatingPoint {
     /// Average communication distance `d` (hops) this point was solved for.
     pub distance: f64,
@@ -67,7 +66,6 @@ pub struct OperatingPoint {
 /// # }
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CombinedModel {
     node: NodeModel,
     network: NetworkModel,
@@ -184,16 +182,10 @@ impl CombinedModel {
     /// Evaluates the full operating point at a known injection rate.
     fn operating_point_at_rate(&self, message_rate: f64, distance: f64) -> Result<OperatingPoint> {
         let message_latency = self.network.message_latency(message_rate, distance)?;
-        let transaction_latency = self
-            .node
-            .transaction()
-            .transaction_latency(message_latency);
+        let transaction_latency = self.node.transaction().transaction_latency(message_latency);
         let issue_interval = self.node.application().issue_interval(transaction_latency);
         let message_interval = self.node.transaction().message_interval(issue_interval);
-        let k_d = self
-            .network
-            .geometry()
-            .per_dimension_distance(distance);
+        let k_d = self.network.geometry().per_dimension_distance(distance);
         let channel_utilization = self
             .network
             .channel_utilization(1.0 / message_interval, distance);

@@ -12,7 +12,6 @@ use crate::machine::MachineConfig;
 
 /// Gain analysis of one machine size across network dimensions.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DimensionPoint {
     /// Network dimension `n`.
     pub dimension: u32,
@@ -46,10 +45,7 @@ pub struct DimensionPoint {
 /// # Ok(())
 /// # }
 /// ```
-pub fn dimension_study(
-    config: &MachineConfig,
-    dimensions: &[u32],
-) -> Result<Vec<DimensionPoint>> {
+pub fn dimension_study(config: &MachineConfig, dimensions: &[u32]) -> Result<Vec<DimensionPoint>> {
     let nodes = config.nodes();
     dimensions
         .iter()

@@ -59,7 +59,10 @@ impl fmt::Display for ModelError {
                 )
             }
             ModelError::Saturated { utilization } => {
-                write!(f, "channel utilization {utilization} is at or beyond saturation")
+                write!(
+                    f,
+                    "channel utilization {utilization} is at or beyond saturation"
+                )
             }
         }
     }

@@ -13,7 +13,6 @@ use crate::machine::MachineConfig;
 
 /// A single point of the expected-gain analysis.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GainPoint {
     /// Machine size `N` (processors).
     pub nodes: f64,
@@ -179,13 +178,9 @@ mod tests {
         let n2 = expected_gain(&MachineConfig::alewife().with_nodes(1e6))
             .unwrap()
             .gain;
-        let n3 = expected_gain(
-            &MachineConfig::alewife()
-                .with_dimension(3)
-                .with_nodes(1e6),
-        )
-        .unwrap()
-        .gain;
+        let n3 = expected_gain(&MachineConfig::alewife().with_dimension(3).with_nodes(1e6))
+            .unwrap()
+            .gain;
         assert!(n3 < n2, "3D gain {n3} should be below 2D gain {n2}");
     }
 

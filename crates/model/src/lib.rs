@@ -77,7 +77,6 @@ pub use metrics::{aggregate_performance, performance_ratio, useful_work_rate};
 pub use network::{EndpointContention, NetworkModel, TorusGeometry};
 pub use node::NodeModel;
 pub use scaling::{
-    limiting_per_hop_latency, per_hop_latency_curve, size_reaching_fraction_of_limit,
-    ScalingPoint,
+    limiting_per_hop_latency, per_hop_latency_curve, size_reaching_fraction_of_limit, ScalingPoint,
 };
 pub use transaction::TransactionModel;

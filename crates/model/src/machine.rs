@@ -37,7 +37,6 @@ use crate::transaction::TransactionModel;
 /// # }
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MachineConfig {
     /// Computation grain `T_r`, in **processor** cycles.
     grain: f64,
@@ -312,7 +311,9 @@ mod tests {
         // Paper Figure 6 caption: s = 3.26 for two contexts. Our
         // calibration gives pg/c = 3.2, within the measured 2% (the paper's
         // measured c was slightly below 2 due to protocol effects).
-        let s = MachineConfig::alewife().with_contexts(2).latency_sensitivity();
+        let s = MachineConfig::alewife()
+            .with_contexts(2)
+            .latency_sensitivity();
         assert!((s - 3.26).abs() < 0.1, "s = {s}");
     }
 

@@ -40,7 +40,6 @@ use crate::error::{ensure_positive, ModelError, Result};
 /// # }
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TorusGeometry {
     dimension: u32,
     radix: f64,
@@ -133,7 +132,6 @@ impl TorusGeometry {
 /// Eq. 11 already accounts for (the head continues draining hop by hop
 /// while earlier flits eject), so only the injection term is added.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum EndpointContention {
     /// Ignore node-to-network channel contention (the paper's closed-form
     /// equations).
@@ -161,7 +159,6 @@ pub enum EndpointContention {
 /// # }
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NetworkModel {
     geometry: TorusGeometry,
     message_size: f64,

@@ -39,7 +39,6 @@ use crate::transaction::TransactionModel;
 /// # }
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeModel {
     application: ApplicationModel,
     transaction: TransactionModel,

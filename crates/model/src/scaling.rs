@@ -10,7 +10,6 @@ use crate::machine::MachineConfig;
 
 /// One point of a machine-size sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ScalingPoint {
     /// Machine size `N` (processors).
     pub nodes: f64,
@@ -45,10 +44,7 @@ pub struct ScalingPoint {
 /// # Ok(())
 /// # }
 /// ```
-pub fn per_hop_latency_curve(
-    config: &MachineConfig,
-    sizes: &[f64],
-) -> Result<Vec<ScalingPoint>> {
+pub fn per_hop_latency_curve(config: &MachineConfig, sizes: &[f64]) -> Result<Vec<ScalingPoint>> {
     sizes
         .iter()
         .map(|&n| {

@@ -30,7 +30,6 @@ use crate::error::{ensure_non_negative, ensure_positive, Result};
 /// # }
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TransactionModel {
     critical_path_messages: f64,
     messages_per_transaction: f64,

@@ -1,0 +1,540 @@
+//! Deterministic fault injection for the fabric.
+//!
+//! A [`FaultPlan`] describes the disturbances a fabric run should suffer:
+//!
+//! * **message drops** — with probability `drop_rate`, a message whose
+//!   head flit crosses a link is destroyed; the rest of its worm drains
+//!   into the faulty link and evaporates (nothing reaches the
+//!   destination, buffers and credits stay consistent);
+//! * **payload corruption** — with probability `corrupt_rate`, a link
+//!   crossing flips the message's checksum, so the delivery arrives
+//!   flagged as corrupt ([`Message::is_intact`](crate::Message::is_intact)
+//!   fails);
+//! * **transient stalls** — a link or a whole router stops forwarding for
+//!   a bounded window (a one-off delay in the sense of Afzal et al.),
+//!   either at random (`stall_rate`) or at a scheduled cycle;
+//! * **permanent link kills** — a link stops forwarding forever; traffic
+//!   routed across it wedges and must be caught by a watchdog upstream.
+//!
+//! Everything is driven by a seeded [`DetRng`], so a given seed, plan,
+//! and workload reproduce the exact same [`FaultLog`] cycle for cycle.
+//! Every injected fault is recorded in the log; tests use it to assert
+//! *message conservation*: no message disappears without a logged cause.
+
+use crate::rng::DetRng;
+use crate::topology::{Direction, NodeId};
+use crate::MessageId;
+use std::collections::{BTreeSet, HashMap};
+
+/// Probabilistic fault rates applied to every head-flit link crossing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability that a message is dropped at a link crossing.
+    pub drop_rate: f64,
+    /// Probability that a link crossing corrupts the message payload.
+    pub corrupt_rate: f64,
+    /// Probability that a link crossing leaves the link transiently
+    /// stalled.
+    pub stall_rate: f64,
+    /// Length (cycles) of a randomly injected link stall.
+    pub stall_window: u64,
+}
+
+impl Default for FaultConfig {
+    /// No probabilistic faults.
+    fn default() -> Self {
+        Self {
+            drop_rate: 0.0,
+            corrupt_rate: 0.0,
+            stall_rate: 0.0,
+            stall_window: 64,
+        }
+    }
+}
+
+/// A fault scheduled for a specific cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScheduledFault {
+    KillLink {
+        node: usize,
+        port: usize,
+    },
+    StallLink {
+        node: usize,
+        port: usize,
+        window: u64,
+    },
+    StallRouter {
+        node: usize,
+        window: u64,
+    },
+}
+
+/// One injected fault, as recorded in the [`FaultLog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// A message was destroyed at a link crossing.
+    MessageDropped {
+        /// Cycle of the head-flit crossing that doomed the message.
+        cycle: u64,
+        /// The dropped message.
+        message: MessageId,
+        /// Router whose output link dropped it.
+        node: NodeId,
+        /// Output link port index.
+        port: usize,
+    },
+    /// A message's payload checksum was flipped at a link crossing.
+    PayloadCorrupted {
+        /// Cycle of the corrupting crossing.
+        cycle: u64,
+        /// The corrupted message.
+        message: MessageId,
+        /// Router whose output link corrupted it.
+        node: NodeId,
+        /// Output link port index.
+        port: usize,
+    },
+    /// A link was permanently killed.
+    LinkKilled {
+        /// Cycle the kill took effect.
+        cycle: u64,
+        /// Router owning the output link.
+        node: NodeId,
+        /// Output link port index.
+        port: usize,
+    },
+    /// A link was transiently stalled.
+    LinkStalled {
+        /// Cycle the stall began.
+        cycle: u64,
+        /// Router owning the output link.
+        node: NodeId,
+        /// Output link port index.
+        port: usize,
+        /// First cycle at which the link forwards again.
+        until: u64,
+    },
+    /// A whole router was transiently stalled.
+    RouterStalled {
+        /// Cycle the stall began.
+        cycle: u64,
+        /// The stalled router.
+        node: NodeId,
+        /// First cycle at which the router forwards again.
+        until: u64,
+    },
+}
+
+impl FaultEvent {
+    /// The cycle at which the fault was injected.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            FaultEvent::MessageDropped { cycle, .. }
+            | FaultEvent::PayloadCorrupted { cycle, .. }
+            | FaultEvent::LinkKilled { cycle, .. }
+            | FaultEvent::LinkStalled { cycle, .. }
+            | FaultEvent::RouterStalled { cycle, .. } => cycle,
+        }
+    }
+}
+
+/// The complete record of injected faults, in injection order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultLog {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultLog {
+    /// All events, oldest first.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of recorded faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no fault has been injected.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The most recent `n` events (diagnostic dumps).
+    pub fn tail(&self, n: usize) -> &[FaultEvent] {
+        &self.events[self.events.len().saturating_sub(n)..]
+    }
+
+    /// Messages dropped so far.
+    pub fn dropped_messages(&self) -> u64 {
+        self.count(|e| matches!(e, FaultEvent::MessageDropped { .. }))
+    }
+
+    /// Messages corrupted so far.
+    pub fn corrupted_messages(&self) -> u64 {
+        self.count(|e| matches!(e, FaultEvent::PayloadCorrupted { .. }))
+    }
+
+    fn count(&self, pred: impl Fn(&FaultEvent) -> bool) -> u64 {
+        self.events.iter().filter(|e| pred(e)).count() as u64
+    }
+
+    fn push(&mut self, event: FaultEvent) {
+        self.events.push(event);
+    }
+}
+
+/// A deterministic, seedable fault-injection plan for one fabric run.
+///
+/// Built with the fluent constructors, then handed to
+/// [`Fabric::with_fault_plan`](crate::Fabric::with_fault_plan). The plan
+/// owns the [`FaultLog`]; retrieve it through
+/// [`Fabric::fault_log`](crate::Fabric::fault_log).
+///
+/// # Examples
+///
+/// ```
+/// use commloc_net::fault::FaultPlan;
+///
+/// let plan = FaultPlan::new(1992)
+///     .with_drop_rate(0.01)
+///     .stall_router_at(5_000, 12, 300) // one-off delay at node 12
+///     .kill_link_at(20_000, 3, 0, commloc_net::Direction::Plus);
+/// assert_eq!(plan.seed(), 1992);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    config: FaultConfig,
+    rng: DetRng,
+    schedule: Vec<(u64, ScheduledFault)>,
+    killed: BTreeSet<(usize, usize)>,
+    /// Stalled links, mapped to the first cycle they forward again.
+    link_stalls: HashMap<(usize, usize), u64>,
+    /// Stalled routers, mapped to the first cycle they forward again.
+    router_stalls: HashMap<usize, u64>,
+    log: FaultLog,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan (no faults) seeded for determinism.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            config: FaultConfig::default(),
+            rng: DetRng::new(seed ^ 0xFA17_FA17_FA17_FA17),
+            schedule: Vec::new(),
+            killed: BTreeSet::new(),
+            link_stalls: HashMap::new(),
+            router_stalls: HashMap::new(),
+            log: FaultLog::default(),
+        }
+    }
+
+    /// The seed this plan was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The probabilistic fault rates.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Sets the whole probabilistic configuration.
+    pub fn with_config(mut self, config: FaultConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the per-crossing message drop probability.
+    pub fn with_drop_rate(mut self, rate: f64) -> Self {
+        self.config.drop_rate = rate;
+        self
+    }
+
+    /// Sets the per-crossing payload corruption probability.
+    pub fn with_corrupt_rate(mut self, rate: f64) -> Self {
+        self.config.corrupt_rate = rate;
+        self
+    }
+
+    /// Sets the per-crossing transient link stall probability and window.
+    pub fn with_stall_rate(mut self, rate: f64, window: u64) -> Self {
+        self.config.stall_rate = rate;
+        self.config.stall_window = window;
+        self
+    }
+
+    /// Schedules the permanent death of the link leaving `node` in
+    /// dimension `dim`, direction `dir`, at `cycle`.
+    pub fn kill_link_at(mut self, cycle: u64, node: usize, dim: u32, dir: Direction) -> Self {
+        let port = link_port(dim, dir);
+        self.schedule
+            .push((cycle, ScheduledFault::KillLink { node, port }));
+        self
+    }
+
+    /// Schedules a transient stall of the link leaving `node` in
+    /// dimension `dim`, direction `dir`: no forwarding for `window`
+    /// cycles starting at `cycle`.
+    pub fn stall_link_at(
+        mut self,
+        cycle: u64,
+        node: usize,
+        dim: u32,
+        dir: Direction,
+        window: u64,
+    ) -> Self {
+        let port = link_port(dim, dir);
+        self.schedule
+            .push((cycle, ScheduledFault::StallLink { node, port, window }));
+        self
+    }
+
+    /// Schedules a transient stall of `node`'s entire router: no
+    /// forwarding on any output for `window` cycles starting at `cycle` —
+    /// the one-off injected delay of the propagation experiment.
+    pub fn stall_router_at(mut self, cycle: u64, node: usize, window: u64) -> Self {
+        self.schedule
+            .push((cycle, ScheduledFault::StallRouter { node, window }));
+        self
+    }
+
+    /// The record of faults injected so far.
+    pub fn log(&self) -> &FaultLog {
+        &self.log
+    }
+
+    /// Whether any transient (bounded) stall is still pending or active at
+    /// `cycle` — used by watchdogs to tell recoverable backpressure from
+    /// true deadlock.
+    pub fn transient_stall_active(&self, cycle: u64) -> bool {
+        self.link_stalls.values().any(|&until| until > cycle)
+            || self.router_stalls.values().any(|&until| until > cycle)
+            || self.schedule.iter().any(|&(at, fault)| {
+                at + match fault {
+                    ScheduledFault::StallLink { window, .. }
+                    | ScheduledFault::StallRouter { window, .. } => window,
+                    ScheduledFault::KillLink { .. } => 0,
+                } > cycle
+                    && matches!(
+                        fault,
+                        ScheduledFault::StallLink { .. } | ScheduledFault::StallRouter { .. }
+                    )
+            })
+    }
+
+    /// Whether the plan contains permanent faults (killed links).
+    pub fn has_permanent_faults(&self) -> bool {
+        !self.killed.is_empty()
+            || self
+                .schedule
+                .iter()
+                .any(|(_, f)| matches!(f, ScheduledFault::KillLink { .. }))
+    }
+
+    // ---- Fabric-facing hooks -----------------------------------------
+
+    /// Applies scheduled faults due at `cycle` and expires finished
+    /// stalls.
+    pub(crate) fn activate(&mut self, cycle: u64) {
+        let mut i = 0;
+        while i < self.schedule.len() {
+            if self.schedule[i].0 != cycle {
+                i += 1;
+                continue;
+            }
+            let (_, fault) = self.schedule.swap_remove(i);
+            match fault {
+                ScheduledFault::KillLink { node, port } => {
+                    self.killed.insert((node, port));
+                    self.log.push(FaultEvent::LinkKilled {
+                        cycle,
+                        node: NodeId(node),
+                        port,
+                    });
+                }
+                ScheduledFault::StallLink { node, port, window } => {
+                    let until = cycle + window;
+                    self.link_stalls.insert((node, port), until);
+                    self.log.push(FaultEvent::LinkStalled {
+                        cycle,
+                        node: NodeId(node),
+                        port,
+                        until,
+                    });
+                }
+                ScheduledFault::StallRouter { node, window } => {
+                    let until = cycle + window;
+                    self.router_stalls.insert(node, until);
+                    self.log.push(FaultEvent::RouterStalled {
+                        cycle,
+                        node: NodeId(node),
+                        until,
+                    });
+                }
+            }
+        }
+        self.link_stalls.retain(|_, &mut until| until > cycle);
+        self.router_stalls.retain(|_, &mut until| until > cycle);
+    }
+
+    /// Whether the output link `(node, port)` may forward at `cycle`.
+    pub(crate) fn link_blocked(&self, cycle: u64, node: usize, port: usize) -> bool {
+        self.killed.contains(&(node, port))
+            || self
+                .link_stalls
+                .get(&(node, port))
+                .is_some_and(|&until| cycle < until)
+            || self.router_stalled(cycle, node)
+    }
+
+    /// Whether the whole router of `node` is stalled at `cycle`.
+    pub(crate) fn router_stalled(&self, cycle: u64, node: usize) -> bool {
+        self.router_stalls
+            .get(&node)
+            .is_some_and(|&until| cycle < until)
+    }
+
+    /// Rolls the drop die for a head-flit crossing; logs and returns
+    /// `true` when the message is to be destroyed.
+    pub(crate) fn roll_drop(
+        &mut self,
+        cycle: u64,
+        node: usize,
+        port: usize,
+        message: MessageId,
+    ) -> bool {
+        if self.config.drop_rate <= 0.0 || !self.rng.chance(self.config.drop_rate) {
+            return false;
+        }
+        self.log.push(FaultEvent::MessageDropped {
+            cycle,
+            message,
+            node: NodeId(node),
+            port,
+        });
+        true
+    }
+
+    /// Rolls the corruption die for a head-flit crossing; logs and
+    /// returns a nonzero checksum mask when the payload is corrupted.
+    pub(crate) fn roll_corrupt(
+        &mut self,
+        cycle: u64,
+        node: usize,
+        port: usize,
+        message: MessageId,
+    ) -> Option<u64> {
+        if self.config.corrupt_rate <= 0.0 || !self.rng.chance(self.config.corrupt_rate) {
+            return None;
+        }
+        self.log.push(FaultEvent::PayloadCorrupted {
+            cycle,
+            message,
+            node: NodeId(node),
+            port,
+        });
+        Some(self.rng.next_u64() | 1)
+    }
+
+    /// Rolls the transient-stall die for a head-flit crossing; the link
+    /// stops forwarding from the next cycle when it hits.
+    pub(crate) fn roll_stall(&mut self, cycle: u64, node: usize, port: usize) {
+        if self.config.stall_rate <= 0.0 || !self.rng.chance(self.config.stall_rate) {
+            return;
+        }
+        let until = cycle + 1 + self.config.stall_window;
+        self.link_stalls.insert((node, port), until);
+        self.log.push(FaultEvent::LinkStalled {
+            cycle,
+            node: NodeId(node),
+            port,
+            until,
+        });
+    }
+}
+
+/// Maps a (dimension, direction) to the fabric's link port index —
+/// mirrors `fabric::link_to_port`, duplicated here to keep the modules
+/// decoupled.
+fn link_port(dim: u32, dir: Direction) -> usize {
+    dim as usize * 2 + dir.index()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduled_faults_fire_once_at_their_cycle() {
+        let mut plan = FaultPlan::new(1)
+            .kill_link_at(10, 3, 0, Direction::Plus)
+            .stall_router_at(10, 5, 20);
+        plan.activate(9);
+        assert!(plan.log().is_empty());
+        plan.activate(10);
+        assert_eq!(plan.log().len(), 2);
+        assert!(plan.link_blocked(10, 3, 0));
+        assert!(plan.router_stalled(10, 5));
+        assert!(plan.router_stalled(29, 5));
+        plan.activate(30);
+        assert!(!plan.router_stalled(30, 5));
+        // The kill is permanent.
+        assert!(plan.link_blocked(1_000_000, 3, 0));
+        plan.activate(31);
+        assert_eq!(plan.log().len(), 2, "faults fire exactly once");
+    }
+
+    #[test]
+    fn router_stall_blocks_all_its_links() {
+        let mut plan = FaultPlan::new(2).stall_router_at(5, 7, 10);
+        plan.activate(5);
+        for port in 0..4 {
+            assert!(plan.link_blocked(6, 7, port));
+        }
+        assert!(!plan.link_blocked(6, 8, 0));
+    }
+
+    #[test]
+    fn probabilistic_rolls_are_seed_deterministic() {
+        let roll = |seed| {
+            let mut plan = FaultPlan::new(seed)
+                .with_drop_rate(0.3)
+                .with_corrupt_rate(0.3);
+            let decisions: Vec<bool> = (0..64)
+                .map(|i| plan.roll_drop(i, 0, 0, MessageId(i)))
+                .collect();
+            (decisions, plan.log().clone())
+        };
+        assert_eq!(roll(9), roll(9));
+        assert_ne!(roll(9).0, roll(10).0);
+    }
+
+    #[test]
+    fn transient_stall_visibility_for_watchdogs() {
+        let mut plan = FaultPlan::new(3).stall_router_at(100, 0, 50);
+        // Pending scheduled stalls count as "transient activity".
+        assert!(plan.transient_stall_active(0));
+        plan.activate(100);
+        assert!(plan.transient_stall_active(120));
+        assert!(!plan.transient_stall_active(150));
+        let killed = FaultPlan::new(4).kill_link_at(5, 0, 0, Direction::Minus);
+        assert!(!killed.transient_stall_active(0), "kills are not transient");
+        assert!(killed.has_permanent_faults());
+    }
+
+    #[test]
+    fn log_tail_returns_most_recent() {
+        let mut plan = FaultPlan::new(5).with_drop_rate(1.0);
+        for i in 0..10 {
+            assert!(plan.roll_drop(i, 0, 0, MessageId(i)));
+        }
+        let tail = plan.log().tail(3);
+        assert_eq!(tail.len(), 3);
+        assert_eq!(tail[2].cycle(), 9);
+        assert_eq!(plan.log().dropped_messages(), 10);
+    }
+}

@@ -18,6 +18,8 @@
 //! * [`FabricStats`] — measured `T_m`, `T_h`, `r_m`, and channel
 //!   utilization, matching the quantities of the paper's network model.
 //! * [`traffic`] — open-loop synthetic load for standalone validation.
+//! * [`fault`] — deterministic fault injection (drops, corruption,
+//!   stalls, link kills) with a conservation-checkable [`FaultLog`].
 //!
 //! # Quick start
 //!
@@ -29,7 +31,7 @@
 //! // A 12-flit message (96 bits over 8-bit channels).
 //! fabric.inject(Message::new(NodeId(0), NodeId(10), 12, ()));
 //! while fabric.in_flight() > 0 {
-//!     fabric.step();
+//!     fabric.step().unwrap();
 //! }
 //! let d = fabric.poll_delivery(NodeId(10)).expect("delivered");
 //! assert_eq!(d.hops, 3);
@@ -40,14 +42,18 @@
 #![forbid(unsafe_code)]
 
 mod fabric;
+pub mod fault;
 mod message;
+mod rng;
 mod router;
 pub mod routing;
 mod stats;
 mod topology;
 pub mod traffic;
 
-pub use fabric::{Fabric, FabricConfig};
+pub use fabric::{Fabric, FabricConfig, FabricError};
+pub use fault::{FaultConfig, FaultEvent, FaultLog, FaultPlan};
 pub use message::{Delivery, Flit, FlitKind, Message, MessageId};
+pub use rng::DetRng;
 pub use stats::FabricStats;
 pub use topology::{Direction, NodeId, Torus};

@@ -9,6 +9,18 @@
 
 use crate::topology::NodeId;
 
+/// FNV-1a over the message envelope (source, destination, length).
+fn envelope_checksum(src: NodeId, dst: NodeId, length: u32) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for word in [src.0 as u64, dst.0 as u64, u64::from(length)] {
+        for byte in word.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    hash
+}
+
 /// Unique identifier of a message within one fabric instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MessageId(pub u64);
@@ -58,6 +70,10 @@ pub struct Message<P> {
     /// Message length in flits (including head and tail). Determines how
     /// many cycles of channel bandwidth the message consumes per hop.
     pub length: u32,
+    /// Integrity checksum over the envelope, set at construction. Fault
+    /// injection flips bits here to model payload corruption in flight;
+    /// [`Message::is_intact`] detects it at delivery.
+    pub checksum: u64,
     /// Caller payload, returned intact at delivery.
     pub payload: P,
 }
@@ -75,8 +91,15 @@ impl<P> Message<P> {
             src,
             dst,
             length,
+            checksum: envelope_checksum(src, dst, length),
             payload,
         }
+    }
+
+    /// Whether the message survived transmission uncorrupted: the stored
+    /// checksum still matches the envelope it was computed over.
+    pub fn is_intact(&self) -> bool {
+        self.checksum == envelope_checksum(self.src, self.dst, self.length)
     }
 
     /// The flit kind at position `index` (0-based) of this message.
@@ -114,6 +137,12 @@ pub struct Delivery<P> {
 }
 
 impl<P> Delivery<P> {
+    /// Whether the message arrived with a corrupted payload (its checksum
+    /// no longer verifies — see [`Message::is_intact`]).
+    pub fn is_corrupt(&self) -> bool {
+        !self.message.is_intact()
+    }
+
     /// Total message latency as the paper's `T_m` measures it: from
     /// entering the source queue to complete delivery.
     pub fn total_latency(&self) -> u64 {
@@ -177,6 +206,23 @@ mod tests {
         assert_eq!(d.total_latency(), 21);
         assert_eq!(d.head_network_latency(), 6);
         assert_eq!(d.per_hop_latency(), Some(2.0));
+    }
+
+    #[test]
+    fn checksum_flags_corruption() {
+        let mut m = Message::new(NodeId(2), NodeId(9), 8, ());
+        assert!(m.is_intact());
+        m.checksum ^= 0x4000_0001;
+        assert!(!m.is_intact());
+        let d = Delivery {
+            message: m,
+            enqueued_at: 0,
+            injected_at: 0,
+            head_delivered_at: 4,
+            delivered_at: 11,
+            hops: 2,
+        };
+        assert!(d.is_corrupt());
     }
 
     #[test]

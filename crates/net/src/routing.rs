@@ -48,11 +48,7 @@ pub fn route_step(torus: &Torus, src: NodeId, dst: NodeId, current: NodeId) -> R
         let from = torus.coordinate(src, dim);
         let (_, direction) = torus.ring_step(from, to);
         let vc = dateline_vc(torus.radix(), from, to, cur, direction);
-        return RouteStep::Forward {
-            dim,
-            direction,
-            vc,
-        };
+        return RouteStep::Forward { dim, direction, vc };
     }
     RouteStep::Eject
 }
@@ -103,9 +99,7 @@ pub fn route_path(torus: &Torus, src: NodeId, dst: NodeId) -> Vec<NodeId> {
     loop {
         match route_step(torus, src, dst, current) {
             RouteStep::Eject => break,
-            RouteStep::Forward {
-                dim, direction, ..
-            } => {
+            RouteStep::Forward { dim, direction, .. } => {
                 current = torus.neighbor(current, dim, direction);
                 path.push(current);
             }
@@ -208,11 +202,7 @@ mod tests {
                 loop {
                     match route_step(&t, a, b, current) {
                         RouteStep::Eject => break,
-                        RouteStep::Forward {
-                            dim,
-                            direction,
-                            vc,
-                        } => {
+                        RouteStep::Forward { dim, direction, vc } => {
                             if let Some((last_dim, last_vc)) = last {
                                 if last_dim == dim {
                                     assert!(

@@ -44,6 +44,13 @@ pub struct FabricStats {
     pub network_deliveries: u64,
     /// Sum over deliveries of source-queue wait (enqueue to injection).
     pub sum_queue_wait: u64,
+    /// Messages destroyed by injected faults in this window.
+    pub dropped_messages: u64,
+    /// Flits of fault-dropped messages discarded in this window.
+    pub dropped_flits: u64,
+    /// Messages whose payload was corrupted by injected faults in this
+    /// window (they still deliver, flagged via checksum).
+    pub corrupted_messages: u64,
 }
 
 impl FabricStats {
@@ -65,6 +72,9 @@ impl FabricStats {
             sum_hops: 0,
             network_deliveries: 0,
             sum_queue_wait: 0,
+            dropped_messages: 0,
+            dropped_flits: 0,
+            corrupted_messages: 0,
         }
     }
 
@@ -119,7 +129,9 @@ impl FabricStats {
         if self.sum_hops == 0 {
             return 0.0;
         }
-        let in_network = self.sum_head_latency.saturating_sub(self.network_deliveries);
+        let in_network = self
+            .sum_head_latency
+            .saturating_sub(self.network_deliveries);
         in_network as f64 / self.sum_hops as f64
     }
 

@@ -58,7 +58,9 @@ impl BernoulliTraffic {
             rate,
             message_length,
             rng_state: (0..nodes as u64)
-                .map(|i| seed.wrapping_mul(0x9E3779B97F4A7C15) ^ (i + 1).wrapping_mul(0xD1B54A32D192ED03))
+                .map(|i| {
+                    seed.wrapping_mul(0x9E3779B97F4A7C15) ^ (i + 1).wrapping_mul(0xD1B54A32D192ED03)
+                })
                 .map(|s| if s == 0 { 1 } else { s })
                 .collect(),
             neighbor_index: vec![0; nodes],
@@ -147,12 +149,11 @@ mod tests {
     fn injection_rate_matches_request() {
         let mut f = fabric();
         let rate = 0.01;
-        let mut traffic =
-            BernoulliTraffic::new(64, TrafficPattern::UniformRandom, rate, 12, 42);
+        let mut traffic = BernoulliTraffic::new(64, TrafficPattern::UniformRandom, rate, 12, 42);
         let cycles = 20_000;
         for _ in 0..cycles {
             traffic.pulse(&mut f);
-            f.step();
+            f.step().unwrap();
         }
         let measured = f.stats().injected_messages as f64 / (cycles as f64 * 64.0);
         assert!(
@@ -164,13 +165,12 @@ mod tests {
     #[test]
     fn uniform_random_traffic_drains() {
         let mut f = fabric();
-        let mut traffic =
-            BernoulliTraffic::new(64, TrafficPattern::UniformRandom, 0.005, 12, 7);
+        let mut traffic = BernoulliTraffic::new(64, TrafficPattern::UniformRandom, 0.005, 12, 7);
         for _ in 0..5_000 {
             traffic.pulse(&mut f);
-            f.step();
+            f.step().unwrap();
         }
-        assert!(f.run_until_idle(100_000), "traffic did not drain");
+        assert!(f.run_until_idle(100_000).unwrap(), "traffic did not drain");
         let s = f.stats();
         assert!(s.delivered_messages > 1_000);
         // Mean distance should approximate Eq. 17's 4.06 hops.
@@ -181,13 +181,12 @@ mod tests {
     #[test]
     fn nearest_neighbor_distance_is_one() {
         let mut f = fabric();
-        let mut traffic =
-            BernoulliTraffic::new(64, TrafficPattern::NearestNeighbor, 0.02, 12, 3);
+        let mut traffic = BernoulliTraffic::new(64, TrafficPattern::NearestNeighbor, 0.02, 12, 3);
         for _ in 0..2_000 {
             traffic.pulse(&mut f);
-            f.step();
+            f.step().unwrap();
         }
-        assert!(f.run_until_idle(50_000));
+        assert!(f.run_until_idle(50_000).unwrap());
         assert_eq!(f.stats().avg_distance(), 1.0);
     }
 
@@ -195,18 +194,12 @@ mod tests {
     fn permutation_traffic_respects_mapping() {
         let mut f = fabric();
         let perm: Vec<NodeId> = (0..64).map(|i| NodeId((i + 8) % 64)).collect();
-        let mut traffic = BernoulliTraffic::new(
-            64,
-            TrafficPattern::Permutation(perm),
-            0.02,
-            12,
-            9,
-        );
+        let mut traffic = BernoulliTraffic::new(64, TrafficPattern::Permutation(perm), 0.02, 12, 9);
         for _ in 0..1_000 {
             traffic.pulse(&mut f);
-            f.step();
+            f.step().unwrap();
         }
-        assert!(f.run_until_idle(50_000));
+        assert!(f.run_until_idle(50_000).unwrap());
         // (i+8)%64 is one hop away in dimension 1 on an 8x8 torus.
         assert_eq!(f.stats().avg_distance(), 1.0);
     }

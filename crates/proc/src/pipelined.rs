@@ -159,9 +159,7 @@ impl PipelinedProcessor {
                     return None;
                 }
                 ThreadOp::Read(addr) => return Some(self.issue(MemOp::Read(addr))),
-                ThreadOp::Write(addr, value) => {
-                    return Some(self.issue(MemOp::Write(addr, value)))
-                }
+                ThreadOp::Write(addr, value) => return Some(self.issue(MemOp::Write(addr, value))),
             }
         }
     }

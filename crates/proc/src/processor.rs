@@ -133,7 +133,10 @@ impl Processor {
     ///
     /// Panics if no programs are supplied.
     pub fn new(programs: Vec<Box<dyn ThreadProgram>>, switch_cycles: u32) -> Self {
-        assert!(!programs.is_empty(), "a processor needs at least one context");
+        assert!(
+            !programs.is_empty(),
+            "a processor needs at least one context"
+        );
         Self {
             contexts: programs
                 .into_iter()

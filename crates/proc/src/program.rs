@@ -97,10 +97,7 @@ mod tests {
 
     #[test]
     fn loops_and_counts_iterations() {
-        let mut p = LoopProgram::new(vec![
-            ThreadOp::Compute(3),
-            ThreadOp::Read(Addr(0)),
-        ]);
+        let mut p = LoopProgram::new(vec![ThreadOp::Compute(3), ThreadOp::Read(Addr(0))]);
         assert_eq!(p.next(None), ThreadOp::Compute(3));
         assert_eq!(p.iterations(), 0);
         assert_eq!(p.next(None), ThreadOp::Read(Addr(0)));

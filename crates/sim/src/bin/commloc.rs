@@ -13,13 +13,10 @@
 //! machine.
 
 use commloc_model::{
-    expected_gain, limiting_per_hop_latency, log_spaced_sizes, per_hop_latency_curve,
-    MachineConfig,
+    expected_gain, limiting_per_hop_latency, log_spaced_sizes, per_hop_latency_curve, MachineConfig,
 };
 use commloc_net::Torus;
-use commloc_sim::{
-    mapping_suite, run_experiment, Mapping, SimConfig, MEASUREMENTS_CSV_HEADER,
-};
+use commloc_sim::{mapping_suite, run_experiment, Mapping, SimConfig, MEASUREMENTS_CSV_HEADER};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -99,19 +96,17 @@ fn parse_options(args: &[String]) -> Result<HashMap<String, String>, String> {
 }
 
 fn get_f64(options: &HashMap<String, String>, key: &str, default: f64) -> Result<f64, String> {
-    options
-        .get(key)
-        .map_or(Ok(default), |v| {
-            v.parse().map_err(|_| format!("--{key}: `{v}` is not a number"))
-        })
+    options.get(key).map_or(Ok(default), |v| {
+        v.parse()
+            .map_err(|_| format!("--{key}: `{v}` is not a number"))
+    })
 }
 
 fn get_u64(options: &HashMap<String, String>, key: &str, default: u64) -> Result<u64, String> {
-    options
-        .get(key)
-        .map_or(Ok(default), |v| {
-            v.parse().map_err(|_| format!("--{key}: `{v}` is not an integer"))
-        })
+    options.get(key).map_or(Ok(default), |v| {
+        v.parse()
+            .map_err(|_| format!("--{key}: `{v}` is not an integer"))
+    })
 }
 
 fn machine_from(options: &HashMap<String, String>) -> Result<MachineConfig, String> {
@@ -135,14 +130,25 @@ fn cmd_solve(options: &HashMap<String, String>) -> Result<(), String> {
     )?;
     let model = machine.to_combined_model().map_err(err)?;
     let op = model.solve(distance).map_err(err)?;
-    println!("machine: N = {:.0}, p = {}, clock ratio = {}", machine.nodes(), machine.contexts(), machine.clock_ratio());
+    println!(
+        "machine: N = {:.0}, p = {}, clock ratio = {}",
+        machine.nodes(),
+        machine.contexts(),
+        machine.clock_ratio()
+    );
     println!("operating point at d = {distance} hops (network cycles):");
     println!("  t_t  = {:>9.2}   (issue interval)", op.issue_interval);
-    println!("  T_t  = {:>9.2}   (transaction latency)", op.transaction_latency);
+    println!(
+        "  T_t  = {:>9.2}   (transaction latency)",
+        op.transaction_latency
+    );
     println!("  t_m  = {:>9.2}   (message interval)", op.message_interval);
     println!("  T_m  = {:>9.2}   (message latency)", op.message_latency);
     println!("  T_h  = {:>9.2}   (per-hop latency)", op.per_hop_latency);
-    println!("  rho  = {:>9.3}   (channel utilization)", op.channel_utilization);
+    println!(
+        "  rho  = {:>9.3}   (channel utilization)",
+        op.channel_utilization
+    );
     println!("  mode = {:?}", op.mode);
     Ok(())
 }
@@ -152,14 +158,20 @@ fn cmd_gain(options: &HashMap<String, String>) -> Result<(), String> {
     let sizes: Vec<f64> = match options.get("sizes") {
         Some(list) => list
             .split(',')
-            .map(|s| s.parse().map_err(|_| format!("--sizes: `{s}` is not a number")))
+            .map(|s| {
+                s.parse()
+                    .map_err(|_| format!("--sizes: `{s}` is not a number"))
+            })
             .collect::<Result<_, _>>()?,
         None => vec![10.0, 100.0, 1000.0, 1e4, 1e5, 1e6],
     };
     println!("{:>12} {:>10} {:>10}", "N", "d_random", "gain");
     for n in sizes {
         let point = expected_gain(&machine.with_nodes(n)).map_err(err)?;
-        println!("{n:>12.0} {:>10.2} {:>10.2}", point.random_distance, point.gain);
+        println!(
+            "{n:>12.0} {:>10.2} {:>10.2}",
+            point.random_distance, point.gain
+        );
     }
     Ok(())
 }
@@ -219,17 +231,32 @@ fn cmd_sim(options: &HashMap<String, String>) -> Result<(), String> {
     let mapping = mapping_from(options, &torus)?;
     let warmup = get_u64(options, "warmup", 20_000)?;
     let window = get_u64(options, "window", 60_000)?;
-    let m = run_experiment(config, &mapping, warmup, window);
+    let m = run_experiment(config, &mapping, warmup, window).map_err(|e| e.to_string())?;
     if options.contains_key("csv") {
         println!("{MEASUREMENTS_CSV_HEADER}");
         println!("{}", m.to_csv_row());
     } else {
-        println!("measured over {} network cycles on {} nodes:", m.net_cycles, m.nodes);
+        println!(
+            "measured over {} network cycles on {} nodes:",
+            m.net_cycles, m.nodes
+        );
         println!("  d    = {:>8.2} hops", m.distance);
-        println!("  t_t  = {:>8.2}   T_t = {:>8.2}", m.issue_interval, m.transaction_latency);
-        println!("  t_m  = {:>8.2}   T_m = {:>8.2}", m.message_interval, m.message_latency);
-        println!("  T_h  = {:>8.2}   rho = {:>8.3}", m.per_hop_latency, m.channel_utilization);
-        println!("  g    = {:>8.2}   B   = {:>8.2}", m.messages_per_transaction, m.avg_message_size);
+        println!(
+            "  t_t  = {:>8.2}   T_t = {:>8.2}",
+            m.issue_interval, m.transaction_latency
+        );
+        println!(
+            "  t_m  = {:>8.2}   T_m = {:>8.2}",
+            m.message_interval, m.message_latency
+        );
+        println!(
+            "  T_h  = {:>8.2}   rho = {:>8.3}",
+            m.per_hop_latency, m.channel_utilization
+        );
+        println!(
+            "  g    = {:>8.2}   B   = {:>8.2}",
+            m.messages_per_transaction, m.avg_message_size
+        );
     }
     Ok(())
 }
@@ -250,7 +277,8 @@ fn cmd_suite(options: &HashMap<String, String>) -> Result<(), String> {
         );
     }
     for named in mapping_suite(&torus, seed) {
-        let m = run_experiment(config.clone(), &named.mapping, warmup, window);
+        let m = run_experiment(config.clone(), &named.mapping, warmup, window)
+            .map_err(|e| e.to_string())?;
         if csv {
             println!("{},{}", named.name, m.to_csv_row());
         } else {

@@ -1,0 +1,237 @@
+//! Delay-injection (disturbance) experiments.
+//!
+//! Runs two deterministic copies of the same machine in lockstep — one
+//! fault-free, one with a single transient router stall injected at a
+//! chosen node — and differences their per-node transaction completions
+//! over time. Because both copies are bit-identical until the injection
+//! cycle, every difference *is* the disturbance: the per-ring deficits
+//! show how far the delay propagates through the fabric (via backpressure
+//! and coherence dependences) and how quickly the per-cycle completion
+//! rate recovers once the stall clears.
+//!
+//! The paper's open-network model predicts that a transient overload is
+//! strongly localized: with channel utilization well below saturation,
+//! queue backlogs drain geometrically and the disturbance should decay
+//! both with distance from the victim and with time after the stall
+//! window. [`DisturbanceCurve::ring_peaks`] and
+//! [`DisturbanceCurve::recovery_cycle`] quantify exactly those two
+//! decays (see `examples/delay_propagation.rs`).
+
+use crate::error::SimError;
+use crate::machine::{Machine, SimConfig};
+use crate::mapping::Mapping;
+use commloc_net::{FaultPlan, NodeId};
+
+/// Parameters of a delay-injection experiment.
+#[derive(Debug, Clone)]
+pub struct DisturbanceConfig {
+    /// Base machine configuration. Its `fault_plan` field is ignored —
+    /// the experiment installs its own single-stall plan.
+    pub sim: SimConfig,
+    /// Node whose router is stalled.
+    pub victim: usize,
+    /// Network cycle at which the stall begins (give the machine time to
+    /// reach steady state first).
+    pub inject_cycle: u64,
+    /// Length of the stall in network cycles.
+    pub stall_window: u64,
+    /// Total network cycles to simulate.
+    pub horizon: u64,
+    /// Sampling-bucket width in network cycles.
+    pub bucket: u64,
+}
+
+/// The measured disturbance: per-ring, per-bucket completion deficits.
+#[derive(Debug, Clone)]
+pub struct DisturbanceCurve {
+    /// The stalled node.
+    pub victim: NodeId,
+    /// Injection cycle.
+    pub inject_cycle: u64,
+    /// Stall length.
+    pub stall_window: u64,
+    /// Bucket width.
+    pub bucket: u64,
+    /// `rings[d][i]`: completions the fault-free run achieved minus the
+    /// disturbed run, summed over nodes at torus distance `d` from the
+    /// victim, during bucket `i`. Positive = the disturbed machine fell
+    /// behind there.
+    pub rings: Vec<Vec<i64>>,
+    /// Number of nodes at each distance (for per-node normalization).
+    pub ring_sizes: Vec<usize>,
+}
+
+impl DisturbanceCurve {
+    /// Number of sampling buckets.
+    pub fn buckets(&self) -> usize {
+        self.rings.first().map_or(0, Vec::len)
+    }
+
+    /// Global completion deficit per bucket.
+    pub fn global(&self) -> Vec<i64> {
+        (0..self.buckets())
+            .map(|i| self.rings.iter().map(|r| r[i]).sum())
+            .collect()
+    }
+
+    /// Peak per-node deficit of each ring over the whole run — the
+    /// disturbance's spatial profile. A localized disturbance decays
+    /// monotonically (modulo noise) with distance.
+    pub fn ring_peaks(&self) -> Vec<f64> {
+        self.rings
+            .iter()
+            .zip(&self.ring_sizes)
+            .map(|(ring, &size)| {
+                let peak = ring.iter().copied().max().unwrap_or(0);
+                peak as f64 / size.max(1) as f64
+            })
+            .collect()
+    }
+
+    /// First bucket-start cycle at or after the stall's end where the
+    /// global per-bucket deficit has returned to zero (or surplus), i.e.
+    /// the machine's completion *rate* has recovered. `None` if it never
+    /// recovers within the horizon.
+    pub fn recovery_cycle(&self) -> Option<u64> {
+        let stall_end = self.inject_cycle + self.stall_window;
+        self.global()
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (i as u64 * self.bucket, d))
+            .find(|&(start, d)| start >= stall_end && d <= 0)
+            .map(|(start, _)| start)
+    }
+}
+
+/// Runs the delay-injection experiment: a fault-free and a single-stall
+/// machine advance in lockstep and their per-node completions are
+/// differenced each bucket.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] from either machine. Pick a
+/// `stall_window` shorter than the watchdog window (or disable the
+/// watchdog) if the stall is meant to be survived.
+///
+/// # Panics
+///
+/// Panics if `bucket` is zero or `victim` is out of range.
+pub fn run_disturbance(
+    config: &DisturbanceConfig,
+    mapping: &Mapping,
+) -> Result<DisturbanceCurve, SimError> {
+    assert!(config.bucket > 0, "bucket width must be positive");
+    let baseline_cfg = SimConfig {
+        fault_plan: None,
+        ..config.sim.clone()
+    };
+    let disturbed_cfg = SimConfig {
+        fault_plan: Some(FaultPlan::new(0).stall_router_at(
+            config.inject_cycle,
+            config.victim,
+            config.stall_window,
+        )),
+        ..config.sim.clone()
+    };
+    let mut baseline = Machine::new(baseline_cfg, mapping);
+    let mut disturbed = Machine::new(disturbed_cfg, mapping);
+    let torus = baseline.torus().clone();
+    assert!(config.victim < torus.nodes(), "victim out of range");
+    let victim = NodeId(config.victim);
+    let ring_of: Vec<usize> = (0..torus.nodes())
+        .map(|n| torus.distance(victim, NodeId(n)))
+        .collect();
+    let max_ring = ring_of.iter().copied().max().unwrap_or(0);
+    let mut ring_sizes = vec![0usize; max_ring + 1];
+    for &r in &ring_of {
+        ring_sizes[r] += 1;
+    }
+
+    let mut rings: Vec<Vec<i64>> = vec![Vec::new(); max_ring + 1];
+    let mut prev_base: Vec<u64> = vec![0; torus.nodes()];
+    let mut prev_dist: Vec<u64> = vec![0; torus.nodes()];
+    let mut elapsed = 0;
+    while elapsed < config.horizon {
+        let chunk = config.bucket.min(config.horizon - elapsed);
+        baseline.run_network_cycles(chunk)?;
+        disturbed.run_network_cycles(chunk)?;
+        elapsed += chunk;
+        let base = baseline.completions_per_node();
+        let dist = disturbed.completions_per_node();
+        let mut bucket_deficit = vec![0i64; max_ring + 1];
+        for n in 0..torus.nodes() {
+            let base_inc = (base[n] - prev_base[n]) as i64;
+            let dist_inc = (dist[n] - prev_dist[n]) as i64;
+            bucket_deficit[ring_of[n]] += base_inc - dist_inc;
+        }
+        prev_base.copy_from_slice(base);
+        prev_dist.copy_from_slice(dist);
+        for (ring, deficit) in bucket_deficit.into_iter().enumerate() {
+            rings[ring].push(deficit);
+        }
+    }
+    Ok(DisturbanceCurve {
+        victim,
+        inject_cycle: config.inject_cycle,
+        stall_window: config.stall_window,
+        bucket: config.bucket,
+        rings,
+        ring_sizes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(stall_window: u64) -> DisturbanceCurve {
+        let config = DisturbanceConfig {
+            sim: SimConfig::default(),
+            victim: 27,
+            inject_cycle: 12_000,
+            stall_window,
+            horizon: 40_000,
+            bucket: 1_000,
+        };
+        run_disturbance(&config, &Mapping::identity(64)).expect("experiment runs")
+    }
+
+    #[test]
+    fn lockstep_runs_are_identical_before_injection() {
+        let c = curve(800);
+        let pre_buckets = (c.inject_cycle / c.bucket) as usize;
+        for ring in &c.rings {
+            for &d in &ring[..pre_buckets] {
+                assert_eq!(d, 0, "deficit before injection");
+            }
+        }
+    }
+
+    #[test]
+    fn disturbance_peaks_at_the_victim_and_decays_with_distance() {
+        let c = curve(800);
+        let peaks = c.ring_peaks();
+        assert!(
+            peaks[0] > 0.0,
+            "the stalled node itself must lose completions: {peaks:?}"
+        );
+        let far = *peaks.last().unwrap();
+        assert!(
+            peaks[0] > 2.0 * far.max(0.25),
+            "disturbance not localized: victim {} vs farthest {far}",
+            peaks[0]
+        );
+    }
+
+    #[test]
+    fn completion_rate_recovers_after_the_stall() {
+        let c = curve(800);
+        let recovery = c
+            .recovery_cycle()
+            .expect("rate should recover within the horizon");
+        assert!(
+            recovery < c.inject_cycle + c.stall_window + 15_000,
+            "recovery too slow: {recovery}"
+        );
+    }
+}

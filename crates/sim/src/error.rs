@@ -1,0 +1,185 @@
+//! Structured simulation failures.
+//!
+//! A fault-injected machine can legitimately fail to make progress (a
+//! killed link wedges wormhole traffic; exhausted retries strand a
+//! transaction). Instead of hanging or panicking, [`Machine::step`]
+//! returns a [`SimError`] whose [`StallReport`] carries enough diagnostic
+//! state — per-router occupancy, outstanding transactions, the fault-log
+//! tail — to tell deadlock from backpressure at a glance.
+//!
+//! [`Machine::step`]: crate::Machine::step
+
+use commloc_net::{FabricError, FaultEvent, NodeId};
+use std::fmt;
+
+/// Why the watchdog declared a stall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallKind {
+    /// No flit moved and no transaction retired for the whole watchdog
+    /// window while no transient fault was active: the system cannot
+    /// recover by waiting (killed link, lost sole data copy, protocol
+    /// wedge).
+    Deadlock,
+    /// A transient fault (router or link stall) was still active when the
+    /// window expired: the quiet period is backpressure behind the
+    /// stalled resource, and progress may resume once it clears.
+    Backpressure,
+}
+
+impl fmt::Display for StallKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StallKind::Deadlock => write!(f, "deadlock"),
+            StallKind::Backpressure => write!(f, "backpressure"),
+        }
+    }
+}
+
+/// Diagnostic dump produced when the progress watchdog fires.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StallReport {
+    /// Network cycle at which the watchdog fired.
+    pub cycle: u64,
+    /// Network cycles since the last observed progress.
+    pub stalled_for: u64,
+    /// Deadlock versus backpressure classification.
+    pub kind: StallKind,
+    /// Messages still in flight in the fabric.
+    pub in_flight: usize,
+    /// Flits buffered across all routers and injection queues.
+    pub buffered_flits: usize,
+    /// Buffered flits per router (index = node id).
+    pub router_occupancy: Vec<usize>,
+    /// Nodes with outstanding coherence transactions, as `(node, count)`
+    /// pairs (nodes with none are omitted).
+    pub outstanding: Vec<(NodeId, usize)>,
+    /// The most recent fault-log events (empty when no fault plan is
+    /// installed).
+    pub fault_log_tail: Vec<FaultEvent>,
+}
+
+impl fmt::Display for StallReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} at net cycle {}: no progress for {} cycles",
+            self.kind, self.cycle, self.stalled_for
+        )?;
+        writeln!(
+            f,
+            "  {} messages in flight, {} flits buffered",
+            self.in_flight, self.buffered_flits
+        )?;
+        let busy: Vec<String> = self
+            .router_occupancy
+            .iter()
+            .enumerate()
+            .filter(|(_, &o)| o > 0)
+            .map(|(n, &o)| format!("n{n}:{o}"))
+            .collect();
+        writeln!(
+            f,
+            "  router occupancy (non-empty): {}",
+            if busy.is_empty() {
+                "none".to_owned()
+            } else {
+                busy.join(" ")
+            }
+        )?;
+        let outstanding: Vec<String> = self
+            .outstanding
+            .iter()
+            .map(|(n, c)| format!("{n}:{c}"))
+            .collect();
+        writeln!(
+            f,
+            "  outstanding transactions: {}",
+            if outstanding.is_empty() {
+                "none".to_owned()
+            } else {
+                outstanding.join(" ")
+            }
+        )?;
+        write!(
+            f,
+            "  fault log tail ({} events):",
+            self.fault_log_tail.len()
+        )?;
+        for event in &self.fault_log_tail {
+            write!(f, "\n    {event:?}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A structured simulation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The fabric reported an internal inconsistency.
+    Fabric(FabricError),
+    /// A controller completed a transaction no processor context was
+    /// waiting on.
+    UnknownCompletion {
+        /// Node whose controller produced the completion.
+        node: NodeId,
+        /// The unrecognized transaction id.
+        txn: u64,
+    },
+    /// The progress watchdog fired: see the report for diagnostics.
+    Stalled(Box<StallReport>),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Fabric(e) => write!(f, "fabric error: {e}"),
+            SimError::UnknownCompletion { node, txn } => {
+                write!(f, "completion for unknown context at {node}: txn {txn:#x}")
+            }
+            SimError::Stalled(report) => write!(f, "simulation stalled: {report}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<FabricError> for SimError {
+    fn from(e: FabricError) -> Self {
+        SimError::Fabric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stall_report_display_names_the_hot_spots() {
+        let report = StallReport {
+            cycle: 1234,
+            stalled_for: 500,
+            kind: StallKind::Deadlock,
+            in_flight: 2,
+            buffered_flits: 7,
+            router_occupancy: vec![0, 7, 0],
+            outstanding: vec![(NodeId(1), 1)],
+            fault_log_tail: Vec::new(),
+        };
+        let text = format!("{report}");
+        assert!(text.contains("deadlock at net cycle 1234"));
+        assert!(text.contains("no progress for 500 cycles"));
+        assert!(text.contains("n1:7"));
+        assert!(text.contains("n1:1"));
+    }
+
+    #[test]
+    fn fabric_errors_convert() {
+        let err: SimError = FabricError::MissingFlit {
+            node: NodeId(3),
+            cycle: 9,
+        }
+        .into();
+        assert!(matches!(err, SimError::Fabric(_)));
+        assert!(format!("{err}").contains("fabric error"));
+    }
+}

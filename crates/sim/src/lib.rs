@@ -21,7 +21,7 @@
 //! use commloc_sim::{run_experiment, Mapping, SimConfig};
 //!
 //! let mapping = Mapping::random(64, 42);
-//! let m = run_experiment(SimConfig::default(), &mapping, 20_000, 60_000);
+//! let m = run_experiment(SimConfig::default(), &mapping, 20_000, 60_000).unwrap();
 //! println!("d = {:.2} hops, T_m = {:.1} cycles", m.distance, m.message_latency);
 //! ```
 
@@ -30,12 +30,16 @@
 #![forbid(unsafe_code)]
 
 mod csv;
+mod disturbance;
+mod error;
 mod fit;
 mod machine;
 mod mapping;
 mod workload;
 
 pub use csv::MEASUREMENTS_CSV_HEADER;
+pub use disturbance::{run_disturbance, DisturbanceConfig, DisturbanceCurve};
+pub use error::{SimError, StallKind, StallReport};
 pub use fit::{fit_line, LineFit};
 pub use machine::{run_experiment, Machine, Measurements, SimConfig};
 pub use mapping::{mapping_suite, Mapping, NamedMapping};

@@ -13,10 +13,11 @@
 //! latency `T_h`, channel utilization, communication distance `d`, and
 //! the per-transaction message statistics `g` and `B`.
 
+use crate::error::{SimError, StallKind, StallReport};
 use crate::mapping::Mapping;
 use crate::workload::{workload_home_map, TorusNeighborProgram};
 use commloc_mem::{Controller, MemConfig, ProtocolMsg, TxnId};
-use commloc_net::{Fabric, FabricConfig, Message, NodeId, Torus};
+use commloc_net::{Fabric, FabricConfig, FaultLog, FaultPlan, Message, NodeId, Torus};
 use commloc_proc::{Processor, ThreadProgram};
 use std::collections::HashMap;
 
@@ -40,6 +41,16 @@ pub struct SimConfig {
     pub mem: MemConfig,
     /// Fabric buffering configuration.
     pub fabric: FabricConfig,
+    /// Progress-watchdog window in network cycles: if no flit moves and
+    /// no transaction retires for this long, stepping returns
+    /// [`SimError::Stalled`] with a diagnostic dump. `0` disables the
+    /// watchdog. A healthy machine makes progress every handful of
+    /// cycles, so the default window is far above any legitimate quiet
+    /// period yet small enough to fail fast under a wedged fabric.
+    pub watchdog_cycles: u64,
+    /// Fault plan installed into the fabric at construction (`None` = the
+    /// perfect network of the paper's calibrated experiments).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for SimConfig {
@@ -58,6 +69,8 @@ impl Default for SimConfig {
                 vc_buffer_capacity: 16,
                 injection_buffer_capacity: 16,
             },
+            watchdog_cycles: 20_000,
+            fault_plan: None,
         }
     }
 }
@@ -132,9 +145,9 @@ pub struct Measurements {
 /// let config = SimConfig::default();
 /// let mapping = Mapping::identity(64);
 /// let mut machine = Machine::new(config, &mapping);
-/// machine.run_network_cycles(20_000); // warmup
+/// machine.run_network_cycles(20_000).unwrap(); // warmup
 /// machine.reset_measurements();
-/// machine.run_network_cycles(50_000);
+/// machine.run_network_cycles(50_000).unwrap();
 /// let m = machine.measure();
 /// assert!(m.distance > 0.9 && m.distance < 1.1);
 /// ```
@@ -148,6 +161,13 @@ pub struct Machine {
     window_start: u64,
     window: Window,
     txn_issue_cycle: HashMap<u64, u64>,
+    /// Total transaction completions ever (never reset — watchdog input).
+    completed: u64,
+    completed_per_node: Vec<u64>,
+    /// Progress marker `(fabric activity, completions)` at the last cycle
+    /// that showed progress, and that cycle.
+    progress_marker: (u64, u64),
+    progress_cycle: u64,
 }
 
 impl Machine {
@@ -158,8 +178,9 @@ impl Machine {
     /// # Panics
     ///
     /// Panics if the mapping size does not match the torus.
-    pub fn new(config: SimConfig, mapping: &Mapping) -> Self {
+    pub fn new(mut config: SimConfig, mapping: &Mapping) -> Self {
         let torus = Torus::new(config.dims, config.radix);
+        let fault_plan = config.fault_plan.take();
         assert_eq!(
             mapping.threads(),
             torus.nodes(),
@@ -171,7 +192,10 @@ impl Machine {
             thread_at[mapping.processor(thread).0] = thread;
         }
         let home = workload_home_map(&torus, mapping, config.contexts);
-        let fabric = Fabric::new(torus.clone(), config.fabric);
+        let fabric = match fault_plan {
+            Some(plan) => Fabric::with_fault_plan(torus.clone(), config.fabric, plan),
+            None => Fabric::new(torus.clone(), config.fabric),
+        };
         let nodes = (0..torus.nodes())
             .map(|n| {
                 let programs: Vec<Box<dyn ThreadProgram>> = (0..config.contexts)
@@ -192,6 +216,7 @@ impl Machine {
                 }
             })
             .collect();
+        let node_count = torus.nodes();
         Self {
             config,
             torus,
@@ -201,6 +226,10 @@ impl Machine {
             window_start: 0,
             window: Window::default(),
             txn_issue_cycle: HashMap::new(),
+            completed: 0,
+            completed_per_node: vec![0; node_count],
+            progress_marker: (0, 0),
+            progress_cycle: 0,
         }
     }
 
@@ -221,19 +250,94 @@ impl Machine {
 
     /// Advances one network cycle (and, on the clock-ratio boundary, one
     /// processor/controller cycle for every node).
-    pub fn step(&mut self) {
-        self.fabric.step();
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Fabric`] on a fabric inconsistency,
+    /// [`SimError::UnknownCompletion`] if a controller completes a
+    /// transaction no context was waiting on, and [`SimError::Stalled`]
+    /// when the progress watchdog fires (see [`SimConfig::watchdog_cycles`]).
+    pub fn step(&mut self) -> Result<(), SimError> {
+        self.fabric.step()?;
         self.net_cycle += 1;
-        if self.net_cycle.is_multiple_of(u64::from(self.config.clock_ratio)) {
-            self.step_nodes();
+        if self
+            .net_cycle
+            .is_multiple_of(u64::from(self.config.clock_ratio))
+        {
+            self.step_nodes()?;
         }
+        self.check_watchdog()
     }
 
     /// Advances `cycles` network cycles.
-    pub fn run_network_cycles(&mut self, cycles: u64) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from [`Machine::step`].
+    pub fn run_network_cycles(&mut self, cycles: u64) -> Result<(), SimError> {
         for _ in 0..cycles {
-            self.step();
+            self.step()?;
         }
+        Ok(())
+    }
+
+    /// The progress watchdog. Two trip conditions:
+    ///
+    /// * **Global stall** — the fabric's activity counter stopped
+    ///   advancing (no flit moved) and no transaction retired for a full
+    ///   window: total deadlock.
+    /// * **Stuck transaction** — some transaction has been outstanding
+    ///   for longer than a full window. A healthy transaction completes
+    ///   in tens-to-hundreds of network cycles even under congestion, so
+    ///   an aged one is wedged (e.g. behind a killed link) even while the
+    ///   rest of the machine retires normally.
+    fn check_watchdog(&mut self) -> Result<(), SimError> {
+        let window = self.config.watchdog_cycles;
+        let marker = (self.fabric.activity(), self.completed);
+        if marker != self.progress_marker {
+            self.progress_marker = marker;
+            self.progress_cycle = self.net_cycle;
+        }
+        if window == 0 {
+            return Ok(());
+        }
+        let oldest_txn_age = self
+            .txn_issue_cycle
+            .values()
+            .min()
+            .map_or(0, |&issued| self.net_cycle - issued);
+        let stalled_for = (self.net_cycle - self.progress_cycle).max(oldest_txn_age);
+        if stalled_for < window {
+            return Ok(());
+        }
+        // A transient fault still in force (or scheduled) explains the
+        // quiet period as backpressure; without one, this is a deadlock
+        // the machine cannot leave by waiting.
+        let kind = match self.fabric.fault_plan() {
+            Some(plan) if plan.transient_stall_active(self.net_cycle) => StallKind::Backpressure,
+            _ => StallKind::Deadlock,
+        };
+        let outstanding = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, node)| node.ctrl.outstanding_transactions() > 0)
+            .map(|(n, node)| (NodeId(n), node.ctrl.outstanding_transactions()))
+            .collect();
+        Err(SimError::Stalled(Box::new(StallReport {
+            cycle: self.net_cycle,
+            stalled_for,
+            kind,
+            in_flight: self.fabric.in_flight(),
+            buffered_flits: self.fabric.buffered_flits(),
+            router_occupancy: self.fabric.router_occupancy(),
+            outstanding,
+            fault_log_tail: self
+                .fabric
+                .fault_log()
+                .map(|log| log.tail(16).to_vec())
+                .unwrap_or_default(),
+        })))
     }
 
     /// Resets every statistics window (fabric, controllers, processors,
@@ -274,8 +378,7 @@ impl Machine {
             messages_per_transaction: fs.injected_messages as f64 / misses as f64,
             avg_message_size: fs.avg_message_size(),
             residual_message_size: fs.residual_message_size(),
-            run_length: total_busy as f64 * f64::from(self.config.clock_ratio)
-                / misses as f64,
+            run_length: total_busy as f64 * f64::from(self.config.clock_ratio) / misses as f64,
             hit_fraction: hits as f64 / (hits + self.window.misses).max(1) as f64,
         }
     }
@@ -295,7 +398,7 @@ impl Machine {
             .sum()
     }
 
-    fn step_nodes(&mut self) {
+    fn step_nodes(&mut self) -> Result<(), SimError> {
         let now = self.net_cycle;
         for n in 0..self.nodes.len() {
             // 1. Network deliveries reach the controller.
@@ -307,13 +410,16 @@ impl Machine {
             node.ctrl.step();
             // 3. Completions unblock contexts.
             while let Some(done) = node.ctrl.poll_completion() {
-                let ctx = node
-                    .ctx_txn
-                    .iter()
-                    .position(|t| *t == Some(done.txn))
-                    .expect("completion for unknown context");
+                let Some(ctx) = node.ctx_txn.iter().position(|t| *t == Some(done.txn)) else {
+                    return Err(SimError::UnknownCompletion {
+                        node: NodeId(n),
+                        txn: done.txn.0,
+                    });
+                };
                 node.ctx_txn[ctx] = None;
                 node.cpu.complete(ctx, done.value);
+                self.completed += 1;
+                self.completed_per_node[n] += 1;
                 if done.miss {
                     self.window.misses += 1;
                     if let Some(issued) = self.txn_issue_cycle.remove(&done.txn.0) {
@@ -335,27 +441,49 @@ impl Machine {
             // 5. Outgoing protocol messages enter the network.
             while let Some((dst, msg)) = node.ctrl.take_outgoing() {
                 let flits = msg.flits(&self.config.mem);
-                self.fabric
-                    .inject(Message::new(NodeId(n), dst, flits, msg));
+                self.fabric.inject(Message::new(NodeId(n), dst, flits, msg));
             }
         }
+        Ok(())
+    }
+
+    /// The fault log of the installed fault plan, if any.
+    pub fn fault_log(&self) -> Option<&FaultLog> {
+        self.fabric.fault_log()
+    }
+
+    /// Total transaction completions since construction (never reset).
+    pub fn completions(&self) -> u64 {
+        self.completed
+    }
+
+    /// Per-node transaction completions since construction (never reset)
+    /// — the disturbance experiments difference these against a baseline
+    /// run to localize a fault's impact.
+    pub fn completions_per_node(&self) -> &[u64] {
+        &self.completed_per_node
     }
 }
 
 /// Runs a complete experiment: build, warm up, measure.
 ///
 /// `warmup` and `window` are in network cycles.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] from stepping (fabric inconsistency,
+/// unknown completion, or a watchdog-detected stall).
 pub fn run_experiment(
     config: SimConfig,
     mapping: &Mapping,
     warmup: u64,
     window: u64,
-) -> Measurements {
+) -> Result<Measurements, SimError> {
     let mut machine = Machine::new(config, mapping);
-    machine.run_network_cycles(warmup);
+    machine.run_network_cycles(warmup)?;
     machine.reset_measurements();
-    machine.run_network_cycles(window);
-    machine.measure()
+    machine.run_network_cycles(window)?;
+    Ok(machine.measure())
 }
 
 #[cfg(test)]
@@ -364,7 +492,7 @@ mod tests {
     use crate::mapping::Mapping;
 
     fn quick(config: SimConfig, mapping: &Mapping) -> Measurements {
-        run_experiment(config, mapping, 10_000, 30_000)
+        run_experiment(config, mapping, 10_000, 30_000).expect("experiment ran")
     }
 
     #[test]
@@ -457,12 +585,12 @@ mod tests {
         // latencies in processor terms and lowers the transaction rate
         // per processor cycle.
         let mapping = Mapping::random(64, 3);
-        let fast = run_experiment(SimConfig::default(), &mapping, 8_000, 24_000);
+        let fast = run_experiment(SimConfig::default(), &mapping, 8_000, 24_000).unwrap();
         let slow_cfg = SimConfig {
             clock_ratio: 1, // network at processor speed (2x slower than base)
             ..SimConfig::default()
         };
-        let slow = run_experiment(slow_cfg, &mapping, 8_000, 24_000);
+        let slow = run_experiment(slow_cfg, &mapping, 8_000, 24_000).unwrap();
         // Rates are per network cycle; convert to per processor cycle.
         let fast_per_proc = fast.transaction_rate * 2.0;
         let slow_per_proc = slow.transaction_rate * 1.0;
@@ -476,9 +604,92 @@ mod tests {
     fn workload_makes_steady_progress() {
         let mapping = Mapping::identity(64);
         let mut machine = Machine::new(SimConfig::default(), &mapping);
-        machine.run_network_cycles(40_000);
+        machine.run_network_cycles(40_000).unwrap();
         let writes = machine.total_iterations();
         // 64 threads iterating continually: at least a handful each.
         assert!(writes > 64 * 5, "only {writes} iterations in 40k cycles");
+        assert!(machine.completions() > 0);
+    }
+
+    #[test]
+    fn killed_link_trips_the_watchdog_with_diagnostics() {
+        use commloc_net::{Direction, FaultPlan};
+        let mapping = Mapping::identity(64);
+        let config = SimConfig {
+            watchdog_cycles: 3_000,
+            fault_plan: Some(FaultPlan::new(7).kill_link_at(2_000, 0, 0, Direction::Plus)),
+            ..SimConfig::default()
+        };
+        let mut machine = Machine::new(config, &mapping);
+        let err = machine
+            .run_network_cycles(400_000)
+            .expect_err("a killed link must wedge the workload");
+        let SimError::Stalled(report) = err else {
+            panic!("expected a stall, got {err}");
+        };
+        assert_eq!(report.kind, StallKind::Deadlock);
+        assert!(report.stalled_for >= 3_000);
+        assert!(!report.outstanding.is_empty(), "no stuck transactions?");
+        assert!(
+            report
+                .fault_log_tail
+                .iter()
+                .any(|e| matches!(e, commloc_net::FaultEvent::LinkKilled { .. })),
+            "fault log tail should show the kill: {:?}",
+            report.fault_log_tail
+        );
+    }
+
+    #[test]
+    fn transient_stall_classifies_as_backpressure() {
+        use commloc_net::FaultPlan;
+        let mapping = Mapping::identity(64);
+        // Stall the router far longer than the watchdog window: the
+        // watchdog fires mid-stall and must blame backpressure.
+        let config = SimConfig {
+            watchdog_cycles: 2_000,
+            fault_plan: Some(FaultPlan::new(3).stall_router_at(1_000, 27, 50_000)),
+            ..SimConfig::default()
+        };
+        let mut machine = Machine::new(config, &mapping);
+        match machine.run_network_cycles(60_000) {
+            Err(SimError::Stalled(report)) => {
+                assert_eq!(report.kind, StallKind::Backpressure);
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+            // A single stalled router need not halt *global* progress —
+            // but with the whole machine's traffic pattern it should.
+            Ok(()) => panic!("expected the stalled router to halt progress"),
+        }
+    }
+
+    #[test]
+    fn same_seed_same_fault_log_and_measurements() {
+        use commloc_net::{FaultConfig, FaultPlan};
+        let mapping = Mapping::identity(64);
+        let run = || {
+            let config = SimConfig {
+                fault_plan: Some(FaultPlan::new(11).with_config(FaultConfig {
+                    drop_rate: 0.0005,
+                    corrupt_rate: 0.0005,
+                    ..FaultConfig::default()
+                })),
+                mem: MemConfig {
+                    timeout_cycles: 2_000,
+                    ..MemConfig::default()
+                },
+                ..SimConfig::default()
+            };
+            let mut machine = Machine::new(config, &mapping);
+            machine
+                .run_network_cycles(30_000)
+                .expect("run survives light faults");
+            (machine.fault_log().cloned().unwrap(), machine.measure())
+        };
+        let (log_a, m_a) = run();
+        let (log_b, m_b) = run();
+        assert_eq!(log_a, log_b, "fault logs diverged for identical seeds");
+        assert_eq!(m_a, m_b, "measurements diverged for identical seeds");
+        assert!(!log_a.is_empty(), "no faults injected; test is vacuous");
     }
 }

@@ -1,0 +1,95 @@
+//! Delay propagation: inject a one-off router stall at a single node and
+//! watch the disturbance spread and die out — the fault-injection
+//! counterpart of the paper's open-network contention model.
+//!
+//! Two deterministic copies of the 64-node machine run in lockstep; one
+//! suffers a transient router stall at the victim node. Their per-node
+//! completion counts are differenced per time bucket and grouped by torus
+//! distance from the victim, so the printed deficits *are* the
+//! disturbance. The analytical model says the network operates well below
+//! saturation (channel utilization `rho` small), so the backlog a stall
+//! of `W` cycles accumulates drains at roughly `1 - rho` service slots
+//! per cycle: the completion rate should recover within about
+//! `W * rho / (1 - rho)` cycles of the stall clearing, and the spatial
+//! footprint should collapse within a few hops of the victim.
+//!
+//! Run with: `cargo run --release --example delay_propagation`
+
+use commloc::sim::{run_disturbance, run_experiment, DisturbanceConfig, Mapping, SimConfig};
+
+fn main() {
+    let victim = 27;
+    let inject_cycle = 12_000;
+    let stall_window = 800;
+    let mapping = Mapping::identity(64);
+
+    // Fault-free calibration run: the operating point the analytical
+    // comparison needs (channel utilization rho).
+    let baseline = run_experiment(SimConfig::default(), &mapping, 10_000, 20_000)
+        .expect("fault-free calibration run");
+    let rho = baseline.channel_utilization;
+
+    println!("=== Delay propagation from a single stalled router ===\n");
+    println!(
+        "machine: 64-node torus, identity mapping, d = {:.2} hops",
+        baseline.distance
+    );
+    println!(
+        "victim node {victim}, stall of {stall_window} network cycles at cycle {inject_cycle}"
+    );
+    println!("operating point: channel utilization rho = {rho:.3}\n");
+
+    let config = DisturbanceConfig {
+        sim: SimConfig::default(),
+        victim,
+        inject_cycle,
+        stall_window,
+        horizon: 40_000,
+        bucket: 1_000,
+    };
+    let curve = run_disturbance(&config, &mapping).expect("disturbance experiment");
+
+    println!("spatial profile — peak per-node completion deficit by distance:");
+    println!("{:>10} {:>8} {:>14}", "distance", "nodes", "peak deficit");
+    for (d, (peak, &size)) in curve.ring_peaks().iter().zip(&curve.ring_sizes).enumerate() {
+        let bar = "#".repeat((peak * 4.0).round() as usize);
+        println!("{d:>10} {size:>8} {peak:>14.2}  {bar}");
+    }
+
+    println!("\ntemporal profile — global completion deficit per bucket:");
+    let global = curve.global();
+    let first = (inject_cycle / curve.bucket).saturating_sub(2) as usize;
+    println!("{:>12} {:>10}", "cycle", "deficit");
+    for (i, &d) in global.iter().enumerate().skip(first) {
+        let start = i as u64 * curve.bucket;
+        let marker = if start < inject_cycle {
+            ""
+        } else if start < inject_cycle + stall_window + curve.bucket {
+            "  <- stall"
+        } else {
+            ""
+        };
+        println!("{start:>12} {d:>10}{marker}");
+    }
+
+    let stall_end = inject_cycle + stall_window;
+    let predicted_lag = stall_window as f64 * rho / (1.0 - rho);
+    println!("\nanalytical expectation vs measurement:");
+    println!("  predicted catch-up lag after the stall: W*rho/(1-rho) = {predicted_lag:.0} cycles");
+    match curve.recovery_cycle() {
+        Some(recovery) => {
+            let lag = recovery.saturating_sub(stall_end);
+            println!(
+                "  measured rate recovery: cycle {recovery} ({lag} cycles after the stall \
+                 cleared, bucket resolution {})",
+                curve.bucket
+            );
+            println!(
+                "  -> disturbance decays: the sub-saturation network drains the backlog \
+                 within {} bucket(s), as the open-network model predicts.",
+                lag.div_ceil(curve.bucket).max(1)
+            );
+        }
+        None => println!("  completion rate did not recover within the horizon"),
+    }
+}

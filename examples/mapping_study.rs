@@ -22,7 +22,8 @@ fn main() {
         "mapping", "d", "d_sim", "r_t", "T_m", "T_h", "rho"
     );
     for named in &suite {
-        let m = run_experiment(config.clone(), &named.mapping, 20_000, 60_000);
+        let m =
+            run_experiment(config.clone(), &named.mapping, 20_000, 60_000).expect("fault-free run");
         println!(
             "{:<14} {:>6.2} {:>6.2} {:>9.5} {:>9.1} {:>8.2} {:>7.3}",
             named.name,

@@ -20,7 +20,8 @@ fn main() {
         println!("p = {contexts}:");
         println!("  {:<14} {:>8} {:>8}", "mapping", "t_m", "T_m");
         for named in &suite {
-            let m = run_experiment(config.clone(), &named.mapping, 15_000, 45_000);
+            let m = run_experiment(config.clone(), &named.mapping, 15_000, 45_000)
+                .expect("fault-free run");
             println!(
                 "  {:<14} {:>8.1} {:>8.1}",
                 named.name, m.message_interval, m.message_latency

@@ -3,9 +3,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use commloc::model::{
-    CombinedModel, IssueTimeBreakdown, MachineConfig, ModelError,
-};
+use commloc::model::{CombinedModel, IssueTimeBreakdown, MachineConfig, ModelError};
 
 fn main() -> Result<(), ModelError> {
     // The paper's Section 3 machine: a 64-node, 8x8 torus with network
@@ -14,7 +12,11 @@ fn main() -> Result<(), ModelError> {
     let machine = MachineConfig::alewife().with_contexts(2);
     let model: CombinedModel = machine.to_combined_model()?;
 
-    println!("machine: {} nodes, {} contexts/processor", machine.nodes(), machine.contexts());
+    println!(
+        "machine: {} nodes, {} contexts/processor",
+        machine.nodes(),
+        machine.contexts()
+    );
     println!(
         "latency sensitivity s = p*g/c = {:.2}",
         machine.latency_sensitivity()
@@ -44,9 +46,15 @@ fn main() -> Result<(), ModelError> {
     let op = model.solve(1.0)?;
     let parts = IssueTimeBreakdown::from_operating_point(&model, &op);
     println!("\nideal mapping (d = 1) issue-time breakdown, network cycles:");
-    println!("  variable message overhead: {:>7.1}", parts.variable_message);
+    println!(
+        "  variable message overhead: {:>7.1}",
+        parts.variable_message
+    );
     println!("  fixed message overhead:    {:>7.1}", parts.fixed_message);
-    println!("  fixed transaction overhead:{:>7.1}", parts.fixed_transaction);
+    println!(
+        "  fixed transaction overhead:{:>7.1}",
+        parts.fixed_transaction
+    );
     println!("  actual CPU cycles:         {:>7.1}", parts.cpu);
     Ok(())
 }

@@ -13,8 +13,10 @@ fn main() -> Result<(), ModelError> {
     let machine = MachineConfig::alewife().with_contexts(2);
     let sizes = log_spaced_sizes(10.0, 1e6, 1);
 
-    println!("per-hop latency saturation (Eq. 16 limit = {:.1} cycles):\n",
-        limiting_per_hop_latency(&machine));
+    println!(
+        "per-hop latency saturation (Eq. 16 limit = {:.1} cycles):\n",
+        limiting_per_hop_latency(&machine)
+    );
     println!("{:>10} {:>8} {:>8} {:>8}", "N", "d_rand", "T_h", "rho");
     for point in per_hop_latency_curve(&machine, &sizes)? {
         println!(
@@ -35,8 +37,16 @@ fn main() -> Result<(), ModelError> {
     }
 
     println!("\nslower networks value locality more (Table 1):\n");
-    println!("{:>12} {:>10} {:>10}", "net speed", "gain(10^3)", "gain(10^6)");
-    for (label, factor) in [("2x faster", 1.0), ("same", 0.5), ("2x slower", 0.25), ("4x slower", 0.125)] {
+    println!(
+        "{:>12} {:>10} {:>10}",
+        "net speed", "gain(10^3)", "gain(10^6)"
+    );
+    for (label, factor) in [
+        ("2x faster", 1.0),
+        ("same", 0.5),
+        ("2x slower", 0.25),
+        ("4x slower", 0.125),
+    ] {
         let cfg = machine.with_contexts(1).scale_network_speed(factor);
         let g3 = expected_gain(&cfg.with_nodes(1e3))?.gain;
         let g6 = expected_gain(&cfg.with_nodes(1e6))?.gain;

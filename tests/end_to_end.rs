@@ -1,9 +1,7 @@
 //! Cross-crate integration tests: the full simulated machine against the
 //! analytical model, spanning every workspace crate through the facade.
 
-use commloc::model::{
-    expected_gain, limiting_per_hop_latency, EndpointContention, MachineConfig,
-};
+use commloc::model::{expected_gain, limiting_per_hop_latency, EndpointContention, MachineConfig};
 use commloc::net::Torus;
 use commloc::sim::{fit_line, run_experiment, Mapping, SimConfig};
 
@@ -27,7 +25,7 @@ fn message_curve_slopes_scale_with_contexts() {
                     contexts,
                     ..SimConfig::default()
                 };
-                let meas = run_experiment(cfg, m, 10_000, 30_000);
+                let meas = run_experiment(cfg, m, 10_000, 30_000).expect("fault-free run");
                 (meas.message_interval, meas.message_latency)
             })
             .collect();
@@ -46,8 +44,10 @@ fn message_curve_slopes_scale_with_contexts() {
 #[test]
 fn locality_gain_at_64_nodes_is_modest() {
     let cfg = SimConfig::default();
-    let ideal = run_experiment(cfg.clone(), &Mapping::identity(64), 10_000, 30_000);
-    let random = run_experiment(cfg, &Mapping::random(64, 17), 10_000, 30_000);
+    let ideal = run_experiment(cfg.clone(), &Mapping::identity(64), 10_000, 30_000)
+        .expect("fault-free run");
+    let random =
+        run_experiment(cfg, &Mapping::random(64, 17), 10_000, 30_000).expect("fault-free run");
     let sim_gain = ideal.transaction_rate / random.transaction_rate;
     // Model prediction for the same machine.
     let machine = MachineConfig::alewife().with_nodes(64.0);
@@ -69,7 +69,8 @@ fn locality_gain_at_64_nodes_is_modest() {
 /// analytical defaults encode.
 #[test]
 fn protocol_statistics_match_calibration() {
-    let m = run_experiment(SimConfig::default(), &Mapping::identity(64), 10_000, 30_000);
+    let m = run_experiment(SimConfig::default(), &Mapping::identity(64), 10_000, 30_000)
+        .expect("fault-free run");
     let machine = MachineConfig::alewife();
     assert!(
         (m.messages_per_transaction - machine.messages_per_transaction()).abs() < 0.4,
@@ -95,7 +96,8 @@ fn simulated_per_hop_latency_respects_eq16_style_bound() {
             contexts,
             ..SimConfig::default()
         };
-        let m = run_experiment(cfg, &Mapping::random(64, 23), 10_000, 30_000);
+        let m =
+            run_experiment(cfg, &Mapping::random(64, 23), 10_000, 30_000).expect("fault-free run");
         // Eq. 16 with the measured effective sensitivity: B*s/(2n), where
         // s is bounded by p*g/c = p*g/2.
         let s = contexts as f64 * m.messages_per_transaction / 2.0;
