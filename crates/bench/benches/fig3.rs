@@ -54,7 +54,7 @@ fn main() {
     time_it("fig3/short_sim_window", 10, || {
         let cfg = commloc_sim::SimConfig::default();
         let mapping = commloc_sim::Mapping::identity(64);
-        let m = commloc_sim::run_experiment(cfg, &mapping, 500, 1_500).expect("fault-free run");
+        let m = commloc_sim::run_experiment(&cfg, &mapping, 500, 1_500).expect("fault-free run");
         black_box(m.message_rate)
     });
 }

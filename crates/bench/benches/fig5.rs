@@ -5,13 +5,15 @@
 //! a few network cycles". Same setup as the Figure 4 bench, comparing
 //! `T_m` instead of `r_m`.
 
-use commloc_bench::{calibrated_model, time_it, validation_runs};
+use commloc_bench::{calibrated_model, time_it, timed, validation_runs};
 use std::hint::black_box;
 
 fn reproduce() {
     println!("\n=== Figure 5: message latency T_m vs distance d (sim vs model) ===");
     for contexts in [1usize, 2, 4] {
-        let runs = validation_runs(contexts);
+        let runs = timed(&format!("fig5/suite_p{contexts}"), || {
+            validation_runs(contexts)
+        });
         let model = calibrated_model(contexts, &runs);
         println!("\n-- {contexts} context(s) --");
         println!(
@@ -39,7 +41,7 @@ fn reproduce() {
 }
 
 fn main() {
-    reproduce();
+    timed("fig5/reproduce_total", reproduce);
     let runs = validation_runs(2);
     let model = calibrated_model(2, &runs);
     time_it("fig5/combined_model_solve", 10_000, || {

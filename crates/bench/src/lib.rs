@@ -13,7 +13,7 @@ use commloc_model::{
 };
 use commloc_net::Torus;
 use commloc_sim::{
-    fit_line, mapping_suite, run_experiment, LineFit, Measurements, NamedMapping, SimConfig,
+    default_jobs, fit_line, mapping_suite, run_sweep, LineFit, Measurements, SimConfig,
 };
 
 /// Warmup window (network cycles) for validation simulations.
@@ -34,27 +34,33 @@ pub struct ValidationRun {
     pub measured: Measurements,
 }
 
-/// Runs the full validation suite (all mappings) at one context count.
+/// Worker-thread count for validation sweeps: `COMMLOC_JOBS` if set,
+/// otherwise the machine's available parallelism.
+pub fn bench_jobs() -> usize {
+    std::env::var("COMMLOC_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&j| j >= 1)
+        .unwrap_or_else(default_jobs)
+}
+
+/// Runs the full validation suite (all mappings) at one context count,
+/// fanning the independent simulations across [`bench_jobs`] threads.
 pub fn validation_runs(contexts: usize) -> Vec<ValidationRun> {
     let config = SimConfig {
         contexts,
         ..SimConfig::default()
     };
     let torus = Torus::new(config.dims, config.radix);
-    mapping_suite(&torus, SUITE_SEED)
+    let suite = mapping_suite(&torus, SUITE_SEED);
+    run_sweep(&config, &suite, WARMUP, WINDOW, bench_jobs())
+        .expect("fault-free validation run")
         .into_iter()
-        .map(
-            |NamedMapping {
-                 name,
-                 mapping,
-                 distance,
-             }| ValidationRun {
-                name,
-                distance,
-                measured: run_experiment(config.clone(), &mapping, WARMUP, WINDOW)
-                    .expect("fault-free validation run"),
-            },
-        )
+        .map(|p| ValidationRun {
+            name: p.name,
+            distance: p.distance,
+            measured: p.measured,
+        })
         .collect()
 }
 
@@ -136,9 +142,20 @@ pub fn time_it<T>(label: &str, iters: u32, mut f: impl FnMut() -> T) {
     println!("time/{label}: {value:.3} {unit}/iter over {iters} iters");
 }
 
+/// Runs `f` once, printing its wall-clock time, and returns its value —
+/// for one-shot stages (the expensive cycle-level sweeps) whose duration
+/// should appear in the bench record.
+pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let start = std::time::Instant::now();
+    let value = f();
+    println!("wallclock/{label}: {:.3} s", start.elapsed().as_secs_f64());
+    value
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use commloc_sim::run_experiment;
 
     #[test]
     fn calibrated_model_solves_suite_distances() {
@@ -152,7 +169,7 @@ mod tests {
             .map(|m| ValidationRun {
                 name: m.name,
                 distance: m.distance,
-                measured: run_experiment(config.clone(), &m.mapping, 4_000, 10_000)
+                measured: run_experiment(&config, &m.mapping, 4_000, 10_000)
                     .expect("fault-free smoke run"),
             })
             .collect();

@@ -27,6 +27,7 @@ use crate::home::HomeMap;
 use crate::msg::{MemConfig, ProtocolMsg};
 use commloc_net::NodeId;
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Cap on the exponential-backoff shift so deadlines stay bounded.
 const MAX_BACKOFF_SHIFT: u32 = 6;
@@ -177,7 +178,10 @@ pub struct Controller {
     cache: Cache,
     directory: Directory,
     memory: HashMap<LineAddr, LineData>,
-    home: HomeMap,
+    /// Shared line-placement map. Every controller of a machine sees the
+    /// same placement, so they share one `Arc` instead of cloning the map
+    /// per node.
+    home: Arc<HomeMap>,
     work: VecDeque<WorkItem>,
     busy: u32,
     outbox: VecDeque<(NodeId, ProtocolMsg)>,
@@ -189,15 +193,17 @@ pub struct Controller {
 }
 
 impl Controller {
-    /// Creates the controller for `node`.
-    pub fn new(node: NodeId, home: HomeMap, config: MemConfig) -> Self {
+    /// Creates the controller for `node`. Accepts either an owned
+    /// [`HomeMap`] or an `Arc<HomeMap>` shared across the machine's
+    /// controllers.
+    pub fn new(node: NodeId, home: impl Into<Arc<HomeMap>>, config: MemConfig) -> Self {
         Self {
             node,
             cache: Cache::new(config.cache_lines),
             config,
             directory: Directory::new(),
             memory: HashMap::new(),
-            home,
+            home: home.into(),
             work: VecDeque::new(),
             busy: 0,
             outbox: VecDeque::new(),

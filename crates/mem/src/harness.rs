@@ -39,8 +39,9 @@ impl ProtocolRig {
 
     /// Builds a rig with an explicit home map.
     pub fn with_home_map(nodes: usize, latency: u64, config: MemConfig, home: HomeMap) -> Self {
+        let home = std::sync::Arc::new(home);
         let controllers = (0..nodes)
-            .map(|i| Controller::new(NodeId(i), home.clone(), config))
+            .map(|i| Controller::new(NodeId(i), std::sync::Arc::clone(&home), config))
             .collect();
         Self {
             controllers,

@@ -1,0 +1,98 @@
+//! A fixed-capacity set of small indices with ordered iteration, used by
+//! the fabric's active-set cycle engine.
+//!
+//! The set is a plain bitmap: membership updates are O(1), and collecting
+//! the members always yields **ascending order** — the property the cycle
+//! engine relies on, because fault-injection RNG rolls and round-robin
+//! arbitration must replay in exactly the order the naive
+//! all-nodes-ascending scan produced. Collection cost is proportional to
+//! the bitmap size in words plus the population, so visiting the active
+//! routers of a mostly idle fabric costs a handful of word scans instead
+//! of a full `nodes x ports x vcs` sweep.
+
+/// A set of indices in `0..capacity` backed by a bitmap.
+#[derive(Debug, Clone)]
+pub(crate) struct ActiveSet {
+    words: Vec<u64>,
+}
+
+impl ActiveSet {
+    /// Creates an empty set able to hold indices below `capacity`.
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            words: vec![0; capacity.div_ceil(64)],
+        }
+    }
+
+    /// Adds `index` to the set.
+    #[inline]
+    pub(crate) fn insert(&mut self, index: usize) {
+        self.words[index / 64] |= 1u64 << (index % 64);
+    }
+
+    /// Removes `index` from the set.
+    #[inline]
+    pub(crate) fn remove(&mut self, index: usize) {
+        self.words[index / 64] &= !(1u64 << (index % 64));
+    }
+
+    /// Whether `index` is in the set.
+    #[cfg(test)]
+    pub(crate) fn contains(&self, index: usize) -> bool {
+        self.words[index / 64] & (1u64 << (index % 64)) != 0
+    }
+
+    /// Clears `out` and fills it with the members in ascending order.
+    pub(crate) fn collect_into(&self, out: &mut Vec<u32>) {
+        out.clear();
+        for (w, &word) in self.words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let bit = bits.trailing_zeros();
+                out.push(w as u32 * 64 + bit);
+                bits &= bits - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ActiveSet::new(200);
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(199);
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(199));
+        s.remove(63);
+        assert!(!s.contains(63));
+        // Re-inserting an existing member is a no-op.
+        s.insert(0);
+        let mut out = Vec::new();
+        s.collect_into(&mut out);
+        assert_eq!(out, vec![0, 64, 199]);
+    }
+
+    #[test]
+    fn collection_is_ascending_and_reuses_buffer() {
+        let mut s = ActiveSet::new(128);
+        for i in [77usize, 3, 127, 64, 12] {
+            s.insert(i);
+        }
+        let mut out = vec![999u32; 8]; // stale contents must be cleared
+        s.collect_into(&mut out);
+        assert_eq!(out, vec![3, 12, 64, 77, 127]);
+    }
+
+    #[test]
+    fn empty_set_collects_nothing() {
+        let s = ActiveSet::new(64);
+        let mut out = vec![1u32];
+        s.collect_into(&mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -20,15 +20,44 @@
 //!    processor-to-network channel).
 //!
 //! Everything is deterministic: no randomness, fixed iteration order.
+//!
+//! # The active-set cycle engine
+//!
+//! The engine never scans idle state. Phases 2 and 3 visit only routers
+//! whose input buffers hold at least one flit (tracked by incrementally
+//! maintained per-router occupancy counters and an [`ActiveSet`] bitmap);
+//! phase 1 visits only links that actually carry a flit (worklists filled
+//! at send time); phase 5 visits only network interfaces with queued or
+//! streaming messages. Iteration order over every worklist is **ascending
+//! node/link index** — exactly the order the naive full scan used — so
+//! round-robin arbitration decisions and fault-injection RNG rolls replay
+//! bit-for-bit identically (the equivalence tests in
+//! [`crate::reference`] assert this against the retained naive engine).
+//!
+//! Messages in flight live in a generational slab: each flit carries its
+//! message's slot index, so hot-path lookups are array indexing (with the
+//! message id doubling as a generation check) instead of hashing. Switch
+//! allocation is gated by per-`(router, output, dateline-class)` request
+//! counters — maintained when routes are assigned and heads depart — so
+//! the expensive input-VC arbitration scan runs only when a routed head
+//! is actually waiting. All per-cycle buffers (credit returns, worklist
+//! snapshots) are reused scratch vectors: the steady-state hot path
+//! allocates nothing.
+//!
+//! When the fabric is completely drained, [`Fabric::fast_forward`] jumps
+//! the clock over the idle gap in O(scheduled faults) instead of stepping
+//! cycle by cycle, still firing scheduled faults at their exact cycles.
 
+use crate::active::ActiveSet;
 use crate::fault::{FaultLog, FaultPlan};
 use crate::message::{Delivery, Flit, Message, MessageId};
 use crate::router::{InputRef, OutputRef, Router, INFINITE_CREDITS};
 use crate::routing::{route_step, RouteStep, VcIndex, DATELINE_VCS};
 use crate::stats::FabricStats;
 use crate::topology::{Direction, NodeId, Torus};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
+use std::mem;
 
 /// An internal-consistency failure surfaced by the fabric instead of a
 /// panic: the simulation state referenced a message or flit the fabric no
@@ -105,22 +134,29 @@ impl Default for FabricConfig {
     }
 }
 
-/// Per-message bookkeeping while in flight.
+/// Per-message bookkeeping while in flight, stored in the slab. The `id`
+/// field is the generation check: a flit referencing this slot is valid
+/// only while its message id matches.
 #[derive(Debug)]
 struct Pending<P> {
+    id: u64,
     message: Message<P>,
     enqueued_at: u64,
     injected_at: u64,
     head_delivered_at: u64,
     hops: u32,
+    /// Set when a drop fault dooms the message: the `(node, output)`
+    /// where its worm evaporates.
+    doomed: Option<(u32, u32)>,
 }
 
-/// Network-interface injection state for one node.
+/// Network-interface injection state for one node. Queue entries carry
+/// `(slab slot, message id)`.
 #[derive(Debug, Default)]
 struct NetworkInterface {
-    queue: VecDeque<MessageId>,
-    /// Message currently being flitized, and the next flit index.
-    streaming: Option<(MessageId, u32)>,
+    queue: VecDeque<(u32, MessageId)>,
+    /// Message currently being flitized: slot, id, and next flit index.
+    streaming: Option<(u32, MessageId, u32)>,
 }
 
 /// A cycle-level k-ary n-cube torus fabric carrying messages with payload
@@ -148,25 +184,55 @@ pub struct Fabric<P> {
     /// Inter-router links, indexed `node * link_ports + port`; each holds
     /// at most one in-transit flit tagged with its virtual channel.
     links: Vec<Option<(Flit, VcIndex)>>,
+    /// Worklist of `links` indices currently holding a flit, ascending
+    /// (filled at send time, drained by the next cycle's delivery phase).
+    link_occupied: Vec<u32>,
     /// Injection channels (NI to router), one per node.
     inj_links: Vec<Option<Flit>>,
+    /// Worklist of nodes whose injection channel holds a flit, ascending.
+    inj_occupied: Vec<u32>,
     /// Free slots in each router's injection input buffer as seen by the
     /// NI.
     inj_credits: Vec<usize>,
     nis: Vec<NetworkInterface>,
-    pending: HashMap<u64, Pending<P>>,
+    /// Generational slab of in-flight messages; flits carry their slot.
+    slots: Vec<Option<Pending<P>>>,
+    /// Reusable slab slots.
+    free_slots: Vec<u32>,
+    /// Messages in flight (`slots` entries that are `Some`).
+    live: usize,
     deliveries: Vec<VecDeque<Delivery<P>>>,
     /// Flattened (port, vc) enumeration shared by all routers, used for
     /// round-robin allocation.
     input_vc_list: Vec<(usize, usize)>,
+    /// Downstream node of each output link, `node * link_ports + port` —
+    /// precomputed so the hot path never re-derives torus coordinates.
+    neighbors: Vec<u32>,
+    /// Flits buffered in each router's input VCs, maintained
+    /// incrementally on every push/pop.
+    occupancy: Vec<u32>,
+    /// Routers with nonzero occupancy — the only ones phases 2–3 visit.
+    active_routers: ActiveSet,
+    /// Network interfaces with queued or streaming messages — the only
+    /// ones phase 5 visits.
+    active_nis: ActiveSet,
+    /// Count of routed head flits waiting per
+    /// `(node, output port, dateline class)`: switch allocation scans for
+    /// a requester only when nonzero.
+    requests: Vec<u32>,
+    /// Scratch: snapshot of an [`ActiveSet`] for iteration.
+    node_scratch: Vec<u32>,
+    /// Scratch: last cycle's occupied-link worklist being drained.
+    link_scratch: Vec<u32>,
+    /// Scratch: last cycle's occupied-injection-channel worklist.
+    inj_scratch: Vec<u32>,
+    /// Scratch: credits freed during switch traversal, applied in phase 4.
+    credit_scratch: Vec<CreditReturn>,
     next_id: u64,
     cycle: u64,
     stats: FabricStats,
     /// Active fault-injection plan, if any.
     fault: Option<FaultPlan>,
-    /// Messages doomed by a drop fault, keyed by id, valued with the
-    /// `(node, output port)` where their worm evaporates.
-    doomed: HashMap<u64, (usize, usize)>,
     /// Monotone count of flit movements (link placement, injection,
     /// ejection, loopback) since construction — never reset, so watchdogs
     /// can detect global stalls by watching it stop advancing.
@@ -206,23 +272,42 @@ impl<P> Fabric<P> {
             }
         }
         input_vc_list.push((link_ports, 0)); // injection input
+        let mut neighbors = Vec::with_capacity(nodes * link_ports);
+        for node in 0..nodes {
+            for port in 0..link_ports {
+                let (dim, dir) = port_to_link(port);
+                neighbors.push(torus.neighbor(NodeId(node), dim, dir).0 as u32);
+            }
+        }
         let stats = FabricStats::new(nodes, link_ports);
         Self {
             torus,
             config,
             routers,
             links: vec![None; nodes * link_ports],
+            link_occupied: Vec::new(),
             inj_links: vec![None; nodes],
+            inj_occupied: Vec::new(),
             inj_credits: vec![config.injection_buffer_capacity; nodes],
             nis: (0..nodes).map(|_| NetworkInterface::default()).collect(),
-            pending: HashMap::new(),
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            live: 0,
             deliveries: (0..nodes).map(|_| VecDeque::new()).collect(),
             input_vc_list,
+            neighbors,
+            occupancy: vec![0; nodes],
+            active_routers: ActiveSet::new(nodes),
+            active_nis: ActiveSet::new(nodes),
+            requests: vec![0; nodes * (link_ports + 1) * DATELINE_VCS],
+            node_scratch: Vec::new(),
+            link_scratch: Vec::new(),
+            inj_scratch: Vec::new(),
+            credit_scratch: Vec::new(),
             next_id: 0,
             cycle: 0,
             stats,
             fault: None,
-            doomed: HashMap::new(),
             activity: 0,
         }
     }
@@ -292,24 +377,35 @@ impl<P> Fabric<P> {
         let id = MessageId(self.next_id);
         self.next_id += 1;
         let src = message.src;
-        self.pending.insert(
-            id.0,
-            Pending {
-                message,
-                enqueued_at: self.cycle,
-                injected_at: 0,
-                head_delivered_at: 0,
-                hops: 0,
-            },
-        );
-        self.nis[src.0].queue.push_back(id);
+        let pending = Pending {
+            id: id.0,
+            message,
+            enqueued_at: self.cycle,
+            injected_at: 0,
+            head_delivered_at: 0,
+            hops: 0,
+            doomed: None,
+        };
+        let slot = match self.free_slots.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(pending);
+                slot
+            }
+            None => {
+                self.slots.push(Some(pending));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.live += 1;
+        self.nis[src.0].queue.push_back((slot, id));
+        self.active_nis.insert(src.0);
         id
     }
 
     /// Number of messages injected but not yet delivered (queued,
     /// streaming, or in the network).
     pub fn in_flight(&self) -> usize {
-        self.pending.len()
+        self.live
     }
 
     /// Messages waiting in a node's injection queue (including the one
@@ -325,13 +421,14 @@ impl<P> Fabric<P> {
 
     /// Total flits currently buffered across all routers (diagnostic).
     pub fn buffered_flits(&self) -> usize {
-        self.routers.iter().map(Router::buffered_flits).sum()
+        self.occupancy.iter().map(|&c| c as usize).sum()
     }
 
     /// Flits currently buffered in each router, indexed by node
-    /// (diagnostic; feeds watchdog stall dumps).
+    /// (diagnostic; feeds watchdog stall dumps). Served from the engine's
+    /// incrementally maintained counters — O(nodes), no per-VC scan.
     pub fn router_occupancy(&self) -> Vec<usize> {
-        self.routers.iter().map(Router::buffered_flits).collect()
+        self.occupancy.iter().map(|&c| c as usize).collect()
     }
 
     /// Monotone count of flit movements since construction. A fabric
@@ -362,9 +459,16 @@ impl<P> Fabric<P> {
             plan.activate(self.cycle);
         }
         self.deliver_links();
-        self.compute_routes()?;
-        let credit_returns = self.switch_traversal()?;
-        self.apply_credit_returns(credit_returns);
+        // Snapshot the routers holding flits once; phases 2 and 3 share
+        // it (routing moves no flits, so occupancy is stable in between).
+        let mut active = mem::take(&mut self.node_scratch);
+        self.active_routers.collect_into(&mut active);
+        let result = self
+            .compute_routes(&active)
+            .and_then(|()| self.switch_traversal(&active));
+        self.node_scratch = active;
+        result?;
+        self.apply_credit_returns();
         self.inject_flits()
     }
 
@@ -376,12 +480,52 @@ impl<P> Fabric<P> {
     /// Propagates any [`FabricError`] raised by [`Fabric::step`].
     pub fn run_until_idle(&mut self, max_cycles: u64) -> Result<bool, FabricError> {
         for _ in 0..max_cycles {
-            if self.pending.is_empty() {
+            if self.live == 0 {
                 return Ok(true);
             }
             self.step()?;
         }
-        Ok(self.pending.is_empty())
+        Ok(self.live == 0)
+    }
+
+    /// Jumps the clock forward `cycles` cycles without stepping, valid
+    /// only when the fabric is completely quiescent (no messages in
+    /// flight anywhere: buffers, links, queues). Returns the number of
+    /// cycles actually skipped — `0` if traffic is in flight, in which
+    /// case the caller must [`step`](Fabric::step) instead.
+    ///
+    /// Cycle accuracy is preserved exactly: an idle fabric's step is a
+    /// pure clock tick (no flit moves, no arbitration state changes, no
+    /// RNG rolls), except that scheduled faults may fire. This method
+    /// walks the scheduled-fault cycles inside the gap in order and fires
+    /// each at its exact cycle, so the resulting state — clock, stats,
+    /// fault log, stall windows — is identical to having stepped
+    /// cycle by cycle (asserted by the equivalence tests).
+    pub fn fast_forward(&mut self, cycles: u64) -> u64 {
+        if self.live != 0 {
+            return 0;
+        }
+        let target = self.cycle + cycles;
+        while let Some(next) = self
+            .fault
+            .as_ref()
+            .and_then(|plan| plan.next_scheduled(self.cycle))
+        {
+            if next > target {
+                break;
+            }
+            self.stats.cycles += next - self.cycle;
+            self.cycle = next;
+            if let Some(plan) = self.fault.as_mut() {
+                plan.activate(next);
+            }
+        }
+        self.stats.cycles += target - self.cycle;
+        self.cycle = target;
+        if let Some(plan) = self.fault.as_mut() {
+            plan.activate(target);
+        }
+        cycles
     }
 
     fn link_ports(&self) -> usize {
@@ -392,38 +536,58 @@ impl<P> Fabric<P> {
         Router::local_port(self.torus.dims())
     }
 
-    /// Phase 1: flits in transit arrive in downstream input buffers.
-    fn deliver_links(&mut self) {
-        let link_ports = self.link_ports();
-        for node in 0..self.torus.nodes() {
-            for port in 0..link_ports {
-                if let Some((flit, vc)) = self.links[node * link_ports + port].take() {
-                    let (dim, dir) = port_to_link(port);
-                    let down = self.torus.neighbor(NodeId(node), dim, dir);
-                    let buf = &mut self.routers[down.0].inputs[port].vcs[vc];
-                    debug_assert!(
-                        buf.fifo.len() < self.config.vc_buffer_capacity,
-                        "credit protocol violated"
-                    );
-                    buf.fifo.push_back(flit);
-                }
-            }
-            if let Some(flit) = self.inj_links[node].take() {
-                let local = self.local_port();
-                let buf = &mut self.routers[node].inputs[local].vcs[0];
-                debug_assert!(
-                    buf.fifo.len() < self.config.injection_buffer_capacity,
-                    "injection credit protocol violated"
-                );
-                buf.fifo.push_back(flit);
-            }
-        }
+    /// Index into `requests` for `(node, output port, dateline class)`.
+    fn req_index(&self, node: usize, output: usize, class: usize) -> usize {
+        (node * (self.link_ports() + 1) + output) * DATELINE_VCS + class
     }
 
-    /// Phase 2: assign routes to head flits now at buffer fronts.
-    fn compute_routes(&mut self) -> Result<(), FabricError> {
+    /// Phase 1: flits in transit arrive in downstream input buffers.
+    /// Visits only the links and injection channels that carry a flit.
+    fn deliver_links(&mut self) {
+        let link_ports = self.link_ports();
         let local = self.local_port();
-        for node in 0..self.torus.nodes() {
+        mem::swap(&mut self.link_occupied, &mut self.link_scratch);
+        for i in 0..self.link_scratch.len() {
+            let li = self.link_scratch[i] as usize;
+            let Some((flit, vc)) = self.links[li].take() else {
+                continue;
+            };
+            let down = self.neighbors[li] as usize;
+            let port = li % link_ports;
+            let buf = &mut self.routers[down].inputs[port].vcs[vc];
+            debug_assert!(
+                buf.fifo.len() < self.config.vc_buffer_capacity,
+                "credit protocol violated"
+            );
+            buf.fifo.push_back(flit);
+            self.occupancy[down] += 1;
+            self.active_routers.insert(down);
+        }
+        self.link_scratch.clear();
+        mem::swap(&mut self.inj_occupied, &mut self.inj_scratch);
+        for i in 0..self.inj_scratch.len() {
+            let node = self.inj_scratch[i] as usize;
+            let Some(flit) = self.inj_links[node].take() else {
+                continue;
+            };
+            let buf = &mut self.routers[node].inputs[local].vcs[0];
+            debug_assert!(
+                buf.fifo.len() < self.config.injection_buffer_capacity,
+                "injection credit protocol violated"
+            );
+            buf.fifo.push_back(flit);
+            self.occupancy[node] += 1;
+            self.active_routers.insert(node);
+        }
+        self.inj_scratch.clear();
+    }
+
+    /// Phase 2: assign routes to head flits now at buffer fronts, and
+    /// count each new assignment as a pending switch request.
+    fn compute_routes(&mut self, active: &[u32]) -> Result<(), FabricError> {
+        let local = self.local_port();
+        for &n in active {
+            let node = n as usize;
             for port in 0..self.routers[node].inputs.len() {
                 for vc in 0..self.routers[node].inputs[port].vcs.len() {
                     let buf = &self.routers[node].inputs[port].vcs[vc];
@@ -436,14 +600,18 @@ impl<P> Fabric<P> {
                     if !front.kind.is_head() {
                         continue;
                     }
-                    let pending =
-                        self.pending
-                            .get(&front.message.0)
-                            .ok_or(FabricError::UnknownMessage {
-                                message: front.message,
-                                context: "route computation",
-                                cycle: self.cycle,
-                            })?;
+                    let message = front.message;
+                    let slot = front.slot as usize;
+                    let pending = self
+                        .slots
+                        .get(slot)
+                        .and_then(Option::as_ref)
+                        .filter(|p| p.id == message.0)
+                        .ok_or(FabricError::UnknownMessage {
+                            message,
+                            context: "route computation",
+                            cycle: self.cycle,
+                        })?;
                     let (src, dst) = (pending.message.src, pending.message.dst);
                     let step = route_step(&self.torus, src, dst, NodeId(node));
                     let output = match step {
@@ -454,6 +622,10 @@ impl<P> Fabric<P> {
                         },
                     };
                     self.routers[node].inputs[port].vcs[vc].route = Some(output);
+                    // `output.vc` is the dateline class here, matching the
+                    // decrement when this head is forwarded.
+                    let idx = self.req_index(node, output.port, output.vc);
+                    self.requests[idx] += 1;
                 }
             }
         }
@@ -461,17 +633,19 @@ impl<P> Fabric<P> {
     }
 
     /// Phase 3: each output physical channel forwards at most one flit.
-    /// Returns the list of freed buffer slots to credit upstream.
+    /// Visits only routers holding flits, in ascending node order — the
+    /// same order the full scan used, so arbitration and fault rolls are
+    /// bit-for-bit identical (idle routers can never forward, so skipping
+    /// them is invisible).
     ///
     /// Faulted outputs (killed or stalled links, stalled routers) forward
     /// nothing; their traffic waits in input buffers and backpressure
     /// propagates upstream through the ordinary credit mechanism.
-    fn switch_traversal(&mut self) -> Result<Vec<CreditReturn>, FabricError> {
-        let mut credit_returns = Vec::new();
-        let node_count = self.torus.nodes();
+    fn switch_traversal(&mut self, active: &[u32]) -> Result<(), FabricError> {
         let link_ports = self.link_ports();
         let output_count = link_ports + 1;
-        for node in 0..node_count {
+        for &n in active {
+            let node = n as usize;
             if let Some(plan) = self.fault.as_ref() {
                 if plan.router_stalled(self.cycle, node) {
                     continue;
@@ -486,11 +660,11 @@ impl<P> Fabric<P> {
                     }
                 }
                 if let Some((input, out_vc)) = self.pick_sender(node, output) {
-                    self.forward_flit(node, output, out_vc, input, &mut credit_returns)?;
+                    self.forward_flit(node, output, out_vc, input)?;
                 }
             }
         }
-        Ok(credit_returns)
+        Ok(())
     }
 
     /// Chooses which input VC (if any) sends on output `output` of router
@@ -514,13 +688,22 @@ impl<P> Fabric<P> {
                     self.routers[node].outputs[output].rr_vc = (w + 1) % vc_count;
                     return Some((input, w));
                 }
-            } else if let Some(input) = self.find_requester(node, output, w) {
-                // Allocate this output VC to a new message and forward its
-                // head immediately.
-                let ovc = &mut self.routers[node].outputs[output].vcs[w];
-                ovc.locked_by = Some(input);
-                self.routers[node].outputs[output].rr_vc = (w + 1) % vc_count;
-                return Some((input, w));
+            } else {
+                // The arbitration scan succeeds iff a routed head waits
+                // for this (output, class) — exactly when the request
+                // counter is nonzero, so the scan is skipped otherwise.
+                let class = self.vc_class(output, w);
+                if self.requests[self.req_index(node, output, class)] == 0 {
+                    continue;
+                }
+                if let Some(input) = self.find_requester(node, output, w) {
+                    // Allocate this output VC to a new message and forward
+                    // its head immediately.
+                    let ovc = &mut self.routers[node].outputs[output].vcs[w];
+                    ovc.locked_by = Some(input);
+                    self.routers[node].outputs[output].rr_vc = (w + 1) % vc_count;
+                    return Some((input, w));
+                }
             }
         }
         None
@@ -580,11 +763,11 @@ impl<P> Fabric<P> {
         output: usize,
         out_vc: VcIndex,
         input: InputRef,
-        credit_returns: &mut Vec<CreditReturn>,
     ) -> Result<(), FabricError> {
         let local = self.local_port();
-        let flit = {
+        let (flit, route_class) = {
             let buf = &mut self.routers[node].inputs[input.port].vcs[input.vc];
+            let route_class = buf.route.map_or(0, |r| r.vc);
             let flit = buf.fifo.pop_front().ok_or(FabricError::MissingFlit {
                 node: NodeId(node),
                 cycle: self.cycle,
@@ -592,16 +775,27 @@ impl<P> Fabric<P> {
             if flit.kind.is_tail() {
                 buf.route = None;
             }
-            flit
+            (flit, route_class)
         };
+        self.occupancy[node] -= 1;
+        if self.occupancy[node] == 0 {
+            self.active_routers.remove(node);
+        }
+        if flit.kind.is_head() {
+            // A head departs only through its routed output: retire the
+            // request counted at route assignment.
+            let idx = self.req_index(node, output, route_class);
+            self.requests[idx] -= 1;
+        }
         // Free the slot upstream.
         if input.port == local {
-            credit_returns.push(CreditReturn::Injection { node });
+            self.credit_scratch.push(CreditReturn::Injection { node });
         } else {
-            let (dim, dir) = port_to_link(input.port);
-            let upstream = self.torus.neighbor(NodeId(node), dim, opposite(dir));
-            credit_returns.push(CreditReturn::Link {
-                node: upstream.0,
+            // The upstream router for input port `p` sits behind the
+            // opposite-direction port `p ^ 1` (Plus=0 / Minus=1 pairing).
+            let upstream = self.neighbors[node * self.link_ports() + (input.port ^ 1)] as usize;
+            self.credit_scratch.push(CreditReturn::Link {
+                node: upstream,
                 port: input.port,
                 vc: input.vc,
             });
@@ -612,11 +806,16 @@ impl<P> Fabric<P> {
         }
         // Fault rolls happen once per message per link crossing, on the
         // head flit, in a fixed order so a given seed replays exactly.
-        let mut doomed_here = self.doomed.get(&flit.message.0) == Some(&(node, output));
+        let slot = flit.slot as usize;
+        let mut doomed_here = self.slots[slot].as_ref().is_some_and(|p| {
+            p.id == flit.message.0 && p.doomed == Some((node as u32, output as u32))
+        });
         if !doomed_here && output != local && flit.kind.is_head() {
             if let Some(plan) = self.fault.as_mut() {
                 if let Some(mask) = plan.roll_corrupt(self.cycle, node, output, flit.message) {
-                    if let Some(pending) = self.pending.get_mut(&flit.message.0) {
+                    if let Some(pending) =
+                        self.slots[slot].as_mut().filter(|p| p.id == flit.message.0)
+                    {
                         // Count messages, not events: a worm crossing many
                         // links may be corrupted more than once.
                         if pending.message.is_intact() {
@@ -626,7 +825,11 @@ impl<P> Fabric<P> {
                     }
                 }
                 if plan.roll_drop(self.cycle, node, output, flit.message) {
-                    self.doomed.insert(flit.message.0, (node, output));
+                    if let Some(pending) =
+                        self.slots[slot].as_mut().filter(|p| p.id == flit.message.0)
+                    {
+                        pending.doomed = Some((node as u32, output as u32));
+                    }
                     doomed_here = true;
                 }
                 plan.roll_stall(self.cycle, node, output);
@@ -639,11 +842,15 @@ impl<P> Fabric<P> {
             // so no downstream credits are spent and nothing is delivered.
             self.stats.dropped_flits += 1;
             self.activity += 1;
-            if flit.kind.is_tail() {
-                self.doomed.remove(&flit.message.0);
-                if self.pending.remove(&flit.message.0).is_some() {
-                    self.stats.dropped_messages += 1;
-                }
+            if flit.kind.is_tail()
+                && self.slots[slot]
+                    .as_ref()
+                    .is_some_and(|p| p.id == flit.message.0)
+            {
+                self.slots[slot] = None;
+                self.free_slots.push(slot as u32);
+                self.live -= 1;
+                self.stats.dropped_messages += 1;
             }
         } else if output == local {
             self.eject_flit(node, flit)?;
@@ -651,11 +858,11 @@ impl<P> Fabric<P> {
             let ovc = &mut self.routers[node].outputs[output].vcs[out_vc];
             debug_assert!(ovc.credits > 0 && ovc.credits != INFINITE_CREDITS);
             ovc.credits -= 1;
-            let link_ports = self.link_ports();
-            let slot = &mut self.links[node * link_ports + output];
-            debug_assert!(slot.is_none(), "one flit per link per cycle");
-            *slot = Some((flit, out_vc));
-            self.stats.link_busy[node * link_ports + output] += 1;
+            let li = node * self.link_ports() + output;
+            debug_assert!(self.links[li].is_none(), "one flit per link per cycle");
+            self.links[li] = Some((flit, out_vc));
+            self.link_occupied.push(li as u32);
+            self.stats.link_busy[li] += 1;
             self.stats.link_flits += 1;
             self.activity += 1;
         }
@@ -668,26 +875,28 @@ impl<P> Fabric<P> {
         self.stats.ejection_busy[node] += 1;
         self.activity += 1;
         let cycle = self.cycle;
+        let slot = flit.slot as usize;
         let unknown = move |context| FabricError::UnknownMessage {
             message: flit.message,
             context,
             cycle,
         };
         let pending = self
-            .pending
-            .get_mut(&flit.message.0)
+            .slots
+            .get_mut(slot)
+            .and_then(Option::as_mut)
+            .filter(|p| p.id == flit.message.0)
             .ok_or(unknown("ejection"))?;
         if flit.kind.is_head() {
-            pending.head_delivered_at = self.cycle;
+            pending.head_delivered_at = cycle;
             pending.hops =
                 self.torus
                     .distance(pending.message.src, pending.message.dst) as u32;
         }
         if flit.kind.is_tail() {
-            let pending = self
-                .pending
-                .remove(&flit.message.0)
-                .ok_or(unknown("tail ejection"))?;
+            let pending = self.slots[slot].take().ok_or(unknown("tail ejection"))?;
+            self.free_slots.push(slot as u32);
+            self.live -= 1;
             let delivery = Delivery {
                 enqueued_at: pending.enqueued_at,
                 injected_at: pending.injected_at,
@@ -708,11 +917,12 @@ impl<P> Fabric<P> {
         Ok(())
     }
 
-    /// Phase 4: freed buffer slots become visible upstream.
-    fn apply_credit_returns(&mut self, credit_returns: Vec<CreditReturn>) {
+    /// Phase 4: freed buffer slots become visible upstream. Drains the
+    /// reusable credit scratch filled during switch traversal.
+    fn apply_credit_returns(&mut self) {
         let link_ports = self.link_ports();
-        for ret in credit_returns {
-            match ret {
+        for i in 0..self.credit_scratch.len() {
+            match self.credit_scratch[i] {
                 CreditReturn::Injection { node } => {
                     self.inj_credits[node] += 1;
                     debug_assert!(self.inj_credits[node] <= self.config.injection_buffer_capacity);
@@ -725,18 +935,35 @@ impl<P> Fabric<P> {
                 }
             }
         }
+        self.credit_scratch.clear();
     }
 
     /// Phase 5: network interfaces stream flits into their routers.
+    /// Visits only interfaces with queued or streaming messages.
     fn inject_flits(&mut self) -> Result<(), FabricError> {
-        for node in 0..self.torus.nodes() {
+        let mut active = mem::take(&mut self.node_scratch);
+        self.active_nis.collect_into(&mut active);
+        let result = self.inject_active(&active);
+        self.node_scratch = active;
+        result
+    }
+
+    fn inject_active(&mut self, active: &[u32]) -> Result<(), FabricError> {
+        for &n in active {
+            let node = n as usize;
+            if self.nis[node].queue.is_empty() && self.nis[node].streaming.is_none() {
+                // Nothing left to send; any flit still on the injection
+                // channel is tracked by the occupied-channel worklist.
+                self.active_nis.remove(node);
+                continue;
+            }
             if self.inj_links[node].is_some() {
                 continue;
             }
             // Start streaming the next message if idle, looping back
             // self-addressed messages without touching the network.
             while self.nis[node].streaming.is_none() {
-                let Some(id) = self.nis[node].queue.pop_front() else {
+                let Some((slot, id)) = self.nis[node].queue.pop_front() else {
                     break;
                 };
                 let cycle = self.cycle;
@@ -745,20 +972,22 @@ impl<P> Fabric<P> {
                     context,
                     cycle,
                 };
-                let Some(pending) = self.pending.get_mut(&id.0) else {
+                let Some(pending) = self.slots[slot as usize].as_mut().filter(|p| p.id == id.0)
+                else {
                     return Err(unknown("injection queue"));
                 };
                 if pending.message.src == pending.message.dst {
-                    pending.injected_at = self.cycle;
-                    let pending = self
-                        .pending
-                        .remove(&id.0)
+                    pending.injected_at = cycle;
+                    let pending = self.slots[slot as usize]
+                        .take()
                         .ok_or(unknown("loopback delivery"))?;
+                    self.free_slots.push(slot);
+                    self.live -= 1;
                     let delivery = Delivery {
                         enqueued_at: pending.enqueued_at,
-                        injected_at: self.cycle,
-                        head_delivered_at: self.cycle,
-                        delivered_at: self.cycle,
+                        injected_at: cycle,
+                        head_delivered_at: cycle,
+                        delivered_at: cycle,
                         hops: 0,
                         message: pending.message,
                     };
@@ -775,15 +1004,18 @@ impl<P> Fabric<P> {
                     // Loopback consumes this cycle's injection slot.
                     break;
                 }
-                self.nis[node].streaming = Some((id, 0));
+                self.nis[node].streaming = Some((slot, id, 0));
             }
-            let Some((id, index)) = self.nis[node].streaming else {
+            let Some((slot, id, index)) = self.nis[node].streaming else {
+                if self.nis[node].queue.is_empty() {
+                    self.active_nis.remove(node);
+                }
                 continue;
             };
             if self.inj_credits[node] == 0 {
                 continue;
             }
-            let Some(pending) = self.pending.get_mut(&id.0) else {
+            let Some(pending) = self.slots[slot as usize].as_mut().filter(|p| p.id == id.0) else {
                 return Err(FabricError::UnknownMessage {
                     message: id,
                     context: "injection streaming",
@@ -796,15 +1028,23 @@ impl<P> Fabric<P> {
             }
             let kind = pending.message.flit_kind(index);
             let length = pending.message.length;
-            self.inj_links[node] = Some(Flit { message: id, kind });
+            self.inj_links[node] = Some(Flit {
+                message: id,
+                kind,
+                slot,
+            });
+            self.inj_occupied.push(n);
             self.inj_credits[node] -= 1;
             self.stats.injected_flits += 1;
             self.stats.injection_busy[node] += 1;
             self.activity += 1;
             if index + 1 == length {
                 self.nis[node].streaming = None;
+                if self.nis[node].queue.is_empty() {
+                    self.active_nis.remove(node);
+                }
             } else {
-                self.nis[node].streaming = Some((id, index + 1));
+                self.nis[node].streaming = Some((slot, id, index + 1));
             }
         }
         Ok(())
@@ -839,13 +1079,6 @@ fn port_to_link(port: usize) -> (u32, Direction) {
 /// Maps a (dimension, direction) to its link port index.
 fn link_to_port(dim: u32, direction: Direction) -> usize {
     dim as usize * 2 + direction.index()
-}
-
-fn opposite(dir: Direction) -> Direction {
-    match dir {
-        Direction::Plus => Direction::Minus,
-        Direction::Minus => Direction::Plus,
-    }
 }
 
 #[cfg(test)]
@@ -1040,6 +1273,62 @@ mod tests {
         assert_eq!(f.stats().cycles, 0);
         assert!(f.run_until_idle(1000).unwrap());
         assert_eq!(f.stats().delivered_messages, 1);
+    }
+
+    #[test]
+    fn occupancy_counters_track_buffered_flits() {
+        let mut f = fabric();
+        for i in 0..10u32 {
+            f.inject(Message::new(
+                NodeId(i as usize),
+                NodeId(40 + i as usize),
+                6,
+                i,
+            ));
+        }
+        for _ in 0..30 {
+            f.step().unwrap();
+            let occ = f.router_occupancy();
+            assert_eq!(occ.iter().sum::<usize>(), f.buffered_flits());
+        }
+        assert!(f.run_until_idle(10_000).unwrap());
+        assert!(f.router_occupancy().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn fast_forward_refuses_while_traffic_in_flight() {
+        let mut f = fabric();
+        f.inject(Message::new(NodeId(0), NodeId(9), 12, 0u32));
+        assert_eq!(f.fast_forward(100), 0, "must not skip live traffic");
+        assert_eq!(f.cycle(), 0);
+    }
+
+    #[test]
+    fn fast_forward_advances_idle_clock_and_stats() {
+        let mut f = fabric();
+        f.inject(Message::new(NodeId(0), NodeId(9), 12, 0u32));
+        assert!(f.run_until_idle(1_000).unwrap());
+        let drained_at = f.cycle();
+        assert_eq!(f.fast_forward(5_000), 5_000);
+        assert_eq!(f.cycle(), drained_at + 5_000);
+        assert_eq!(f.stats().cycles, f.cycle());
+        // The fabric still works normally afterwards.
+        f.inject(Message::new(NodeId(0), NodeId(9), 12, 1u32));
+        assert!(f.run_until_idle(1_000).unwrap());
+        assert_eq!(f.stats().delivered_messages, 2);
+    }
+
+    #[test]
+    fn slab_slots_are_reused() {
+        let mut f = fabric();
+        for round in 0..50u32 {
+            f.inject(Message::new(NodeId(0), NodeId(1), 4, round));
+            assert!(f.run_until_idle(1_000).unwrap());
+        }
+        // Sequential traffic keeps the slab at its high-water mark instead
+        // of growing per message.
+        assert!(f.slots.len() <= 4, "slab grew to {}", f.slots.len());
+        assert_eq!(f.total_injected(), 50);
     }
 }
 

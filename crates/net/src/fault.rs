@@ -335,6 +335,18 @@ impl FaultPlan {
                 .any(|(_, f)| matches!(f, ScheduledFault::KillLink { .. }))
     }
 
+    /// The earliest cycle strictly after `cycle` at which a scheduled
+    /// fault fires, if any. The fabric's idle fast-forward uses this to
+    /// land on every scheduled kill/stall at its exact cycle instead of
+    /// skipping over it.
+    pub(crate) fn next_scheduled(&self, cycle: u64) -> Option<u64> {
+        self.schedule
+            .iter()
+            .map(|&(at, _)| at)
+            .filter(|&at| at > cycle)
+            .min()
+    }
+
     // ---- Fabric-facing hooks -----------------------------------------
 
     /// Applies scheduled faults due at `cycle` and expires finished

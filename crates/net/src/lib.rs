@@ -41,9 +41,12 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+mod active;
 mod fabric;
 pub mod fault;
 mod message;
+#[cfg(any(test, feature = "reference-engine"))]
+mod reference;
 mod rng;
 mod router;
 pub mod routing;
@@ -54,6 +57,8 @@ pub mod traffic;
 pub use fabric::{Fabric, FabricConfig, FabricError};
 pub use fault::{FaultConfig, FaultEvent, FaultLog, FaultPlan};
 pub use message::{Delivery, Flit, FlitKind, Message, MessageId};
+#[cfg(feature = "reference-engine")]
+pub use reference::ReferenceFabric;
 pub use rng::DetRng;
 pub use stats::FabricStats;
 pub use topology::{Direction, NodeId, Torus};

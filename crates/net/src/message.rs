@@ -57,6 +57,10 @@ pub struct Flit {
     pub message: MessageId,
     /// Head/body/tail marker.
     pub kind: FlitKind,
+    /// Slot of the message in the fabric's in-flight slab — engine
+    /// bookkeeping (validated against `message` as a generation check),
+    /// not part of the architectural flit.
+    pub(crate) slot: u32,
 }
 
 /// A message travelling through the fabric, carrying a caller-defined

@@ -123,7 +123,10 @@ impl Router {
         2 * dims as usize
     }
 
-    /// Total flits currently buffered in this router.
+    /// Total flits currently buffered in this router. The optimized
+    /// engine tracks occupancy incrementally; this per-VC scan remains
+    /// for the reference engine and tests.
+    #[cfg_attr(not(any(test, feature = "reference-engine")), allow(dead_code))]
     pub(crate) fn buffered_flits(&self) -> usize {
         self.inputs
             .iter()

@@ -16,7 +16,10 @@ use commloc_model::{
     expected_gain, limiting_per_hop_latency, log_spaced_sizes, per_hop_latency_curve, MachineConfig,
 };
 use commloc_net::Torus;
-use commloc_sim::{mapping_suite, run_experiment, Mapping, SimConfig, MEASUREMENTS_CSV_HEADER};
+use commloc_sim::{
+    default_jobs, mapping_suite, run_experiment, run_sweep, Mapping, SimConfig,
+    MEASUREMENTS_CSV_HEADER,
+};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -37,7 +40,8 @@ COMMANDS:
             --mapping identity|random|worst|swaps-K --seed S
             --contexts P --warmup W --window C [--csv]
     suite   run the full validation mapping suite
-            --contexts P --seed S [--csv]
+            --contexts P --seed S --jobs J [--csv]
+            (--jobs defaults to the machine's available parallelism)
     help    print this message
 ";
 
@@ -231,7 +235,7 @@ fn cmd_sim(options: &HashMap<String, String>) -> Result<(), String> {
     let mapping = mapping_from(options, &torus)?;
     let warmup = get_u64(options, "warmup", 20_000)?;
     let window = get_u64(options, "window", 60_000)?;
-    let m = run_experiment(config, &mapping, warmup, window).map_err(|e| e.to_string())?;
+    let m = run_experiment(&config, &mapping, warmup, window).map_err(|e| e.to_string())?;
     if options.contains_key("csv") {
         println!("{MEASUREMENTS_CSV_HEADER}");
         println!("{}", m.to_csv_row());
@@ -267,6 +271,7 @@ fn cmd_suite(options: &HashMap<String, String>) -> Result<(), String> {
     let seed = get_u64(options, "seed", 1992)?;
     let warmup = get_u64(options, "warmup", 15_000)?;
     let window = get_u64(options, "window", 45_000)?;
+    let jobs = get_u64(options, "jobs", default_jobs() as u64)?.max(1) as usize;
     let csv = options.contains_key("csv");
     if csv {
         println!("mapping,{MEASUREMENTS_CSV_HEADER}");
@@ -276,15 +281,16 @@ fn cmd_suite(options: &HashMap<String, String>) -> Result<(), String> {
             "mapping", "d", "r_t", "T_m", "T_h", "rho"
         );
     }
-    for named in mapping_suite(&torus, seed) {
-        let m = run_experiment(config.clone(), &named.mapping, warmup, window)
-            .map_err(|e| e.to_string())?;
+    let suite = mapping_suite(&torus, seed);
+    let points = run_sweep(&config, &suite, warmup, window, jobs).map_err(|e| e.to_string())?;
+    for point in points {
+        let m = point.measured;
         if csv {
-            println!("{},{}", named.name, m.to_csv_row());
+            println!("{},{}", point.name, m.to_csv_row());
         } else {
             println!(
                 "{:<16} {:>6.2} {:>9.5} {:>9.1} {:>8.2} {:>7.3}",
-                named.name,
+                point.name,
                 m.distance,
                 m.transaction_rate,
                 m.message_latency,

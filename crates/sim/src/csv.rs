@@ -44,7 +44,8 @@ mod tests {
 
     #[test]
     fn header_and_row_have_matching_column_counts() {
-        let m = run_experiment(SimConfig::default(), &Mapping::identity(64), 2_000, 6_000).unwrap();
+        let m =
+            run_experiment(&SimConfig::default(), &Mapping::identity(64), 2_000, 6_000).unwrap();
         let header_cols = MEASUREMENTS_CSV_HEADER.split(',').count();
         let row_cols = m.to_csv_row().split(',').count();
         assert_eq!(header_cols, row_cols);
@@ -53,7 +54,8 @@ mod tests {
 
     #[test]
     fn row_is_parseable_numbers() {
-        let m = run_experiment(SimConfig::default(), &Mapping::identity(64), 2_000, 6_000).unwrap();
+        let m =
+            run_experiment(&SimConfig::default(), &Mapping::identity(64), 2_000, 6_000).unwrap();
         for field in m.to_csv_row().split(',') {
             field.parse::<f64>().expect("numeric field");
         }

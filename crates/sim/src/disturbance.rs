@@ -133,8 +133,8 @@ pub fn run_disturbance(
         )),
         ..config.sim.clone()
     };
-    let mut baseline = Machine::new(baseline_cfg, mapping);
-    let mut disturbed = Machine::new(disturbed_cfg, mapping);
+    let mut baseline = Machine::new(&baseline_cfg, mapping);
+    let mut disturbed = Machine::new(&disturbed_cfg, mapping);
     let torus = baseline.torus().clone();
     assert!(config.victim < torus.nodes(), "victim out of range");
     let victim = NodeId(config.victim);

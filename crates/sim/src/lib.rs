@@ -21,7 +21,7 @@
 //! use commloc_sim::{run_experiment, Mapping, SimConfig};
 //!
 //! let mapping = Mapping::random(64, 42);
-//! let m = run_experiment(SimConfig::default(), &mapping, 20_000, 60_000).unwrap();
+//! let m = run_experiment(&SimConfig::default(), &mapping, 20_000, 60_000).unwrap();
 //! println!("d = {:.2} hops, T_m = {:.1} cycles", m.distance, m.message_latency);
 //! ```
 
@@ -35,6 +35,7 @@ mod error;
 mod fit;
 mod machine;
 mod mapping;
+mod parallel;
 mod workload;
 
 pub use csv::MEASUREMENTS_CSV_HEADER;
@@ -43,4 +44,5 @@ pub use error::{SimError, StallKind, StallReport};
 pub use fit::{fit_line, LineFit};
 pub use machine::{run_experiment, Machine, Measurements, SimConfig};
 pub use mapping::{mapping_suite, Mapping, NamedMapping};
+pub use parallel::{default_jobs, parallel_map, run_sweep, SweepPoint};
 pub use workload::{state_word, workload_home_map, TorusNeighborProgram};

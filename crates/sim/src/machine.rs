@@ -19,7 +19,8 @@ use crate::workload::{workload_home_map, TorusNeighborProgram};
 use commloc_mem::{Controller, MemConfig, ProtocolMsg, TxnId};
 use commloc_net::{Fabric, FabricConfig, FaultLog, FaultPlan, Message, NodeId, Torus};
 use commloc_proc::{Processor, ThreadProgram};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Full-system simulation parameters.
 #[derive(Debug, Clone)]
@@ -144,7 +145,7 @@ pub struct Measurements {
 ///
 /// let config = SimConfig::default();
 /// let mapping = Mapping::identity(64);
-/// let mut machine = Machine::new(config, &mapping);
+/// let mut machine = Machine::new(&config, &mapping);
 /// machine.run_network_cycles(20_000).unwrap(); // warmup
 /// machine.reset_measurements();
 /// machine.run_network_cycles(50_000).unwrap();
@@ -154,13 +155,17 @@ pub struct Measurements {
 #[derive(Debug)]
 pub struct Machine {
     config: SimConfig,
-    torus: Torus,
     fabric: Fabric<ProtocolMsg>,
     nodes: Vec<NodeSim>,
     net_cycle: u64,
     window_start: u64,
     window: Window,
     txn_issue_cycle: HashMap<u64, u64>,
+    /// Outstanding transaction ids in issue order. Issue cycles are
+    /// monotone, so the front entry still present in `txn_issue_cycle` is
+    /// the oldest outstanding transaction — the watchdog reads it in O(1)
+    /// amortized instead of scanning the whole map every cycle.
+    txn_issue_order: VecDeque<u64>,
     /// Total transaction completions ever (never reset — watchdog input).
     completed: u64,
     completed_per_node: Vec<u64>,
@@ -178,7 +183,8 @@ impl Machine {
     /// # Panics
     ///
     /// Panics if the mapping size does not match the torus.
-    pub fn new(mut config: SimConfig, mapping: &Mapping) -> Self {
+    pub fn new(config: &SimConfig, mapping: &Mapping) -> Self {
+        let mut config = config.clone();
         let torus = Torus::new(config.dims, config.radix);
         let fault_plan = config.fault_plan.take();
         assert_eq!(
@@ -191,12 +197,9 @@ impl Machine {
         for thread in 0..torus.nodes() {
             thread_at[mapping.processor(thread).0] = thread;
         }
-        let home = workload_home_map(&torus, mapping, config.contexts);
-        let fabric = match fault_plan {
-            Some(plan) => Fabric::with_fault_plan(torus.clone(), config.fabric, plan),
-            None => Fabric::new(torus.clone(), config.fabric),
-        };
-        let nodes = (0..torus.nodes())
+        // One home map shared by every controller through an `Arc`.
+        let home = Arc::new(workload_home_map(&torus, mapping, config.contexts));
+        let nodes: Vec<NodeSim> = (0..torus.nodes())
             .map(|n| {
                 let programs: Vec<Box<dyn ThreadProgram>> = (0..config.contexts)
                     .map(|instance| {
@@ -210,22 +213,28 @@ impl Machine {
                     .collect();
                 NodeSim {
                     cpu: Processor::new(programs, config.switch_cycles),
-                    ctrl: Controller::new(NodeId(n), home.clone(), config.mem),
+                    ctrl: Controller::new(NodeId(n), Arc::clone(&home), config.mem),
                     ctx_txn: vec![None; config.contexts],
                     next_txn: 0,
                 }
             })
             .collect();
         let node_count = torus.nodes();
+        // The fabric takes ownership of the torus; everything else reaches
+        // it through `Fabric::torus`.
+        let fabric = match fault_plan {
+            Some(plan) => Fabric::with_fault_plan(torus, config.fabric, plan),
+            None => Fabric::new(torus, config.fabric),
+        };
         Self {
             config,
-            torus,
             fabric,
             nodes,
             net_cycle: 0,
             window_start: 0,
             window: Window::default(),
             txn_issue_cycle: HashMap::new(),
+            txn_issue_order: VecDeque::new(),
             completed: 0,
             completed_per_node: vec![0; node_count],
             progress_marker: (0, 0),
@@ -240,7 +249,7 @@ impl Machine {
 
     /// The machine's torus.
     pub fn torus(&self) -> &Torus {
-        &self.torus
+        self.fabric.torus()
     }
 
     /// Elapsed network cycles.
@@ -301,10 +310,18 @@ impl Machine {
         if window == 0 {
             return Ok(());
         }
+        // Drop completed transactions from the front of the issue-order
+        // queue; the first survivor is the oldest outstanding one.
+        while let Some(front) = self.txn_issue_order.front() {
+            if self.txn_issue_cycle.contains_key(front) {
+                break;
+            }
+            self.txn_issue_order.pop_front();
+        }
         let oldest_txn_age = self
-            .txn_issue_cycle
-            .values()
-            .min()
+            .txn_issue_order
+            .front()
+            .and_then(|txn| self.txn_issue_cycle.get(txn))
             .map_or(0, |&issued| self.net_cycle - issued);
         let stalled_for = (self.net_cycle - self.progress_cycle).max(oldest_txn_age);
         if stalled_for < window {
@@ -436,6 +453,7 @@ impl Machine {
                 node.next_txn += 1;
                 node.ctx_txn[req.context] = Some(txn);
                 self.txn_issue_cycle.insert(txn.0, now);
+                self.txn_issue_order.push_back(txn.0);
                 node.ctrl.request(txn, req.op);
             }
             // 5. Outgoing protocol messages enter the network.
@@ -474,7 +492,7 @@ impl Machine {
 /// Propagates the first [`SimError`] from stepping (fabric inconsistency,
 /// unknown completion, or a watchdog-detected stall).
 pub fn run_experiment(
-    config: SimConfig,
+    config: &SimConfig,
     mapping: &Mapping,
     warmup: u64,
     window: u64,
@@ -491,13 +509,13 @@ mod tests {
     use super::*;
     use crate::mapping::Mapping;
 
-    fn quick(config: SimConfig, mapping: &Mapping) -> Measurements {
+    fn quick(config: &SimConfig, mapping: &Mapping) -> Measurements {
         run_experiment(config, mapping, 10_000, 30_000).expect("experiment ran")
     }
 
     #[test]
     fn identity_mapping_measures_one_hop() {
-        let m = quick(SimConfig::default(), &Mapping::identity(64));
+        let m = quick(&SimConfig::default(), &Mapping::identity(64));
         assert!(
             (m.distance - 1.0).abs() < 0.05,
             "identity distance {}",
@@ -511,7 +529,7 @@ mod tests {
         for seed in [1, 2] {
             let mapping = Mapping::random(64, seed);
             let expected = mapping.average_neighbor_distance(&torus);
-            let m = quick(SimConfig::default(), &mapping);
+            let m = quick(&SimConfig::default(), &mapping);
             assert!(
                 (m.distance - expected).abs() / expected < 0.08,
                 "seed {seed}: measured {} expected {expected}",
@@ -522,7 +540,7 @@ mod tests {
 
     #[test]
     fn g_and_b_match_section_3_2() {
-        let m = quick(SimConfig::default(), &Mapping::identity(64));
+        let m = quick(&SimConfig::default(), &Mapping::identity(64));
         // Paper: g = 3.2 messages per transaction, B = 12 flits.
         assert!(
             (m.messages_per_transaction - 3.2).abs() < 0.4,
@@ -538,7 +556,7 @@ mod tests {
 
     #[test]
     fn rates_and_intervals_are_reciprocal() {
-        let m = quick(SimConfig::default(), &Mapping::identity(64));
+        let m = quick(&SimConfig::default(), &Mapping::identity(64));
         assert!((m.message_rate * m.message_interval - 1.0).abs() < 1e-9);
         assert!((m.transaction_rate * m.issue_interval - 1.0).abs() < 1e-9);
     }
@@ -546,8 +564,8 @@ mod tests {
     #[test]
     fn farther_mappings_are_slower() {
         let cfg = SimConfig::default();
-        let near = quick(cfg.clone(), &Mapping::identity(64));
-        let far = quick(cfg, &Mapping::random(64, 9));
+        let near = quick(&cfg, &Mapping::identity(64));
+        let far = quick(&cfg, &Mapping::random(64, 9));
         assert!(far.distance > near.distance + 2.0);
         assert!(
             far.transaction_rate < near.transaction_rate,
@@ -562,9 +580,9 @@ mod tests {
     fn more_contexts_issue_faster() {
         let near = Mapping::random(64, 5);
         let base = SimConfig::default();
-        let p1 = quick(base.clone(), &near);
+        let p1 = quick(&base, &near);
         let p2 = quick(
-            SimConfig {
+            &SimConfig {
                 contexts: 2,
                 ..base
             },
@@ -585,12 +603,12 @@ mod tests {
         // latencies in processor terms and lowers the transaction rate
         // per processor cycle.
         let mapping = Mapping::random(64, 3);
-        let fast = run_experiment(SimConfig::default(), &mapping, 8_000, 24_000).unwrap();
+        let fast = run_experiment(&SimConfig::default(), &mapping, 8_000, 24_000).unwrap();
         let slow_cfg = SimConfig {
             clock_ratio: 1, // network at processor speed (2x slower than base)
             ..SimConfig::default()
         };
-        let slow = run_experiment(slow_cfg, &mapping, 8_000, 24_000).unwrap();
+        let slow = run_experiment(&slow_cfg, &mapping, 8_000, 24_000).unwrap();
         // Rates are per network cycle; convert to per processor cycle.
         let fast_per_proc = fast.transaction_rate * 2.0;
         let slow_per_proc = slow.transaction_rate * 1.0;
@@ -603,7 +621,7 @@ mod tests {
     #[test]
     fn workload_makes_steady_progress() {
         let mapping = Mapping::identity(64);
-        let mut machine = Machine::new(SimConfig::default(), &mapping);
+        let mut machine = Machine::new(&SimConfig::default(), &mapping);
         machine.run_network_cycles(40_000).unwrap();
         let writes = machine.total_iterations();
         // 64 threads iterating continually: at least a handful each.
@@ -620,7 +638,7 @@ mod tests {
             fault_plan: Some(FaultPlan::new(7).kill_link_at(2_000, 0, 0, Direction::Plus)),
             ..SimConfig::default()
         };
-        let mut machine = Machine::new(config, &mapping);
+        let mut machine = Machine::new(&config, &mapping);
         let err = machine
             .run_network_cycles(400_000)
             .expect_err("a killed link must wedge the workload");
@@ -651,7 +669,7 @@ mod tests {
             fault_plan: Some(FaultPlan::new(3).stall_router_at(1_000, 27, 50_000)),
             ..SimConfig::default()
         };
-        let mut machine = Machine::new(config, &mapping);
+        let mut machine = Machine::new(&config, &mapping);
         match machine.run_network_cycles(60_000) {
             Err(SimError::Stalled(report)) => {
                 assert_eq!(report.kind, StallKind::Backpressure);
@@ -680,7 +698,7 @@ mod tests {
                 },
                 ..SimConfig::default()
             };
-            let mut machine = Machine::new(config, &mapping);
+            let mut machine = Machine::new(&config, &mapping);
             machine
                 .run_network_cycles(30_000)
                 .expect("run survives light faults");

@@ -1,0 +1,130 @@
+//! Dependency-free parallel experiment runner.
+//!
+//! Mapping sweeps (the paper's Figure 3/5 suites) run many completely
+//! independent machine simulations; this module fans them out across OS
+//! threads with [`std::thread::scope`] — no external crates. Each machine
+//! is deterministic in isolation, so results are identical for every job
+//! count; only wall-clock time changes, and output order always follows
+//! input order.
+
+use crate::machine::{run_experiment, Measurements, SimConfig};
+use crate::mapping::NamedMapping;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The number of worker threads to use by default: the machine's
+/// available parallelism, or 1 if it cannot be determined.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Applies `f` to every item on up to `jobs` worker threads, returning
+/// results in input order.
+///
+/// Work is distributed dynamically (an atomic cursor), so uneven item
+/// costs balance across threads. With `jobs <= 1` the items run inline on
+/// the calling thread. A panic in `f` propagates to the caller.
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = jobs.min(items.len());
+    if jobs <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = f(item);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+/// One mapping's result within a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The mapping's suite name (e.g. `identity`, `random-1`).
+    pub name: String,
+    /// Average thread-to-neighbor distance of the mapping (hops), carried
+    /// over from the suite entry.
+    pub distance: f64,
+    /// The measured experiment.
+    pub measured: Measurements,
+}
+
+/// Runs one experiment per mapping across `jobs` threads and returns the
+/// points in input order.
+///
+/// Every experiment builds its own [`Machine`](crate::Machine), so runs
+/// share nothing and the sweep is deterministic for any `jobs`.
+///
+/// # Errors
+///
+/// Returns the first failing experiment's error (by input order).
+pub fn run_sweep(
+    config: &SimConfig,
+    mappings: &[NamedMapping],
+    warmup: u64,
+    window: u64,
+    jobs: usize,
+) -> Result<Vec<SweepPoint>, crate::SimError> {
+    let results = parallel_map(mappings, jobs, |named| {
+        run_experiment(config, &named.mapping, warmup, window).map(|measured| SweepPoint {
+            name: named.name.clone(),
+            distance: named.distance,
+            measured,
+        })
+    });
+    results.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::mapping_suite;
+    use commloc_net::Torus;
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<usize> = (0..40).collect();
+        let doubled = parallel_map(&items, 4, |&x| x * 2);
+        assert_eq!(doubled, (0..40).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_runs_inline_for_single_job() {
+        let items = vec![1, 2, 3];
+        assert_eq!(parallel_map(&items, 1, |&x| x + 1), vec![2, 3, 4]);
+        assert_eq!(parallel_map(&items, 0, |&x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn sweep_results_do_not_depend_on_job_count() {
+        let torus = Torus::new(2, 8);
+        let mappings: Vec<_> = mapping_suite(&torus, 7).into_iter().take(3).collect();
+        let config = SimConfig::default();
+        let serial = run_sweep(&config, &mappings, 2_000, 6_000, 1).expect("serial sweep");
+        let parallel = run_sweep(&config, &mappings, 2_000, 6_000, 4).expect("parallel sweep");
+        assert_eq!(
+            serial, parallel,
+            "sweep must be deterministic across job counts"
+        );
+        assert_eq!(serial[0].name, mappings[0].name);
+    }
+}

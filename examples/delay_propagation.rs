@@ -25,7 +25,7 @@ fn main() {
 
     // Fault-free calibration run: the operating point the analytical
     // comparison needs (channel utilization rho).
-    let baseline = run_experiment(SimConfig::default(), &mapping, 10_000, 20_000)
+    let baseline = run_experiment(&SimConfig::default(), &mapping, 10_000, 20_000)
         .expect("fault-free calibration run");
     let rho = baseline.channel_utilization;
 

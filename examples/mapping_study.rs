@@ -4,15 +4,16 @@
 //!
 //! Run with: `cargo run --release --example mapping_study`
 
-use commloc::sim::{mapping_suite, run_experiment, SimConfig};
+use commloc::sim::{default_jobs, mapping_suite, run_sweep, SimConfig};
 
 fn main() {
     let config = SimConfig::default();
     let torus = commloc::net::Torus::new(config.dims, config.radix);
     let suite = mapping_suite(&torus, 1992);
+    let jobs = default_jobs();
 
     println!(
-        "simulating {} mappings on a {}-node machine ({} context/processor)\n",
+        "simulating {} mappings on a {}-node machine ({} context/processor, {jobs} jobs)\n",
         suite.len(),
         torus.nodes(),
         config.contexts
@@ -21,13 +22,13 @@ fn main() {
         "{:<14} {:>6} {:>6} {:>9} {:>9} {:>8} {:>7}",
         "mapping", "d", "d_sim", "r_t", "T_m", "T_h", "rho"
     );
-    for named in &suite {
-        let m =
-            run_experiment(config.clone(), &named.mapping, 20_000, 60_000).expect("fault-free run");
+    let points = run_sweep(&config, &suite, 20_000, 60_000, jobs).expect("fault-free runs");
+    for point in &points {
+        let m = &point.measured;
         println!(
             "{:<14} {:>6.2} {:>6.2} {:>9.5} {:>9.1} {:>8.2} {:>7.3}",
-            named.name,
-            named.distance,
+            point.name,
+            point.distance,
             m.distance,
             m.transaction_rate,
             m.message_latency,

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example multithreading`
 
-use commloc::sim::{fit_line, mapping_suite, run_experiment, SimConfig};
+use commloc::sim::{default_jobs, fit_line, mapping_suite, run_sweep, SimConfig};
 
 fn main() {
     let torus = commloc::net::Torus::new(2, 8);
@@ -19,12 +19,13 @@ fn main() {
         let mut g_sum = 0.0;
         println!("p = {contexts}:");
         println!("  {:<14} {:>8} {:>8}", "mapping", "t_m", "T_m");
-        for named in &suite {
-            let m = run_experiment(config.clone(), &named.mapping, 15_000, 45_000)
-                .expect("fault-free run");
+        let sweep =
+            run_sweep(&config, &suite, 15_000, 45_000, default_jobs()).expect("fault-free runs");
+        for point in &sweep {
+            let m = &point.measured;
             println!(
                 "  {:<14} {:>8.1} {:>8.1}",
-                named.name, m.message_interval, m.message_latency
+                point.name, m.message_interval, m.message_latency
             );
             points.push((m.message_interval, m.message_latency));
             g_sum += m.messages_per_transaction;

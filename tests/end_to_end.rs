@@ -25,7 +25,7 @@ fn message_curve_slopes_scale_with_contexts() {
                     contexts,
                     ..SimConfig::default()
                 };
-                let meas = run_experiment(cfg, m, 10_000, 30_000).expect("fault-free run");
+                let meas = run_experiment(&cfg, m, 10_000, 30_000).expect("fault-free run");
                 (meas.message_interval, meas.message_latency)
             })
             .collect();
@@ -44,10 +44,10 @@ fn message_curve_slopes_scale_with_contexts() {
 #[test]
 fn locality_gain_at_64_nodes_is_modest() {
     let cfg = SimConfig::default();
-    let ideal = run_experiment(cfg.clone(), &Mapping::identity(64), 10_000, 30_000)
-        .expect("fault-free run");
+    let ideal =
+        run_experiment(&cfg, &Mapping::identity(64), 10_000, 30_000).expect("fault-free run");
     let random =
-        run_experiment(cfg, &Mapping::random(64, 17), 10_000, 30_000).expect("fault-free run");
+        run_experiment(&cfg, &Mapping::random(64, 17), 10_000, 30_000).expect("fault-free run");
     let sim_gain = ideal.transaction_rate / random.transaction_rate;
     // Model prediction for the same machine.
     let machine = MachineConfig::alewife().with_nodes(64.0);
@@ -69,8 +69,13 @@ fn locality_gain_at_64_nodes_is_modest() {
 /// analytical defaults encode.
 #[test]
 fn protocol_statistics_match_calibration() {
-    let m = run_experiment(SimConfig::default(), &Mapping::identity(64), 10_000, 30_000)
-        .expect("fault-free run");
+    let m = run_experiment(
+        &SimConfig::default(),
+        &Mapping::identity(64),
+        10_000,
+        30_000,
+    )
+    .expect("fault-free run");
     let machine = MachineConfig::alewife();
     assert!(
         (m.messages_per_transaction - machine.messages_per_transaction()).abs() < 0.4,
@@ -97,7 +102,7 @@ fn simulated_per_hop_latency_respects_eq16_style_bound() {
             ..SimConfig::default()
         };
         let m =
-            run_experiment(cfg, &Mapping::random(64, 23), 10_000, 30_000).expect("fault-free run");
+            run_experiment(&cfg, &Mapping::random(64, 23), 10_000, 30_000).expect("fault-free run");
         // Eq. 16 with the measured effective sensitivity: B*s/(2n), where
         // s is bounded by p*g/c = p*g/2.
         let s = contexts as f64 * m.messages_per_transaction / 2.0;

@@ -290,7 +290,7 @@ fn any_seeded_fault_plan_completes_or_reports() {
         };
         // Retries make small timeouts survivable; the killed-link cases
         // must instead trip the watchdog with a structured report.
-        match run_experiment(config, &Mapping::identity(64), 3_000, 9_000) {
+        match run_experiment(&config, &Mapping::identity(64), 3_000, 9_000) {
             Ok(m) => assert!(
                 m.transaction_rate > 0.0,
                 "case {case} (seed {seed:#x}): completed without progress"

@@ -14,7 +14,7 @@ fn three_dimensional_machine_end_to_end() {
         radix: 4,
         ..SimConfig::default()
     };
-    let m = run_experiment(cfg, &Mapping::identity(64), 8_000, 24_000).expect("runs");
+    let m = run_experiment(&cfg, &Mapping::identity(64), 8_000, 24_000).expect("runs");
     assert!((m.distance - 1.0).abs() < 0.05, "d = {}", m.distance);
     assert!(m.transaction_rate > 0.0);
     // Six neighbours: reads dominate the mix even more than in 2D, so g
@@ -39,13 +39,13 @@ fn three_dimensional_random_mapping() {
         radix: 4,
         ..SimConfig::default()
     };
-    let random = run_experiment(cfg.clone(), &mapping, 8_000, 24_000).expect("runs");
+    let random = run_experiment(&cfg, &mapping, 8_000, 24_000).expect("runs");
     assert!(
         (random.distance - expected).abs() / expected < 0.1,
         "measured {} expected {expected}",
         random.distance
     );
-    let ideal = run_experiment(cfg, &Mapping::identity(64), 8_000, 24_000).expect("runs");
+    let ideal = run_experiment(&cfg, &Mapping::identity(64), 8_000, 24_000).expect("runs");
     assert!(ideal.transaction_rate > random.transaction_rate);
 }
 
@@ -58,7 +58,7 @@ fn skinny_one_dimensional_machine() {
         radix: 16,
         ..SimConfig::default()
     };
-    let m = run_experiment(cfg, &Mapping::identity(16), 6_000, 18_000).expect("runs");
+    let m = run_experiment(&cfg, &Mapping::identity(16), 6_000, 18_000).expect("runs");
     // 1D torus neighbours are one hop away under identity.
     assert!((m.distance - 1.0).abs() < 0.05);
     assert!(m.transaction_rate > 0.0);
