@@ -22,7 +22,7 @@ fn model_variant(
     endpoint: EndpointContention,
     residual_correction: bool,
 ) -> CombinedModel {
-    let fit = fit_message_curve(runs);
+    let fit = fit_message_curve(runs).expect("non-degenerate validation suite");
     let n = runs.len() as f64;
     let g: f64 = runs
         .iter()

@@ -69,6 +69,7 @@ fn scenarios() -> Vec<Scenario> {
                 link_vcs: 4,
                 vc_buffer_capacity: 16,
                 injection_buffer_capacity: 16,
+                ..FabricConfig::default()
             },
             rate: 0.01,
             cycles: 60_000,

@@ -32,7 +32,7 @@ fn reproduce() {
             g_avg += run.measured.messages_per_transaction;
         }
         g_avg /= runs.len() as f64;
-        let fit = fit_message_curve(&runs);
+        let fit = fit_message_curve(&runs).expect("non-degenerate validation suite");
         let s_nominal = contexts as f64 * g_avg / 2.0;
         println!(
             "fitted: T_m = {:.2} * t_m {:+.1}   (R^2 = {:.3}; nominal s = p*g/c = {:.2})",

@@ -13,7 +13,7 @@ use commloc_model::{
 };
 use commloc_net::Torus;
 use commloc_sim::{
-    default_jobs, fit_line, mapping_suite, run_sweep, LineFit, Measurements, SimConfig,
+    default_jobs, fit_line, mapping_suite, run_sweep, FitError, LineFit, Measurements, SimConfig,
 };
 
 /// Warmup window (network cycles) for validation simulations.
@@ -66,7 +66,12 @@ pub fn validation_runs(contexts: usize) -> Vec<ValidationRun> {
 
 /// Fits the application message curve (Figure 3's analysis) from a
 /// validation suite: `T_m = s * t_m - F`.
-pub fn fit_message_curve(runs: &[ValidationRun]) -> LineFit {
+///
+/// # Errors
+///
+/// Returns a [`FitError`] for a degenerate suite (fewer than two runs,
+/// or every mapping yielding the same message interval).
+pub fn fit_message_curve(runs: &[ValidationRun]) -> Result<LineFit, FitError> {
     let points: Vec<(f64, f64)> = runs
         .iter()
         .map(|r| (r.measured.message_interval, r.measured.message_latency))
@@ -81,7 +86,6 @@ pub fn fit_message_curve(runs: &[ValidationRun]) -> LineFit {
 /// are the measured averages, and the network model is the analytical
 /// Section 2.4 model for the simulated torus.
 pub fn calibrated_model(contexts: usize, runs: &[ValidationRun]) -> CombinedModel {
-    let fit = fit_message_curve(runs);
     let n = runs.len() as f64;
     let g: f64 = runs
         .iter()
@@ -99,8 +103,14 @@ pub fn calibrated_model(contexts: usize, runs: &[ValidationRun]) -> CombinedMode
         .sum::<f64>()
         / n;
     let t_r: f64 = runs.iter().map(|r| r.measured.run_length).sum::<f64>() / n;
-    let s = fit.slope.max(0.1);
-    let offset = (-fit.intercept).max(t_r * 0.5);
+    // A degenerate suite (every mapping at one message interval) cannot
+    // pin the slope; rather than failing the whole calibration, fall back
+    // to the nominal slope implied by the paper's request–reply critical
+    // path `c = 2`.
+    let (s, offset) = match fit_message_curve(runs) {
+        Ok(fit) => (fit.slope.max(0.1), (-fit.intercept).max(t_r * 0.5)),
+        Err(_) => ((contexts as f64 * g / 2.0).max(0.1), t_r * 0.5),
+    };
     // Effective critical path and fixed overhead reproducing (s, offset).
     let c_eff = (contexts as f64 * g / s).max(1.0);
     let t_f = (c_eff * offset - t_r).max(0.0);

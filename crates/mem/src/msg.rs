@@ -159,6 +159,24 @@ impl ProtocolMsg {
         }
     }
 
+    /// A stable short name for this message's variant, for span traces
+    /// and reports.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            ProtocolMsg::ReadReq { .. } => "read-req",
+            ProtocolMsg::ReadReply { .. } => "read-reply",
+            ProtocolMsg::WriteReq { .. } => "write-req",
+            ProtocolMsg::WriteReply { .. } => "write-reply",
+            ProtocolMsg::Invalidate { .. } => "invalidate",
+            ProtocolMsg::InvAck { .. } => "inv-ack",
+            ProtocolMsg::Fetch { .. } => "fetch",
+            ProtocolMsg::FetchInv { .. } => "fetch-inv",
+            ProtocolMsg::OwnerData { .. } => "owner-data",
+            ProtocolMsg::FetchNack { .. } => "fetch-nack",
+            ProtocolMsg::Writeback { .. } => "writeback",
+        }
+    }
+
     /// Whether the message carries the cache line's data.
     pub fn carries_data(&self) -> bool {
         matches!(
@@ -246,8 +264,12 @@ mod tests {
                 from: NodeId(0),
             },
         ];
+        let mut names = Vec::new();
         for m in msgs {
             assert_eq!(m.line(), line);
+            names.push(m.kind_name());
         }
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len(), "kind names must be distinct");
     }
 }

@@ -65,6 +65,74 @@ impl IssueTimeBreakdown {
     }
 }
 
+/// The model's prediction for each of the simulator's six measured
+/// per-message latency components, in network cycles.
+///
+/// The network model's message latency `T_m = d*T_h + B + W` maps onto
+/// the measured decomposition as: source-queue wait = the endpoint wait
+/// `W`, injection = 1 cycle, free hops = `d` (one cycle per hop),
+/// contention = `d*(T_h - 1)` (everything above the one-cycle switch
+/// delay), drain = `B - 1` body cycles behind the head, and protocol
+/// (ejection-port wait) = 0 — the model's ejection channel is
+/// contention-free. The components sum exactly to the model's `T_m`
+/// evaluated at the operating point's rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MessageComponents {
+    /// Source-queue wait: the endpoint-contention wait `W`.
+    pub queue: f64,
+    /// Injection-channel cycle (always 1 per network message).
+    pub injection: f64,
+    /// Free hop cycles: one per hop, `d` total.
+    pub free_hop: f64,
+    /// In-network contention: `d * (T_h - 1)`.
+    pub contended_hop: f64,
+    /// Body drain behind the head: `B - 1`.
+    pub drain: f64,
+    /// Ejection-port wait (0 in the model: the node drains its ejection
+    /// channel unconditionally).
+    pub protocol: f64,
+}
+
+impl MessageComponents {
+    /// Computes the component predictions of an operating point solved by
+    /// `model`.
+    pub fn from_operating_point(model: &CombinedModel, op: &OperatingPoint) -> Self {
+        let b = model.network().message_size();
+        Self {
+            queue: op.endpoint_wait,
+            injection: 1.0,
+            free_hop: op.distance,
+            contended_hop: op.distance * (op.per_hop_latency - 1.0),
+            drain: b - 1.0,
+            protocol: 0.0,
+        }
+    }
+
+    /// The six components as `(label, cycles)` pairs, in the same
+    /// presentation order as the simulator's measured breakdown.
+    pub fn components(&self) -> [(&'static str, f64); 6] {
+        [
+            ("queue", self.queue),
+            ("injection", self.injection),
+            ("free-hop", self.free_hop),
+            ("contended-hop", self.contended_hop),
+            ("drain", self.drain),
+            ("protocol", self.protocol),
+        ]
+    }
+
+    /// Sum of the six components: the model's `T_m` at the operating
+    /// point's self-consistent rate.
+    pub fn total(&self) -> f64 {
+        self.queue
+            + self.injection
+            + self.free_hop
+            + self.contended_hop
+            + self.drain
+            + self.protocol
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +193,40 @@ mod tests {
                 let b = IssueTimeBreakdown::from_operating_point(&model, &op);
                 let share = b.fixed_transaction_share();
                 assert!(share > 0.55 && share < 0.75, "p={p} d={d}: share={share}");
+            }
+        }
+    }
+
+    #[test]
+    fn message_components_sum_to_model_latency() {
+        for p in [1, 2, 4] {
+            for d in [1.0, 4.06, 15.8] {
+                let model = MachineConfig::alewife()
+                    .with_contexts(p)
+                    .to_combined_model()
+                    .unwrap();
+                let op = model.solve(d).unwrap();
+                let mc = MessageComponents::from_operating_point(&model, &op);
+                // Exact reconstruction of T_m = d*T_h + B + W from the
+                // operating point's own fields.
+                let expect = op.distance * op.per_hop_latency
+                    + model.network().message_size()
+                    + op.endpoint_wait;
+                assert!(
+                    (mc.total() - expect).abs() < 1e-9,
+                    "p={p} d={d}: {} vs {expect}",
+                    mc.total()
+                );
+                // And within solver tolerance of the solved T_m (which is
+                // evaluated at the bisection rate rather than the
+                // operating point's self-consistent rate).
+                assert!(
+                    (mc.total() - op.message_latency).abs() / op.message_latency < 1e-3,
+                    "p={p} d={d}: {} vs {}",
+                    mc.total(),
+                    op.message_latency
+                );
+                assert!(mc.contended_hop >= 0.0 && mc.queue >= 0.0);
             }
         }
     }

@@ -67,7 +67,7 @@ mod scaling;
 mod transaction;
 
 pub use application::{ApplicationModel, OperatingMode};
-pub use breakdown::IssueTimeBreakdown;
+pub use breakdown::{IssueTimeBreakdown, MessageComponents};
 pub use combined::{CombinedModel, OperatingPoint};
 pub use dimensions::{dimension_study, DimensionPoint};
 pub use error::{ModelError, Result};

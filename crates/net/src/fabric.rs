@@ -53,8 +53,9 @@ use crate::fault::{FaultLog, FaultPlan};
 use crate::message::{Delivery, Flit, Message, MessageId};
 use crate::router::{InputRef, OutputRef, Router, INFINITE_CREDITS};
 use crate::routing::{route_step, RouteStep, VcIndex, DATELINE_VCS};
-use crate::stats::FabricStats;
+use crate::stats::{FabricStats, LatencyBreakdown};
 use crate::topology::{Direction, NodeId, Torus};
+use crate::trace::{TraceBuffer, TraceEvent};
 use std::collections::VecDeque;
 use std::fmt;
 use std::mem;
@@ -120,16 +121,22 @@ pub struct FabricConfig {
     pub vc_buffer_capacity: usize,
     /// Flit capacity of the router's injection input buffer.
     pub injection_buffer_capacity: usize,
+    /// Capacity of the event-trace ring buffer
+    /// ([`Fabric::trace`]); `0` (the default) disables tracing entirely —
+    /// no buffer is allocated and the event sites reduce to a dead
+    /// `Option` check.
+    pub trace_capacity: usize,
 }
 
 impl Default for FabricConfig {
     /// A moderate amount of buffering, as the paper describes: two
-    /// dateline virtual channels with eight-flit buffers.
+    /// dateline virtual channels with eight-flit buffers. Tracing off.
     fn default() -> Self {
         Self {
             link_vcs: DATELINE_VCS,
             vc_buffer_capacity: 8,
             injection_buffer_capacity: 8,
+            trace_capacity: 0,
         }
     }
 }
@@ -143,6 +150,9 @@ struct Pending<P> {
     message: Message<P>,
     enqueued_at: u64,
     injected_at: u64,
+    /// Cycle the head flit first entered the destination router's input
+    /// buffer (loopbacks: the injection cycle).
+    dst_arrived_at: u64,
     head_delivered_at: u64,
     hops: u32,
     /// Set when a drop fault dooms the message: the `(node, output)`
@@ -231,6 +241,12 @@ pub struct Fabric<P> {
     next_id: u64,
     cycle: u64,
     stats: FabricStats,
+    /// Per-component latency accounting and histograms, accumulated at
+    /// delivery time alongside `stats` (kept out of `FabricStats`: the
+    /// reference-engine equivalence tests compare that struct verbatim).
+    breakdown: LatencyBreakdown,
+    /// Bounded event trace; `None` unless `config.trace_capacity > 0`.
+    trace: Option<TraceBuffer>,
     /// Active fault-injection plan, if any.
     fault: Option<FaultPlan>,
     /// Monotone count of flit movements (link placement, injection,
@@ -307,6 +323,8 @@ impl<P> Fabric<P> {
             next_id: 0,
             cycle: 0,
             stats,
+            breakdown: LatencyBreakdown::default(),
+            trace: (config.trace_capacity > 0).then(|| TraceBuffer::new(config.trace_capacity)),
             fault: None,
             activity: 0,
         }
@@ -351,11 +369,26 @@ impl<P> Fabric<P> {
         &self.stats
     }
 
-    /// Resets statistics counters (e.g. after a warmup window). Messages
-    /// currently in flight still deliver and are counted against the new
-    /// window.
+    /// Per-component latency accounting and histograms for the current
+    /// measurement window (same window as [`Fabric::stats`]).
+    pub fn breakdown(&self) -> &LatencyBreakdown {
+        &self.breakdown
+    }
+
+    /// The event-trace ring, when
+    /// [`FabricConfig::trace_capacity`] is nonzero.
+    pub fn trace(&self) -> Option<&TraceBuffer> {
+        self.trace.as_ref()
+    }
+
+    /// Resets statistics counters and the latency breakdown (e.g. after a
+    /// warmup window). Messages currently in flight still deliver and are
+    /// counted against the new window. The event trace is deliberately
+    /// *not* cleared: it is a ring, so stale warmup events age out on
+    /// their own and a post-mortem can still see across the reset.
     pub fn reset_stats(&mut self) {
         self.stats.reset(self.cycle);
+        self.breakdown.reset();
     }
 
     /// Enqueues a message for injection at its source node and returns its
@@ -377,11 +410,16 @@ impl<P> Fabric<P> {
         let id = MessageId(self.next_id);
         self.next_id += 1;
         let src = message.src;
+        // Depth the new message finds ahead of it: queued plus streaming.
+        let depth =
+            self.nis[src.0].queue.len() as u64 + u64::from(self.nis[src.0].streaming.is_some());
+        self.breakdown.queue_depth.record(depth);
         let pending = Pending {
             id: id.0,
             message,
             enqueued_at: self.cycle,
             injected_at: 0,
+            dst_arrived_at: 0,
             head_delivered_at: 0,
             hops: 0,
             doomed: None,
@@ -560,6 +598,16 @@ impl<P> Fabric<P> {
                 "credit protocol violated"
             );
             buf.fifo.push_back(flit);
+            // Stamp the head's arrival at its destination router — the
+            // boundary between in-network (hop) time and ejection wait in
+            // the latency breakdown. One slab lookup per head per hop.
+            if flit.kind.is_head() {
+                if let Some(pending) = self.slots[flit.slot as usize].as_mut() {
+                    if pending.id == flit.message.0 && pending.message.dst.0 == down {
+                        pending.dst_arrived_at = self.cycle;
+                    }
+                }
+            }
             self.occupancy[down] += 1;
             self.active_routers.insert(down);
         }
@@ -621,7 +669,9 @@ impl<P> Fabric<P> {
                             vc,
                         },
                     };
-                    self.routers[node].inputs[port].vcs[vc].route = Some(output);
+                    let buf = &mut self.routers[node].inputs[port].vcs[vc];
+                    buf.route = Some(output);
+                    buf.routed_at = self.cycle;
                     // `output.vc` is the dateline class here, matching the
                     // decrement when this head is forwarded.
                     let idx = self.req_index(node, output.port, output.vc);
@@ -765,9 +815,10 @@ impl<P> Fabric<P> {
         input: InputRef,
     ) -> Result<(), FabricError> {
         let local = self.local_port();
-        let (flit, route_class) = {
+        let (flit, route_class, routed_at) = {
             let buf = &mut self.routers[node].inputs[input.port].vcs[input.vc];
             let route_class = buf.route.map_or(0, |r| r.vc);
+            let routed_at = buf.routed_at;
             let flit = buf.fifo.pop_front().ok_or(FabricError::MissingFlit {
                 node: NodeId(node),
                 cycle: self.cycle,
@@ -775,7 +826,7 @@ impl<P> Fabric<P> {
             if flit.kind.is_tail() {
                 buf.route = None;
             }
-            (flit, route_class)
+            (flit, route_class, routed_at)
         };
         self.occupancy[node] -= 1;
         if self.occupancy[node] == 0 {
@@ -786,6 +837,19 @@ impl<P> Fabric<P> {
             // request counted at route assignment.
             let idx = self.req_index(node, output, route_class);
             self.requests[idx] -= 1;
+            if let Some(trace) = self.trace.as_mut() {
+                // Routed in phase 2, forwardable in phase 3 of the same
+                // cycle: any later departure means it sat blocked.
+                let waited = self.cycle - routed_at;
+                if waited > 0 {
+                    trace.push(TraceEvent::HopBlock {
+                        cycle: self.cycle,
+                        message: flit.message,
+                        node: NodeId(node),
+                        waited,
+                    });
+                }
+            }
         }
         // Free the slot upstream.
         if input.port == local {
@@ -851,6 +915,13 @@ impl<P> Fabric<P> {
                 self.free_slots.push(slot as u32);
                 self.live -= 1;
                 self.stats.dropped_messages += 1;
+                if let Some(trace) = self.trace.as_mut() {
+                    trace.push(TraceEvent::Drop {
+                        cycle: self.cycle,
+                        message: flit.message,
+                        node: NodeId(node),
+                    });
+                }
             }
         } else if output == local {
             self.eject_flit(node, flit)?;
@@ -900,6 +971,7 @@ impl<P> Fabric<P> {
             let delivery = Delivery {
                 enqueued_at: pending.enqueued_at,
                 injected_at: pending.injected_at,
+                dst_arrived_at: pending.dst_arrived_at,
                 head_delivered_at: pending.head_delivered_at,
                 delivered_at: self.cycle,
                 hops: pending.hops,
@@ -912,6 +984,16 @@ impl<P> Fabric<P> {
                 delivery.injected_at - delivery.enqueued_at,
                 delivery.message.length,
             );
+            self.breakdown.record(&delivery.breakdown());
+            if let Some(trace) = self.trace.as_mut() {
+                trace.push(TraceEvent::Deliver {
+                    cycle: self.cycle,
+                    message: flit.message,
+                    dst: NodeId(node),
+                    total_latency: delivery.total_latency(),
+                    hops: delivery.hops,
+                });
+            }
             self.deliveries[node].push_back(delivery);
         }
         Ok(())
@@ -986,6 +1068,7 @@ impl<P> Fabric<P> {
                     let delivery = Delivery {
                         enqueued_at: pending.enqueued_at,
                         injected_at: cycle,
+                        dst_arrived_at: cycle,
                         head_delivered_at: cycle,
                         delivered_at: cycle,
                         hops: 0,
@@ -998,6 +1081,16 @@ impl<P> Fabric<P> {
                         delivery.injected_at - delivery.enqueued_at,
                         delivery.message.length,
                     );
+                    self.breakdown.record(&delivery.breakdown());
+                    if let Some(trace) = self.trace.as_mut() {
+                        trace.push(TraceEvent::Deliver {
+                            cycle,
+                            message: id,
+                            dst: delivery.message.dst,
+                            total_latency: delivery.total_latency(),
+                            hops: 0,
+                        });
+                    }
                     let dst = delivery.message.dst.0;
                     self.deliveries[dst].push_back(delivery);
                     self.activity += 1;
@@ -1022,12 +1115,22 @@ impl<P> Fabric<P> {
                     cycle: self.cycle,
                 });
             };
+            let kind = pending.message.flit_kind(index);
+            let length = pending.message.length;
+            let (src, dst) = (pending.message.src, pending.message.dst);
             if index == 0 {
                 pending.injected_at = self.cycle;
                 self.stats.injected_messages += 1;
+                if let Some(trace) = self.trace.as_mut() {
+                    trace.push(TraceEvent::Inject {
+                        cycle: self.cycle,
+                        message: id,
+                        src,
+                        dst,
+                        length,
+                    });
+                }
             }
-            let kind = pending.message.flit_kind(index);
-            let length = pending.message.length;
             self.inj_links[node] = Some(Flit {
                 message: id,
                 kind,
@@ -1354,6 +1457,7 @@ mod multi_vc_tests {
                 link_vcs: 4,
                 vc_buffer_capacity: 4,
                 injection_buffer_capacity: 8,
+                ..FabricConfig::default()
             },
         );
         let t = f.torus().clone();
@@ -1377,6 +1481,7 @@ mod multi_vc_tests {
                 link_vcs: 4,
                 vc_buffer_capacity: 2,
                 injection_buffer_capacity: 2,
+                ..FabricConfig::default()
             },
         );
         for round in 0..10u32 {

@@ -52,13 +52,15 @@ mod router;
 pub mod routing;
 mod stats;
 mod topology;
+pub mod trace;
 pub mod traffic;
 
 pub use fabric::{Fabric, FabricConfig, FabricError};
 pub use fault::{FaultConfig, FaultEvent, FaultLog, FaultPlan};
-pub use message::{Delivery, Flit, FlitKind, Message, MessageId};
+pub use message::{Delivery, Flit, FlitKind, Message, MessageBreakdown, MessageId};
 #[cfg(feature = "reference-engine")]
 pub use reference::ReferenceFabric;
 pub use rng::DetRng;
-pub use stats::FabricStats;
+pub use stats::{FabricStats, Histogram, LatencyBreakdown, HISTOGRAM_BUCKETS};
 pub use topology::{Direction, NodeId, Torus};
+pub use trace::{TraceBuffer, TraceEvent};

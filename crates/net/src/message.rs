@@ -131,6 +131,10 @@ pub struct Delivery<P> {
     /// Cycle the head flit left the source network interface (start of
     /// actual network transmission).
     pub injected_at: u64,
+    /// Cycle the head flit first arrived in the destination router's
+    /// input buffer (loopbacks: the injection cycle). The gap to
+    /// `head_delivered_at` is ejection-port wait at the destination.
+    pub dst_arrived_at: u64,
     /// Cycle the head flit was ejected at the destination.
     pub head_delivered_at: u64,
     /// Cycle the tail flit was ejected (the message is complete).
@@ -138,6 +142,47 @@ pub struct Delivery<P> {
     /// Network hops traversed (the torus distance from source to
     /// destination).
     pub hops: u32,
+}
+
+/// One delivered message's total latency split into disjoint component
+/// cycle counts. The components telescope: they sum *exactly* to
+/// [`Delivery::total_latency`] (asserted by the property tests), so
+/// averaging them over a window decomposes the measured `T_m` without
+/// residue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MessageBreakdown {
+    /// Source-queue wait: enqueue until the head leaves the network
+    /// interface.
+    pub queue: u64,
+    /// Injection-channel crossing (1 cycle for network messages, 0 for
+    /// loopbacks, which never touch the network).
+    pub injection: u64,
+    /// Contention-free hop cycles: one per link crossed (the paper's
+    /// `d * 1` base of `d * T_h`).
+    pub free_hop: u64,
+    /// Extra head cycles spent blocked inside the network (switch
+    /// allocation losses, credit stalls) — the contention part of
+    /// `d * T_h`.
+    pub contended_hop: u64,
+    /// Wait at the destination between the head's arrival in the router
+    /// and its ejection (endpoint/protocol port contention).
+    pub ejection: u64,
+    /// Pipeline drain: head ejection until the tail is ejected (`B - 1`
+    /// cycles uncontended).
+    pub drain: u64,
+}
+
+impl MessageBreakdown {
+    /// Sum of all components — always equal to the delivery's total
+    /// latency.
+    pub fn total(&self) -> u64 {
+        self.queue
+            + self.injection
+            + self.free_hop
+            + self.contended_hop
+            + self.ejection
+            + self.drain
+    }
 }
 
 impl<P> Delivery<P> {
@@ -166,6 +211,33 @@ impl<P> Delivery<P> {
             None
         } else {
             Some(self.head_network_latency() as f64 / f64::from(self.hops))
+        }
+    }
+
+    /// Splits this delivery's total latency into its disjoint components.
+    ///
+    /// For a network-crossing message the head's minimum transit is one
+    /// injection-channel cycle plus one cycle per hop; anything beyond
+    /// that before reaching the destination router is contention. A
+    /// loopback delivery has only queue wait.
+    pub fn breakdown(&self) -> MessageBreakdown {
+        let queue = self.injected_at - self.enqueued_at;
+        if self.hops == 0 {
+            return MessageBreakdown {
+                queue,
+                ejection: self.head_delivered_at - self.dst_arrived_at,
+                drain: self.delivered_at - self.head_delivered_at,
+                ..MessageBreakdown::default()
+            };
+        }
+        let hops = u64::from(self.hops);
+        MessageBreakdown {
+            queue,
+            injection: 1,
+            free_hop: hops,
+            contended_hop: self.dst_arrived_at - self.injected_at - 1 - hops,
+            ejection: self.head_delivered_at - self.dst_arrived_at,
+            drain: self.delivered_at - self.head_delivered_at,
         }
     }
 }
@@ -203,6 +275,7 @@ mod tests {
             message: Message::new(NodeId(0), NodeId(3), 12, 42u32),
             enqueued_at: 100,
             injected_at: 104,
+            dst_arrived_at: 109,
             head_delivered_at: 110,
             delivered_at: 121,
             hops: 3,
@@ -210,6 +283,14 @@ mod tests {
         assert_eq!(d.total_latency(), 21);
         assert_eq!(d.head_network_latency(), 6);
         assert_eq!(d.per_hop_latency(), Some(2.0));
+        let b = d.breakdown();
+        assert_eq!(b.queue, 4);
+        assert_eq!(b.injection, 1);
+        assert_eq!(b.free_hop, 3);
+        assert_eq!(b.contended_hop, 1);
+        assert_eq!(b.ejection, 1);
+        assert_eq!(b.drain, 11);
+        assert_eq!(b.total(), d.total_latency());
     }
 
     #[test]
@@ -222,6 +303,7 @@ mod tests {
             message: m,
             enqueued_at: 0,
             injected_at: 0,
+            dst_arrived_at: 3,
             head_delivered_at: 4,
             delivered_at: 11,
             hops: 2,
@@ -234,11 +316,41 @@ mod tests {
         let d = Delivery {
             message: Message::new(NodeId(0), NodeId(0), 1, ()),
             enqueued_at: 0,
-            injected_at: 0,
+            injected_at: 1,
+            dst_arrived_at: 1,
             head_delivered_at: 1,
             delivered_at: 1,
             hops: 0,
         };
         assert_eq!(d.per_hop_latency(), None);
+        let b = d.breakdown();
+        assert_eq!(b.queue, 1);
+        assert_eq!(b.injection, 0);
+        assert_eq!(b.free_hop, 0);
+        assert_eq!(b.contended_hop, 0);
+        assert_eq!(b.total(), d.total_latency());
+    }
+
+    #[test]
+    fn uncontended_breakdown_has_no_contention_components() {
+        // 5 hops, 12 flits, unloaded: head takes 1 + 5 cycles, arrives and
+        // ejects in the same cycle, tail drains 11 behind.
+        let d = Delivery {
+            message: Message::new(NodeId(0), NodeId(5), 12, ()),
+            enqueued_at: 0,
+            injected_at: 0,
+            dst_arrived_at: 6,
+            head_delivered_at: 6,
+            delivered_at: 17,
+            hops: 5,
+        };
+        let b = d.breakdown();
+        assert_eq!(b.queue, 0);
+        assert_eq!(b.injection, 1);
+        assert_eq!(b.free_hop, 5);
+        assert_eq!(b.contended_hop, 0);
+        assert_eq!(b.ejection, 0);
+        assert_eq!(b.drain, 11);
+        assert_eq!(b.total(), 17);
     }
 }

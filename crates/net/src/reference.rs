@@ -34,6 +34,7 @@ struct Pending<P> {
     message: Message<P>,
     enqueued_at: u64,
     injected_at: u64,
+    dst_arrived_at: u64,
     head_delivered_at: u64,
     hops: u32,
 }
@@ -157,6 +158,7 @@ impl<P> ReferenceFabric<P> {
                 message,
                 enqueued_at: self.cycle,
                 injected_at: 0,
+                dst_arrived_at: 0,
                 head_delivered_at: 0,
                 hops: 0,
             },
@@ -234,6 +236,13 @@ impl<P> ReferenceFabric<P> {
                 if let Some((flit, vc)) = self.links[node * link_ports + port].take() {
                     let (dim, dir) = port_to_link(port);
                     let down = self.torus.neighbor(NodeId(node), dim, dir);
+                    if flit.kind.is_head() {
+                        if let Some(pending) = self.pending.get_mut(&flit.message.0) {
+                            if pending.message.dst == down {
+                                pending.dst_arrived_at = self.cycle;
+                            }
+                        }
+                    }
                     self.routers[down.0].inputs[port].vcs[vc]
                         .fifo
                         .push_back(flit);
@@ -480,6 +489,7 @@ impl<P> ReferenceFabric<P> {
             let delivery = Delivery {
                 enqueued_at: pending.enqueued_at,
                 injected_at: pending.injected_at,
+                dst_arrived_at: pending.dst_arrived_at,
                 head_delivered_at: pending.head_delivered_at,
                 delivered_at: self.cycle,
                 hops: pending.hops,
@@ -537,6 +547,7 @@ impl<P> ReferenceFabric<P> {
                     let delivery = Delivery {
                         enqueued_at: pending.enqueued_at,
                         injected_at: self.cycle,
+                        dst_arrived_at: self.cycle,
                         head_delivered_at: self.cycle,
                         delivered_at: self.cycle,
                         hops: 0,
@@ -768,6 +779,7 @@ mod equivalence_tests {
                 link_vcs: 4,
                 vc_buffer_capacity: 16,
                 injection_buffer_capacity: 16,
+                ..FabricConfig::default()
             },
             None,
             7,

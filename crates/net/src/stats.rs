@@ -196,6 +196,212 @@ fn ratio(num: u64, den: u64) -> f64 {
     }
 }
 
+/// Number of fixed log2 buckets in a [`Histogram`]: a zero bucket plus
+/// one bucket per bit position of a `u64`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A fixed-bucket logarithmic histogram of `u64` samples.
+///
+/// Bucket 0 holds zeros; bucket `b >= 1` holds values in
+/// `[2^(b-1), 2^b - 1]`. Recording is O(1) with no allocation, so the
+/// fabric can feed it from the hot path; quantiles come back as the
+/// matched bucket's upper edge (a conservative overestimate by at most
+/// 2x, which is plenty for tail-latency observability).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let bucket = (64 - value.leading_zeros()) as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Samples recorded since construction or [`Histogram::reset`].
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        ratio(self.sum, self.count)
+    }
+
+    /// Per-bucket counts (see the type docs for bucket boundaries).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, reported as the upper edge
+    /// of the first bucket whose cumulative count reaches `q * count`,
+    /// clamped to the recorded maximum. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (bucket, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let edge = if bucket == 0 {
+                    0
+                } else if bucket >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << bucket) - 1
+                };
+                return edge.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`Histogram::quantile`] for bucket resolution).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Clears every bucket and counter.
+    pub fn reset(&mut self) {
+        *self = Self::new();
+    }
+}
+
+/// Per-component latency accounting accumulated over delivered messages,
+/// plus latency and queue-depth histograms.
+///
+/// Lives beside [`FabricStats`] (not inside it: the golden-equivalence
+/// tests compare `FabricStats` bit-for-bit against the reference engine,
+/// and this layer is an optimized-engine observability feature). Each
+/// field is the sum over deliveries of the matching
+/// [`MessageBreakdown`](crate::MessageBreakdown) component, so the six
+/// sums together equal the window's total message latency exactly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyBreakdown {
+    /// Deliveries accumulated (equals `FabricStats::delivered_messages`
+    /// over the same window).
+    pub deliveries: u64,
+    /// Total source-queue wait cycles.
+    pub queue: u64,
+    /// Total injection-channel cycles (one per network-crossing message).
+    pub injection: u64,
+    /// Total contention-free hop cycles (one per hop).
+    pub free_hop: u64,
+    /// Total head cycles lost to in-network contention.
+    pub contended_hop: u64,
+    /// Total destination ejection-port wait cycles.
+    pub ejection: u64,
+    /// Total pipeline-drain cycles (tail behind head).
+    pub drain: u64,
+    /// Histogram of per-message total latencies.
+    pub latency: Histogram,
+    /// Histogram of source-queue depths observed by each injected message
+    /// (messages already queued or streaming ahead of it).
+    pub queue_depth: Histogram,
+}
+
+impl LatencyBreakdown {
+    pub(crate) fn record(&mut self, b: &crate::message::MessageBreakdown) {
+        self.deliveries += 1;
+        self.queue += b.queue;
+        self.injection += b.injection;
+        self.free_hop += b.free_hop;
+        self.contended_hop += b.contended_hop;
+        self.ejection += b.ejection;
+        self.drain += b.drain;
+        self.latency.record(b.total());
+    }
+
+    /// Total cycles across all six components — exactly the sum of total
+    /// latencies over the accumulated deliveries.
+    pub fn total(&self) -> u64 {
+        self.queue
+            + self.injection
+            + self.free_hop
+            + self.contended_hop
+            + self.ejection
+            + self.drain
+    }
+
+    /// The six component sums as `(name, cycles)` pairs, in presentation
+    /// order. "protocol" is the destination endpoint (ejection-port) wait
+    /// — the component the paper folds into protocol processing.
+    pub fn components(&self) -> [(&'static str, u64); 6] {
+        [
+            ("queue", self.queue),
+            ("injection", self.injection),
+            ("free-hop", self.free_hop),
+            ("contended-hop", self.contended_hop),
+            ("drain", self.drain),
+            ("protocol", self.ejection),
+        ]
+    }
+
+    /// Per-delivery average of each component, same order and labels as
+    /// [`LatencyBreakdown::components`]. The averages sum to the window's
+    /// average total message latency `T_m`.
+    pub fn average_components(&self) -> [(&'static str, f64); 6] {
+        self.components()
+            .map(|(name, sum)| (name, ratio(sum, self.deliveries)))
+    }
+
+    /// Average total latency over accumulated deliveries (the window's
+    /// measured `T_m`).
+    pub fn avg_total_latency(&self) -> f64 {
+        ratio(self.total(), self.deliveries)
+    }
+
+    /// Clears all sums and histograms.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,6 +442,75 @@ mod tests {
         // 8 channels, 15 busy cycles over 10 cycles.
         assert!((s.channel_utilization() - 15.0 / 80.0).abs() < 1e-12);
         assert_eq!(s.max_channel_utilization(), 1.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        for v in [0u64, 1, 1, 2, 3, 4, 7, 8, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.sum(), 126);
+        assert_eq!(h.max(), 100);
+        assert_eq!(h.bucket_counts()[0], 1); // the zero
+        assert_eq!(h.bucket_counts()[1], 2); // the ones
+        assert_eq!(h.bucket_counts()[2], 2); // 2..3
+        assert_eq!(h.bucket_counts()[3], 2); // 4..7
+        assert_eq!(h.bucket_counts()[4], 1); // 8..15
+        assert_eq!(h.bucket_counts()[7], 1); // 64..127
+                                             // p50 of 9 samples = rank 5, lands in bucket [2,3] -> edge 3.
+        assert_eq!(h.p50(), 3);
+        // p99 = rank 9, last bucket's edge 127 clamped to the max.
+        assert_eq!(h.p99(), 100);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p90(), 0);
+    }
+
+    #[test]
+    fn histogram_conserves_counts() {
+        let mut h = Histogram::new();
+        for v in 0..1000u64 {
+            h.record(v * v);
+        }
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), h.count());
+        assert_eq!(h.count(), 1000);
+    }
+
+    #[test]
+    fn breakdown_accumulates_and_averages() {
+        use crate::message::MessageBreakdown;
+        let mut b = LatencyBreakdown::default();
+        b.record(&MessageBreakdown {
+            queue: 4,
+            injection: 1,
+            free_hop: 3,
+            contended_hop: 2,
+            ejection: 1,
+            drain: 11,
+        });
+        b.record(&MessageBreakdown {
+            queue: 0,
+            injection: 1,
+            free_hop: 5,
+            contended_hop: 0,
+            ejection: 0,
+            drain: 11,
+        });
+        assert_eq!(b.deliveries, 2);
+        assert_eq!(b.total(), 22 + 17);
+        assert_eq!(b.latency.count(), 2);
+        assert_eq!(b.latency.sum(), 39);
+        let avgs = b.average_components();
+        let avg_sum: f64 = avgs.iter().map(|(_, v)| v).sum();
+        assert!((avg_sum - b.avg_total_latency()).abs() < 1e-12);
+        assert_eq!(avgs[0], ("queue", 2.0));
+        assert_eq!(avgs[5], ("protocol", 0.5));
+        b.reset();
+        assert_eq!(b.deliveries, 0);
+        assert_eq!(b.total(), 0);
     }
 
     #[test]

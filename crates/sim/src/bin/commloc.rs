@@ -1,26 +1,29 @@
 //! `commloc` — command-line front end to the models and the simulator.
 //!
 //! ```text
-//! commloc solve --nodes 1000 --contexts 2 --distance 4.06
-//! commloc gain  --contexts 1 --sizes 10,100,1000,1000000
-//! commloc scale --contexts 2
-//! commloc sim   --mapping random --contexts 2 --warmup 20000 --window 60000
-//! commloc suite --contexts 1 --csv
+//! commloc solve  --nodes 1000 --contexts 2 --distance 4.06
+//! commloc gain   --contexts 1 --sizes 10,100,1000,1000000
+//! commloc scale  --contexts 2
+//! commloc sim    --mapping random --contexts 2 --warmup 20000 --window 60000
+//! commloc report --mapping random --contexts 2 --trace events.jsonl
+//! commloc suite  --contexts 1 --csv
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free: `--key value` pairs
-//! only, with per-subcommand defaults matching the paper's Section 3
-//! machine.
+//! only, validated against each subcommand's option set, with defaults
+//! matching the paper's Section 3 machine.
 
 use commloc_model::{
-    expected_gain, limiting_per_hop_latency, log_spaced_sizes, per_hop_latency_curve, MachineConfig,
+    expected_gain, limiting_per_hop_latency, log_spaced_sizes, per_hop_latency_curve,
+    MachineConfig, MessageComponents,
 };
 use commloc_net::Torus;
 use commloc_sim::{
-    default_jobs, mapping_suite, run_experiment, run_sweep, Mapping, SimConfig,
-    MEASUREMENTS_CSV_HEADER,
+    default_jobs, mapping_suite, run_experiment, run_sweep, Machine, Mapping, SimConfig,
+    BREAKDOWN_CSV_HEADER, MEASUREMENTS_CSV_HEADER,
 };
 use std::collections::HashMap;
+use std::io::Write;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -39,11 +42,30 @@ COMMANDS:
     sim     run the cycle-level 64-node simulator with one mapping
             --mapping identity|random|worst|swaps-K --seed S
             --contexts P --warmup W --window C [--csv]
+    report  run one simulation and print the latency-component breakdown
+            (measured vs model, per component)
+            --mapping M --seed S --contexts P --warmup W --window C
+            [--trace FILE] [--csv]
     suite   run the full validation mapping suite
             --contexts P --seed S --jobs J [--csv]
             (--jobs defaults to the machine's available parallelism)
     help    print this message
 ";
+
+/// Option keys each subcommand accepts (used to reject typos).
+fn allowed_keys(command: &str) -> Option<&'static [&'static str]> {
+    match command {
+        "solve" => Some(&["nodes", "contexts", "distance", "grain", "ratio"]),
+        "gain" => Some(&["nodes", "contexts", "sizes", "grain", "ratio"]),
+        "scale" => Some(&["nodes", "contexts", "grain", "ratio"]),
+        "sim" => Some(&["mapping", "seed", "contexts", "warmup", "window", "csv"]),
+        "report" => Some(&[
+            "mapping", "seed", "contexts", "warmup", "window", "trace", "csv",
+        ]),
+        "suite" => Some(&["contexts", "seed", "warmup", "window", "jobs", "csv"]),
+        _ => None,
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,24 +73,30 @@ fn main() -> ExitCode {
         eprint!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let options = match parse_options(&args[1..]) {
+    let command = command.as_str();
+    if matches!(command, "help" | "--help" | "-h") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let Some(allowed) = allowed_keys(command) else {
+        eprintln!("error: unknown command `{command}`; try `commloc help`");
+        return ExitCode::FAILURE;
+    };
+    let options = match parse_options(&args[1..], command, allowed) {
         Ok(options) => options,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let result = match command.as_str() {
+    let result = match command {
         "solve" => cmd_solve(&options),
         "gain" => cmd_gain(&options),
         "scale" => cmd_scale(&options),
         "sim" => cmd_sim(&options),
+        "report" => cmd_report(&options),
         "suite" => cmd_suite(&options),
-        "help" | "--help" | "-h" => {
-            print!("{USAGE}");
-            Ok(())
-        }
-        other => Err(format!("unknown command `{other}`; try `commloc help`")),
+        _ => unreachable!("filtered by allowed_keys"),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -79,14 +107,53 @@ fn main() -> ExitCode {
     }
 }
 
-/// Parses `--key value` pairs.
-fn parse_options(args: &[String]) -> Result<HashMap<String, String>, String> {
+/// Levenshtein distance, for near-miss suggestions on unknown options.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+/// Parses `--key value` pairs, rejecting keys the subcommand does not
+/// accept (previously such keys were silently ignored, so a typo like
+/// `--warmpu 9000` ran with the default warmup).
+fn parse_options(
+    args: &[String],
+    command: &str,
+    allowed: &[&str],
+) -> Result<HashMap<String, String>, String> {
     let mut options = HashMap::new();
     let mut iter = args.iter();
     while let Some(key) = iter.next() {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected `--key`, found `{key}`"));
         };
+        if !allowed.contains(&name) {
+            let suggestion = allowed
+                .iter()
+                .map(|k| (edit_distance(name, k), k))
+                .min()
+                .filter(|(d, _)| *d <= 3)
+                .map(|(_, k)| format!(" (did you mean `--{k}`?)"))
+                .unwrap_or_default();
+            return Err(format!(
+                "unknown option `--{name}` for `{command}`{suggestion}; valid options: {}",
+                allowed
+                    .iter()
+                    .map(|k| format!("--{k}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
         if name == "csv" {
             options.insert(name.to_owned(), "true".to_owned());
             continue;
@@ -265,6 +332,99 @@ fn cmd_sim(options: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Ring capacity used by `report --trace`: generous enough to retain the
+/// tail of a measurement window without unbounded memory.
+const TRACE_CAPACITY: usize = 65_536;
+
+fn cmd_report(options: &HashMap<String, String>) -> Result<(), String> {
+    let mut config = sim_config(options)?;
+    let trace_path = options.get("trace").cloned();
+    if trace_path.is_some() {
+        config.fabric.trace_capacity = TRACE_CAPACITY;
+    }
+    let torus = Torus::new(config.dims, config.radix);
+    let mapping = mapping_from(options, &torus)?;
+    let warmup = get_u64(options, "warmup", 20_000)?;
+    let window = get_u64(options, "window", 60_000)?;
+    let mut machine = Machine::new(&config, &mapping);
+    machine
+        .run_network_cycles(warmup)
+        .map_err(|e| e.to_string())?;
+    machine.reset_measurements();
+    machine
+        .run_network_cycles(window)
+        .map_err(|e| e.to_string())?;
+    let m = machine.measure();
+    let c = MachineConfig::alewife().critical_path_messages();
+    let b = machine.breakdown(c);
+
+    // The model's prediction at the measured distance and context count.
+    let model = MachineConfig::alewife()
+        .with_contexts(config.contexts as u32)
+        .to_combined_model()
+        .map_err(err)?;
+    let op = model.solve(m.distance).map_err(err)?;
+    let mc = MessageComponents::from_operating_point(&model, &op);
+
+    if options.contains_key("csv") {
+        println!("{BREAKDOWN_CSV_HEADER}");
+        println!("{}", b.to_csv_row());
+    } else {
+        println!(
+            "latency breakdown over {} network cycles ({} deliveries, d = {:.2} hops):",
+            m.net_cycles, b.deliveries, m.distance
+        );
+        println!(
+            "{:<16} {:>10} {:>10} {:>10}",
+            "component", "measured", "model", "error"
+        );
+        for ((label, measured), (_, predicted)) in
+            b.message_components().into_iter().zip(mc.components())
+        {
+            println!(
+                "{label:<16} {measured:>10.2} {predicted:>10.2} {:>+10.2}",
+                predicted - measured
+            );
+        }
+        println!(
+            "{:<16} {:>10.2} {:>10.2} {:>+10.2}",
+            "T_m (total)",
+            b.message_latency,
+            mc.total(),
+            mc.total() - b.message_latency
+        );
+        println!();
+        println!("transaction decomposition (T_t = c*T_m + T_f, c = {c:.1}):");
+        println!(
+            "  T_t   = {:>9.2}  measured (model {:.2})",
+            b.transaction_latency, op.transaction_latency
+        );
+        println!("  c*T_m = {:>9.2}  network path", b.message_path);
+        println!("  T_f   = {:>9.2}  fixed overhead", b.fixed_overhead);
+    }
+
+    if let Some(path) = trace_path {
+        let file = std::fs::File::create(&path).map_err(|e| format!("--trace {path}: {e}"))?;
+        let mut out = std::io::BufWriter::new(file);
+        let mut lines = 0u64;
+        if let Some(trace) = machine.trace() {
+            for event in trace.iter() {
+                writeln!(out, "{}", event.to_json()).map_err(|e| e.to_string())?;
+                lines += 1;
+            }
+        }
+        if let Some(spans) = machine.spans() {
+            for event in spans.iter() {
+                writeln!(out, "{}", event.to_json()).map_err(|e| e.to_string())?;
+                lines += 1;
+            }
+        }
+        out.flush().map_err(|e| e.to_string())?;
+        eprintln!("wrote {lines} trace events to {path}");
+    }
+    Ok(())
+}
+
 fn cmd_suite(options: &HashMap<String, String>) -> Result<(), String> {
     let config = sim_config(options)?;
     let torus = Torus::new(config.dims, config.radix);
@@ -310,28 +470,81 @@ fn err(e: commloc_model::ModelError) -> String {
 mod tests {
     use super::*;
 
+    fn parse(pairs: &[&str], command: &str) -> Result<HashMap<String, String>, String> {
+        parse_options(
+            &pairs.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+            command,
+            allowed_keys(command).unwrap(),
+        )
+    }
+
+    /// Builds an option map directly (no key validation — that is
+    /// exercised separately via [`parse`]), for the getter/builder tests
+    /// that mix keys from different subcommands.
     fn opts(pairs: &[&str]) -> HashMap<String, String> {
-        parse_options(&pairs.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+        let mut o = HashMap::new();
+        let mut it = pairs.iter();
+        while let Some(key) = it.next() {
+            let key = key.trim_start_matches("--").to_string();
+            let value = it
+                .next()
+                .map_or_else(|| "true".to_string(), |v| v.to_string());
+            o.insert(key, value);
+        }
+        o
     }
 
     #[test]
     fn parse_key_value_pairs() {
-        let o = opts(&["--nodes", "1000", "--contexts", "2", "--csv"]);
+        let o = parse(&["--nodes", "1000", "--contexts", "2"], "solve").unwrap();
         assert_eq!(o.get("nodes").unwrap(), "1000");
         assert_eq!(o.get("contexts").unwrap(), "2");
+        let o = parse(&["--contexts", "2", "--csv"], "suite").unwrap();
         assert_eq!(o.get("csv").unwrap(), "true");
     }
 
     #[test]
     fn parse_rejects_bare_words() {
-        let args = vec!["oops".to_owned()];
-        assert!(parse_options(&args).is_err());
+        assert!(parse(&["oops"], "solve").is_err());
     }
 
     #[test]
     fn parse_rejects_missing_value() {
-        let args = vec!["--nodes".to_owned()];
-        assert!(parse_options(&args).is_err());
+        assert!(parse(&["--nodes"], "solve").is_err());
+    }
+
+    #[test]
+    fn unknown_key_is_rejected_with_a_suggestion() {
+        // Previously `--warmpu 9000` was silently accepted (and ignored);
+        // now it must error and point at the intended option.
+        let err = parse(&["--warmpu", "9000"], "sim").unwrap_err();
+        assert!(err.contains("--warmpu"), "{err}");
+        assert!(err.contains("did you mean `--warmup`"), "{err}");
+        // A key valid for another subcommand is still invalid here.
+        let err = parse(&["--jobs", "4"], "sim").unwrap_err();
+        assert!(err.contains("unknown option `--jobs` for `sim`"), "{err}");
+        assert!(err.contains("valid options:"), "{err}");
+        // Far-off garbage gets the option list but no bogus suggestion.
+        let err = parse(&["--zzzzzzzzzzz", "1"], "solve").unwrap_err();
+        assert!(!err.contains("did you mean"), "{err}");
+    }
+
+    #[test]
+    fn every_subcommand_accepts_its_documented_keys() {
+        assert!(parse(&["--distance", "4.06"], "solve").is_ok());
+        assert!(parse(&["--sizes", "10,100"], "gain").is_ok());
+        assert!(parse(&["--ratio", "0.5"], "scale").is_ok());
+        assert!(parse(&["--mapping", "random", "--csv"], "sim").is_ok());
+        assert!(parse(&["--trace", "out.jsonl"], "report").is_ok());
+        assert!(parse(&["--jobs", "2", "--csv"], "suite").is_ok());
+        assert!(allowed_keys("nonsense").is_none());
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("warmup", "warmup"), 0);
+        assert_eq!(edit_distance("warmpu", "warmup"), 2);
+        assert_eq!(edit_distance("", "abc"), 3);
     }
 
     #[test]

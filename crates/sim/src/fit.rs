@@ -5,6 +5,8 @@
 //! This module provides the ordinary-least-squares fit used to reproduce
 //! that analysis.
 
+use std::fmt;
+
 /// Result of fitting `y = intercept + slope * x`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LineFit {
@@ -16,13 +18,45 @@ pub struct LineFit {
     pub r_squared: f64,
 }
 
+/// Why a line fit could not be produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer than two points were given.
+    TooFewPoints {
+        /// How many points were given.
+        got: usize,
+    },
+    /// All `x` values coincide, so the slope is undefined — a degenerate
+    /// sweep (e.g. every mapping produced the same message interval).
+    DegenerateX,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::TooFewPoints { got } => {
+                write!(f, "need at least two points to fit a line, got {got}")
+            }
+            FitError::DegenerateX => {
+                write!(f, "x values all coincide; the slope is undefined")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
 /// Ordinary least squares over `(x, y)` pairs.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if fewer than two points are given or all `x` coincide.
-pub fn fit_line(points: &[(f64, f64)]) -> LineFit {
-    assert!(points.len() >= 2, "need at least two points to fit a line");
+/// Returns [`FitError::TooFewPoints`] for fewer than two points and
+/// [`FitError::DegenerateX`] when every `x` coincides (zero variance), so
+/// degenerate sweeps surface as a handleable error instead of a panic.
+pub fn fit_line(points: &[(f64, f64)]) -> Result<LineFit, FitError> {
+    if points.len() < 2 {
+        return Err(FitError::TooFewPoints { got: points.len() });
+    }
     let n = points.len() as f64;
     let sx: f64 = points.iter().map(|p| p.0).sum();
     let sy: f64 = points.iter().map(|p| p.1).sum();
@@ -30,7 +64,9 @@ pub fn fit_line(points: &[(f64, f64)]) -> LineFit {
     let my = sy / n;
     let sxx: f64 = points.iter().map(|p| (p.0 - mx) * (p.0 - mx)).sum();
     let sxy: f64 = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
-    assert!(sxx > 0.0, "x values must not all coincide");
+    if sxx <= 0.0 {
+        return Err(FitError::DegenerateX);
+    }
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
     let ss_res: f64 = points
@@ -46,11 +82,11 @@ pub fn fit_line(points: &[(f64, f64)]) -> LineFit {
     } else {
         1.0 - ss_res / ss_tot
     };
-    LineFit {
+    Ok(LineFit {
         slope,
         intercept,
         r_squared,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -60,7 +96,7 @@ mod tests {
     #[test]
     fn exact_line_recovers_parameters() {
         let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
-        let fit = fit_line(&pts);
+        let fit = fit_line(&pts).unwrap();
         assert!((fit.slope - 2.0).abs() < 1e-12);
         assert!((fit.intercept - 3.0).abs() < 1e-12);
         assert!((fit.r_squared - 1.0).abs() < 1e-12);
@@ -75,20 +111,33 @@ mod tests {
                 (x, 1.0 + 4.0 * x + noise)
             })
             .collect();
-        let fit = fit_line(&pts);
+        let fit = fit_line(&pts).unwrap();
         assert!((fit.slope - 4.0).abs() < 0.05);
         assert!(fit.r_squared > 0.99);
     }
 
     #[test]
-    #[should_panic(expected = "at least two points")]
-    fn single_point_panics() {
-        fit_line(&[(1.0, 1.0)]);
+    fn single_point_is_an_error_not_a_panic() {
+        assert_eq!(
+            fit_line(&[(1.0, 1.0)]),
+            Err(FitError::TooFewPoints { got: 1 })
+        );
+        assert_eq!(fit_line(&[]), Err(FitError::TooFewPoints { got: 0 }));
     }
 
     #[test]
-    #[should_panic(expected = "must not all coincide")]
-    fn vertical_line_panics() {
-        fit_line(&[(1.0, 1.0), (1.0, 2.0)]);
+    fn vertical_line_is_an_error_not_a_panic() {
+        assert_eq!(
+            fit_line(&[(1.0, 1.0), (1.0, 2.0)]),
+            Err(FitError::DegenerateX)
+        );
+    }
+
+    #[test]
+    fn fit_error_messages_are_descriptive() {
+        assert!(FitError::TooFewPoints { got: 1 }
+            .to_string()
+            .contains("at least two"));
+        assert!(FitError::DegenerateX.to_string().contains("coincide"));
     }
 }

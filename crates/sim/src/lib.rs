@@ -29,6 +29,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+mod breakdown;
 mod csv;
 mod disturbance;
 mod error;
@@ -38,10 +39,11 @@ mod mapping;
 mod parallel;
 mod workload;
 
+pub use breakdown::{SpanEvent, SpanLog, TransactionBreakdown, BREAKDOWN_CSV_HEADER};
 pub use csv::MEASUREMENTS_CSV_HEADER;
 pub use disturbance::{run_disturbance, DisturbanceConfig, DisturbanceCurve};
 pub use error::{SimError, StallKind, StallReport};
-pub use fit::{fit_line, LineFit};
+pub use fit::{fit_line, FitError, LineFit};
 pub use machine::{run_experiment, Machine, Measurements, SimConfig};
 pub use mapping::{mapping_suite, Mapping, NamedMapping};
 pub use parallel::{default_jobs, parallel_map, run_sweep, SweepPoint};

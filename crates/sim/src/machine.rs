@@ -13,11 +13,15 @@
 //! latency `T_h`, channel utilization, communication distance `d`, and
 //! the per-transaction message statistics `g` and `B`.
 
+use crate::breakdown::{SpanEvent, SpanLog, TransactionBreakdown};
 use crate::error::{SimError, StallKind, StallReport};
 use crate::mapping::Mapping;
 use crate::workload::{workload_home_map, TorusNeighborProgram};
 use commloc_mem::{Controller, MemConfig, ProtocolMsg, TxnId};
-use commloc_net::{Fabric, FabricConfig, FaultLog, FaultPlan, Message, NodeId, Torus};
+use commloc_net::{
+    Fabric, FabricConfig, FaultLog, FaultPlan, LatencyBreakdown, Message, NodeId, Torus,
+    TraceBuffer,
+};
 use commloc_proc::{Processor, ThreadProgram};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -69,6 +73,7 @@ impl Default for SimConfig {
                 link_vcs: 4,
                 vc_buffer_capacity: 16,
                 injection_buffer_capacity: 16,
+                ..FabricConfig::default()
             },
             watchdog_cycles: 20_000,
             fault_plan: None,
@@ -129,7 +134,8 @@ pub struct Measurements {
     /// Residual-service message size `E[B^2]/E[B]` (flits).
     pub residual_message_size: f64,
     /// Measured computation run length per transaction (`T_r`), in
-    /// network cycles.
+    /// network cycles. `0.0` is the sentinel for a window with no
+    /// misses, in which a run length is undefined.
     pub run_length: f64,
     /// Cache hit fraction among all accesses (diagnostic).
     pub hit_fraction: f64,
@@ -173,6 +179,9 @@ pub struct Machine {
     /// that showed progress, and that cycle.
     progress_marker: (u64, u64),
     progress_cycle: u64,
+    /// Transaction-level span ring, present iff tracing is enabled
+    /// (`config.fabric.trace_capacity > 0`).
+    spans: Option<SpanLog>,
 }
 
 impl Machine {
@@ -227,7 +236,6 @@ impl Machine {
             None => Fabric::new(torus, config.fabric),
         };
         Self {
-            config,
             fabric,
             nodes,
             net_cycle: 0,
@@ -239,6 +247,9 @@ impl Machine {
             completed_per_node: vec![0; node_count],
             progress_marker: (0, 0),
             progress_cycle: 0,
+            spans: (config.fabric.trace_capacity > 0)
+                .then(|| SpanLog::new(config.fabric.trace_capacity)),
+            config,
         }
     }
 
@@ -395,7 +406,15 @@ impl Machine {
             messages_per_transaction: fs.injected_messages as f64 / misses as f64,
             avg_message_size: fs.avg_message_size(),
             residual_message_size: fs.residual_message_size(),
-            run_length: total_busy as f64 * f64::from(self.config.clock_ratio) / misses as f64,
+            // A miss-free window has no defined run length; report the
+            // documented `0.0` sentinel instead of dividing the busy
+            // cycles by the clamped miss count (which fabricated an
+            // enormous bogus value).
+            run_length: if self.window.misses == 0 {
+                0.0
+            } else {
+                total_busy as f64 * f64::from(self.config.clock_ratio) / self.window.misses as f64
+            },
             hit_fraction: hits as f64 / (hits + self.window.misses).max(1) as f64,
         }
     }
@@ -420,6 +439,13 @@ impl Machine {
         for n in 0..self.nodes.len() {
             // 1. Network deliveries reach the controller.
             while let Some(delivery) = self.fabric.poll_delivery(NodeId(n)) {
+                if let Some(spans) = self.spans.as_mut() {
+                    spans.push(SpanEvent::MsgIn {
+                        cycle: now,
+                        node: NodeId(n),
+                        kind: delivery.message.payload.kind_name(),
+                    });
+                }
                 self.nodes[n].ctrl.deliver(delivery.message.payload);
             }
             let node = &mut self.nodes[n];
@@ -437,14 +463,23 @@ impl Machine {
                 node.cpu.complete(ctx, done.value);
                 self.completed += 1;
                 self.completed_per_node[n] += 1;
+                let issued = self.txn_issue_cycle.remove(&done.txn.0);
                 if done.miss {
                     self.window.misses += 1;
-                    if let Some(issued) = self.txn_issue_cycle.remove(&done.txn.0) {
+                    if let Some(issued) = issued {
                         self.window.sum_txn_latency += now - issued;
                     }
                 } else {
                     self.window.hits += 1;
-                    self.txn_issue_cycle.remove(&done.txn.0);
+                }
+                if let Some(spans) = self.spans.as_mut() {
+                    spans.push(SpanEvent::Complete {
+                        cycle: now,
+                        node: NodeId(n),
+                        txn: done.txn.0,
+                        miss: done.miss,
+                        latency: issued.map_or(0, |issued| now - issued),
+                    });
                 }
             }
             // 4. The processor runs; issues go to the controller.
@@ -454,15 +489,75 @@ impl Machine {
                 node.ctx_txn[req.context] = Some(txn);
                 self.txn_issue_cycle.insert(txn.0, now);
                 self.txn_issue_order.push_back(txn.0);
+                if let Some(spans) = self.spans.as_mut() {
+                    spans.push(SpanEvent::Issue {
+                        cycle: now,
+                        node: NodeId(n),
+                        txn: txn.0,
+                    });
+                }
                 node.ctrl.request(txn, req.op);
             }
             // 5. Outgoing protocol messages enter the network.
             while let Some((dst, msg)) = node.ctrl.take_outgoing() {
                 let flits = msg.flits(&self.config.mem);
+                if let Some(spans) = self.spans.as_mut() {
+                    spans.push(SpanEvent::MsgOut {
+                        cycle: now,
+                        node: NodeId(n),
+                        dst,
+                        kind: msg.kind_name(),
+                    });
+                }
                 self.fabric.inject(Message::new(NodeId(n), dst, flits, msg));
             }
         }
         Ok(())
+    }
+
+    /// The fabric's per-message latency component sums and histograms for
+    /// the current measurement window.
+    pub fn latency_breakdown(&self) -> &LatencyBreakdown {
+        self.fabric.breakdown()
+    }
+
+    /// The fabric's flit-level trace ring (`None` when
+    /// [`FabricConfig::trace_capacity`](commloc_net::FabricConfig) is 0).
+    pub fn trace(&self) -> Option<&TraceBuffer> {
+        self.fabric.trace()
+    }
+
+    /// The transaction-level span log (`None` when tracing is off).
+    pub fn spans(&self) -> Option<&SpanLog> {
+        self.spans.as_ref()
+    }
+
+    /// Maps the current window's measurements onto the paper's
+    /// `T_t = c * T_m + T_f` decomposition, with the measured `T_m`
+    /// split into the fabric's six per-message components.
+    ///
+    /// `critical_path_messages` is the paper's `c` (2 for the
+    /// request–reply protocol of the modeled architecture; the model
+    /// crate's machine configuration carries the calibrated value).
+    pub fn breakdown(&self, critical_path_messages: f64) -> TransactionBreakdown {
+        let m = self.measure();
+        let lb = self.fabric.breakdown();
+        let n = lb.deliveries.max(1) as f64;
+        let message_path = critical_path_messages * m.message_latency;
+        TransactionBreakdown {
+            transaction_latency: m.transaction_latency,
+            message_latency: m.message_latency,
+            critical_path_messages,
+            message_path,
+            fixed_overhead: m.transaction_latency - message_path,
+            queue: lb.queue as f64 / n,
+            injection: lb.injection as f64 / n,
+            free_hop: lb.free_hop as f64 / n,
+            contended_hop: lb.contended_hop as f64 / n,
+            drain: lb.drain as f64 / n,
+            protocol: lb.ejection as f64 / n,
+            deliveries: lb.deliveries,
+        }
     }
 
     /// The fault log of the installed fault plan, if any.
@@ -679,6 +774,64 @@ mod tests {
             // but with the whole machine's traffic pattern it should.
             Ok(()) => panic!("expected the stalled router to halt progress"),
         }
+    }
+
+    #[test]
+    fn miss_free_window_reports_zero_run_length() {
+        // A machine that has not stepped has an empty window: no misses,
+        // so the run length must be the documented 0.0 sentinel, not a
+        // fabricated busy/1 ratio.
+        let machine = Machine::new(&SimConfig::default(), &Mapping::identity(64));
+        let m = machine.measure();
+        assert_eq!(m.run_length, 0.0);
+        assert!(m.run_length.is_finite());
+    }
+
+    #[test]
+    fn breakdown_components_sum_to_measured_latency() {
+        let mapping = Mapping::identity(64);
+        let mut machine = Machine::new(&SimConfig::default(), &mapping);
+        machine.run_network_cycles(5_000).unwrap();
+        machine.reset_measurements();
+        machine.run_network_cycles(15_000).unwrap();
+        let m = machine.measure();
+        let b = machine.breakdown(2.0);
+        assert!(b.deliveries > 0);
+        assert!(
+            (b.components_total() - m.message_latency).abs() < 1e-9,
+            "components {} != T_m {}",
+            b.components_total(),
+            m.message_latency
+        );
+        assert!((b.message_path + b.fixed_overhead - b.transaction_latency).abs() < 1e-9);
+        assert!(b.queue >= 0.0 && b.contended_hop >= 0.0);
+        // Tracing is off by default: zero overhead, no rings.
+        assert!(machine.trace().is_none());
+        assert!(machine.spans().is_none());
+    }
+
+    #[test]
+    fn tracing_records_bounded_spans_and_flit_events() {
+        use crate::breakdown::SpanEvent;
+        let config = SimConfig {
+            fabric: FabricConfig {
+                trace_capacity: 512,
+                ..SimConfig::default().fabric
+            },
+            ..SimConfig::default()
+        };
+        let mut machine = Machine::new(&config, &Mapping::identity(64));
+        machine.run_network_cycles(5_000).unwrap();
+        let spans = machine.spans().expect("tracing enabled");
+        assert!(spans.recorded() > 0);
+        assert!(spans.len() <= 512);
+        assert!(spans
+            .iter()
+            .any(|e| matches!(e, SpanEvent::Complete { .. })));
+        assert!(spans.iter().any(|e| matches!(e, SpanEvent::MsgOut { .. })));
+        let trace = machine.trace().expect("tracing enabled");
+        assert!(trace.recorded() > 0);
+        assert!(trace.len() <= 512);
     }
 
     #[test]

@@ -30,7 +30,7 @@ fn main() {
             points.push((m.message_interval, m.message_latency));
             g_sum += m.messages_per_transaction;
         }
-        let fit = fit_line(&points);
+        let fit = fit_line(&points).expect("distinct message intervals");
         let g = g_sum / suite.len() as f64;
         let s_model = contexts as f64 * g / 2.0; // c = 2
         println!(

@@ -56,7 +56,7 @@ fn main() {
             .iter()
             .map(|&l| (issue_interval(w, grain, l, 200_000), l as f64))
             .collect();
-        let fit = fit_line(&points);
+        let fit = fit_line(&points).expect("distinct issue intervals");
         println!(
             "  w = {w}: slope = {:>5.2}  (model: slope = w = {w})",
             fit.slope

@@ -29,7 +29,7 @@ fn message_curve_slopes_scale_with_contexts() {
                 (meas.message_interval, meas.message_latency)
             })
             .collect();
-        slopes.push(fit_line(&points).slope);
+        slopes.push(fit_line(&points).expect("distinct message intervals").slope);
     }
     let ratio = slopes[1] / slopes[0];
     assert!(

@@ -304,6 +304,124 @@ fn any_seeded_fault_plan_completes_or_reports() {
     }
 }
 
+/// Latency-breakdown invariants under random traffic: every delivery's
+/// component decomposition telescopes exactly to its total latency, the
+/// aggregate sums match the per-delivery sums, the latency histogram
+/// conserves counts, and the trace ring never exceeds its bound.
+#[test]
+fn breakdown_telescopes_and_histograms_conserve() {
+    let mut rng = DetRng::new(0x5eed_000b);
+    for case in 0..10 {
+        let dims = rng.range_u64(1, 4) as u32;
+        let radix = rng.range_u64(2, 7) as usize;
+        let trace_capacity = rng.range_u64(1, 64) as usize;
+        let torus = Torus::new(dims, radix);
+        let n = torus.nodes();
+        let config = FabricConfig {
+            trace_capacity,
+            ..FabricConfig::default()
+        };
+        let mut fabric: Fabric<usize> = Fabric::new(torus.clone(), config);
+        let mut sent = 0u64;
+        for i in 0..rng.range_u64(10, 80) as usize {
+            let (src, dst) = (NodeId(rng.index(n)), NodeId(rng.index(n)));
+            fabric.inject(Message::new(src, dst, rng.range_u64(1, 24) as u32, i));
+            sent += 1;
+        }
+        assert!(
+            fabric.run_until_idle(2_000_000).expect("fault-free fabric"),
+            "case {case}: fabric did not drain"
+        );
+        let mut latency_sum = 0u64;
+        for node in torus.node_ids() {
+            while let Some(d) = fabric.poll_delivery(node) {
+                let b = d.breakdown();
+                assert_eq!(
+                    b.total(),
+                    d.total_latency(),
+                    "case {case}: breakdown does not telescope"
+                );
+                if d.hops == 0 {
+                    // Loopbacks never touch the network: no injection
+                    // channel, no hops, no contention.
+                    assert_eq!(b.injection + b.free_hop + b.contended_hop, 0, "case {case}");
+                } else {
+                    assert_eq!(b.injection, 1, "case {case}");
+                    assert_eq!(b.free_hop, u64::from(d.hops), "case {case}");
+                }
+                latency_sum += d.total_latency();
+            }
+        }
+        let lb = fabric.breakdown();
+        assert_eq!(lb.deliveries, sent, "case {case}");
+        assert_eq!(
+            lb.deliveries,
+            fabric.stats().delivered_messages,
+            "case {case}"
+        );
+        assert_eq!(
+            lb.total(),
+            latency_sum,
+            "case {case}: aggregate sums disagree with per-delivery totals"
+        );
+        // Histogram count conservation: every delivery is in exactly one
+        // bucket, and the recorded sum matches the component sums.
+        assert_eq!(lb.latency.count(), sent, "case {case}");
+        assert_eq!(lb.latency.sum(), latency_sum, "case {case}");
+        assert_eq!(
+            lb.latency.bucket_counts().iter().sum::<u64>(),
+            lb.latency.count(),
+            "case {case}: histogram lost a sample"
+        );
+        assert_eq!(lb.queue_depth.count(), sent, "case {case}");
+        // Bounded trace ring: retained events never exceed the bound,
+        // while the recorded count keeps growing past it.
+        let trace = fabric.trace().expect("tracing enabled");
+        assert!(
+            trace.len() <= trace_capacity,
+            "case {case}: ring exceeded its bound"
+        );
+        assert!(trace.recorded() >= trace.len() as u64, "case {case}");
+        assert!(trace.recorded() > 0, "case {case}: nothing traced");
+    }
+}
+
+/// Tracing is observation-only: the same traffic on the same torus
+/// produces bit-identical `FabricStats` and latency breakdowns whether
+/// the trace ring is on or off.
+#[test]
+fn tracing_never_perturbs_the_fabric() {
+    let mut rng = DetRng::new(0x5eed_000c);
+    for case in 0..6 {
+        let dims = rng.range_u64(1, 4) as u32;
+        let radix = rng.range_u64(2, 6) as usize;
+        let torus = Torus::new(dims, radix);
+        let n = torus.nodes();
+        let traffic: Vec<(usize, usize, u32)> = (0..rng.range_u64(5, 50))
+            .map(|_| (rng.index(n), rng.index(n), rng.range_u64(1, 16) as u32))
+            .collect();
+        let run = |trace_capacity: usize| {
+            let config = FabricConfig {
+                trace_capacity,
+                ..FabricConfig::default()
+            };
+            let mut fabric: Fabric<usize> = Fabric::new(torus.clone(), config);
+            for (i, &(src, dst, len)) in traffic.iter().enumerate() {
+                fabric.inject(Message::new(NodeId(src), NodeId(dst), len, i));
+            }
+            assert!(fabric.run_until_idle(2_000_000).expect("fault-free"));
+            (fabric.stats().clone(), fabric.breakdown().clone())
+        };
+        let (stats_off, breakdown_off) = run(0);
+        let (stats_on, breakdown_on) = run(128);
+        assert_eq!(stats_off, stats_on, "case {case}: tracing changed stats");
+        assert_eq!(
+            breakdown_off, breakdown_on,
+            "case {case}: tracing changed the breakdown"
+        );
+    }
+}
+
 /// Combined model solved via quadratic and bisection agree on random
 /// parameter draws within the quadratic's domain.
 #[test]
