@@ -6,128 +6,16 @@
 //! the underlying computation with the in-tree [`time_it`] loop. The
 //! expensive cycle-level simulations run **once**, outside the
 //! measurement loops.
+//!
+//! The scenario definitions (windows, suite seed, calibration) live in
+//! [`commloc_sim::conformance`] so the bench targets and the conformance
+//! gates agree on them by construction; this crate re-exports them under
+//! their historical names.
 
-use commloc_model::{
-    ApplicationModel, CombinedModel, EndpointContention, NetworkModel, NodeModel, TorusGeometry,
-    TransactionModel,
+pub use commloc_sim::conformance::{
+    calibrated_model, fit_message_curve, pct_err, suite_jobs as bench_jobs, validation_runs,
+    ValidationRun, SUITE_SEED, WARMUP, WINDOW,
 };
-use commloc_net::Torus;
-use commloc_sim::{
-    default_jobs, fit_line, mapping_suite, run_sweep, FitError, LineFit, Measurements, SimConfig,
-};
-
-/// Warmup window (network cycles) for validation simulations.
-pub const WARMUP: u64 = 15_000;
-/// Measurement window (network cycles) for validation simulations.
-pub const WINDOW: u64 = 45_000;
-/// Mapping-suite seed shared by all validation benches.
-pub const SUITE_SEED: u64 = 1992;
-
-/// One validation run: a named mapping and what the simulator measured.
-#[derive(Debug, Clone)]
-pub struct ValidationRun {
-    /// The mapping's name.
-    pub name: String,
-    /// Analytic average neighbour distance of the mapping.
-    pub distance: f64,
-    /// Simulator measurements.
-    pub measured: Measurements,
-}
-
-/// Worker-thread count for validation sweeps: `COMMLOC_JOBS` if set,
-/// otherwise the machine's available parallelism.
-pub fn bench_jobs() -> usize {
-    std::env::var("COMMLOC_JOBS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&j| j >= 1)
-        .unwrap_or_else(default_jobs)
-}
-
-/// Runs the full validation suite (all mappings) at one context count,
-/// fanning the independent simulations across [`bench_jobs`] threads.
-pub fn validation_runs(contexts: usize) -> Vec<ValidationRun> {
-    let config = SimConfig {
-        contexts,
-        ..SimConfig::default()
-    };
-    let torus = Torus::new(config.dims, config.radix);
-    let suite = mapping_suite(&torus, SUITE_SEED);
-    run_sweep(&config, &suite, WARMUP, WINDOW, bench_jobs())
-        .expect("fault-free validation run")
-        .into_iter()
-        .map(|p| ValidationRun {
-            name: p.name,
-            distance: p.distance,
-            measured: p.measured,
-        })
-        .collect()
-}
-
-/// Fits the application message curve (Figure 3's analysis) from a
-/// validation suite: `T_m = s * t_m - F`.
-///
-/// # Errors
-///
-/// Returns a [`FitError`] for a degenerate suite (fewer than two runs,
-/// or every mapping yielding the same message interval).
-pub fn fit_message_curve(runs: &[ValidationRun]) -> Result<LineFit, FitError> {
-    let points: Vec<(f64, f64)> = runs
-        .iter()
-        .map(|r| (r.measured.message_interval, r.measured.message_latency))
-        .collect();
-    fit_line(&points)
-}
-
-/// Builds a combined model calibrated from measured application behavior,
-/// following the paper's methodology: the latency sensitivity and curve
-/// offset come from the fitted message curve (absorbing the measured
-/// growth of `c` with context count that the paper reports), `g` and `B`
-/// are the measured averages, and the network model is the analytical
-/// Section 2.4 model for the simulated torus.
-pub fn calibrated_model(contexts: usize, runs: &[ValidationRun]) -> CombinedModel {
-    let n = runs.len() as f64;
-    let g: f64 = runs
-        .iter()
-        .map(|r| r.measured.messages_per_transaction)
-        .sum::<f64>()
-        / n;
-    let b: f64 = runs
-        .iter()
-        .map(|r| r.measured.avg_message_size)
-        .sum::<f64>()
-        / n;
-    let b_resid: f64 = runs
-        .iter()
-        .map(|r| r.measured.residual_message_size)
-        .sum::<f64>()
-        / n;
-    let t_r: f64 = runs.iter().map(|r| r.measured.run_length).sum::<f64>() / n;
-    // A degenerate suite (every mapping at one message interval) cannot
-    // pin the slope; rather than failing the whole calibration, fall back
-    // to the nominal slope implied by the paper's request–reply critical
-    // path `c = 2`.
-    let (s, offset) = match fit_message_curve(runs) {
-        Ok(fit) => (fit.slope.max(0.1), (-fit.intercept).max(t_r * 0.5)),
-        Err(_) => ((contexts as f64 * g / 2.0).max(0.1), t_r * 0.5),
-    };
-    // Effective critical path and fixed overhead reproducing (s, offset).
-    let c_eff = (contexts as f64 * g / s).max(1.0);
-    let t_f = (c_eff * offset - t_r).max(0.0);
-    let app = ApplicationModel::new(t_r, contexts as u32, 22.0).expect("valid application");
-    let txn = TransactionModel::new(c_eff, g.max(c_eff), t_f).expect("valid transaction");
-    let geometry = TorusGeometry::new(2, 8.0).expect("valid torus");
-    let network = NetworkModel::new(geometry, b)
-        .expect("valid network")
-        .with_contention_size(b_resid)
-        .with_endpoint_contention(EndpointContention::MD1);
-    CombinedModel::new(NodeModel::new(app, txn), network)
-}
-
-/// Formats a percentage error.
-pub fn pct_err(model: f64, measured: f64) -> f64 {
-    (model - measured) / measured * 100.0
-}
 
 /// Times `f` with a warmup pass and a fixed iteration loop, printing a
 /// mean per-iteration figure. The in-tree replacement for an external
@@ -165,7 +53,8 @@ pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use commloc_sim::run_experiment;
+    use commloc_net::Torus;
+    use commloc_sim::{mapping_suite, run_experiment, SimConfig};
 
     #[test]
     fn calibrated_model_solves_suite_distances() {

@@ -821,3 +821,148 @@ impl Controller {
         }
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Steps `ctrl` until its outbox yields a message or `budget` cycles
+    /// pass, returning the message with the cycle it appeared on.
+    fn next_outgoing(ctrl: &mut Controller, budget: u64) -> Option<(u64, NodeId, ProtocolMsg)> {
+        for i in 0..budget {
+            if let Some((dst, msg)) = ctrl.take_outgoing() {
+                return Some((i, dst, msg));
+            }
+            ctrl.step();
+        }
+        ctrl.take_outgoing().map(|(dst, msg)| (budget, dst, msg))
+    }
+
+    #[test]
+    fn local_write_makes_line_modified_and_reads_hit() {
+        let mut ctrl = Controller::new(NodeId(0), HomeMap::interleaved(1), MemConfig::default());
+        let addr = LineAddr(0).base();
+        ctrl.request(TxnId(1), MemOp::Write(addr, 42));
+        for _ in 0..100 {
+            ctrl.step();
+        }
+        let done = ctrl.poll_completion().expect("write completed");
+        assert!(done.miss, "cold write is a communication transaction");
+        assert_eq!(ctrl.cache().state(LineAddr(0)), Some(CacheState::Modified));
+        ctrl.request(TxnId(2), MemOp::Read(addr));
+        for _ in 0..100 {
+            ctrl.step();
+        }
+        let read = ctrl.poll_completion().expect("read completed");
+        assert_eq!(read.value, 42);
+        assert!(!read.miss, "read of a Modified line is a hit");
+        assert_eq!(ctrl.stats().read_hits, 1);
+        assert_eq!(ctrl.stats().write_misses, 1);
+        assert_eq!(
+            ctrl.stats().network_messages,
+            0,
+            "local home short-circuits"
+        );
+    }
+
+    #[test]
+    fn home_regrants_duplicate_write_request_idempotently() {
+        // This controller is the home of LineAddr(0); NodeId(1) is a
+        // remote requester whose WriteReply we pretend the network lost.
+        let mut ctrl = Controller::new(NodeId(0), HomeMap::interleaved(2), MemConfig::default());
+        let line = LineAddr(0);
+        let requester = NodeId(1);
+        ctrl.deliver(ProtocolMsg::WriteReq { line, requester });
+        let (_, dst, msg) = next_outgoing(&mut ctrl, 100).expect("grant sent");
+        assert_eq!(dst, requester);
+        assert!(matches!(msg, ProtocolMsg::WriteReply { .. }));
+        assert!(matches!(
+            ctrl.directory().state(line),
+            DirState::Exclusive(o) if o == requester
+        ));
+        // The retransmitted duplicate must be answered again, not treated
+        // as a new transaction or asserted on.
+        ctrl.deliver(ProtocolMsg::WriteReq { line, requester });
+        let (_, dst, msg) = next_outgoing(&mut ctrl, 100).expect("re-grant sent");
+        assert_eq!(dst, requester);
+        assert!(matches!(msg, ProtocolMsg::WriteReply { .. }));
+        assert_eq!(ctrl.stats().duplicate_requests, 1);
+    }
+
+    #[test]
+    fn stale_grant_for_line_without_mshr_is_dropped() {
+        let mut ctrl = Controller::new(NodeId(0), HomeMap::interleaved(2), MemConfig::default());
+        // No request outstanding: this reply is the duplicate of an old,
+        // completed transaction and must not plant cache state.
+        ctrl.deliver(ProtocolMsg::ReadReply {
+            line: LineAddr(1),
+            data: LineData::default(),
+        });
+        for _ in 0..20 {
+            ctrl.step();
+        }
+        assert_eq!(ctrl.stats().stale_grants, 1);
+        assert_eq!(ctrl.cache().state(LineAddr(1)), None);
+    }
+
+    #[test]
+    fn timeouts_retry_until_budget_then_leave_watchdog_to_report() {
+        let config = MemConfig {
+            timeout_cycles: 4,
+            max_retries: 3,
+            ..MemConfig::default()
+        };
+        // LineAddr(1) homes at the (absent) NodeId(1): the request leaves
+        // through the outbox and no reply ever comes back.
+        let mut ctrl = Controller::new(NodeId(0), HomeMap::interleaved(2), config);
+        ctrl.request(TxnId(1), MemOp::Read(LineAddr(1).base()));
+        let mut sends = Vec::new();
+        for cycle in 0..10_000u64 {
+            ctrl.step();
+            while let Some((dst, msg)) = ctrl.take_outgoing() {
+                assert_eq!(dst, NodeId(1));
+                assert!(matches!(msg, ProtocolMsg::ReadReq { .. }));
+                sends.push(cycle);
+            }
+        }
+        assert_eq!(sends.len(), 4, "original send plus max_retries resends");
+        assert_eq!(ctrl.stats().retries, 3);
+        assert_eq!(ctrl.stats().timeouts, 4, "the exhausting timeout counts");
+        assert_eq!(ctrl.stats().retries_exhausted, 1);
+        assert_eq!(ctrl.outstanding_transactions(), 1, "left for the watchdog");
+    }
+
+    #[test]
+    fn retry_backoff_doubles_and_caps() {
+        let config = MemConfig {
+            timeout_cycles: 1,
+            max_retries: 10,
+            ..MemConfig::default()
+        };
+        let mut ctrl = Controller::new(NodeId(0), HomeMap::interleaved(2), config);
+        ctrl.request(TxnId(1), MemOp::Read(LineAddr(1).base()));
+        let mut sends = Vec::new();
+        for cycle in 0..10_000u64 {
+            ctrl.step();
+            while ctrl.take_outgoing().is_some() {
+                sends.push(cycle);
+            }
+        }
+        assert_eq!(sends.len(), 11, "original send plus max_retries resends");
+        let gaps: Vec<u64> = sends.windows(2).map(|w| w[1] - w[0]).collect();
+        let cap = u64::from(config.timeout_cycles) << MAX_BACKOFF_SHIFT;
+        assert!(
+            gaps.windows(2).all(|w| w[0] <= w[1]),
+            "backoff must not shrink: {gaps:?}"
+        );
+        assert!(
+            gaps.iter().all(|&g| g <= cap),
+            "backoff must cap at {cap}: {gaps:?}"
+        );
+        assert_eq!(
+            *gaps.last().unwrap(),
+            cap,
+            "late retries run at the capped backoff"
+        );
+    }
+}

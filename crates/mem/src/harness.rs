@@ -207,3 +207,146 @@ impl ProtocolRig {
         lines
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::LineAddr;
+    use crate::cache::CacheState;
+
+    #[test]
+    fn msi_walk_through_all_transitions() {
+        // Line homed at node 0; writers and readers elsewhere so every
+        // step crosses the transport.
+        let mut rig = ProtocolRig::new(4, 3, MemConfig::default());
+        let line = LineAddr(0);
+        let addr = line.base();
+
+        // I -> M at node 1.
+        rig.write(NodeId(1), addr, 7);
+        assert_eq!(
+            rig.controller(NodeId(1)).cache().state(line),
+            Some(CacheState::Modified)
+        );
+        rig.assert_coherence_invariant();
+
+        // M -> S: a read at node 2 fetches and downgrades the owner.
+        assert_eq!(rig.read(NodeId(2), addr), 7);
+        assert_eq!(
+            rig.controller(NodeId(1)).cache().state(line),
+            Some(CacheState::Shared)
+        );
+        assert_eq!(
+            rig.controller(NodeId(2)).cache().state(line),
+            Some(CacheState::Shared)
+        );
+        rig.assert_coherence_invariant();
+
+        // S -> I everywhere else, I -> M at node 3: a write invalidates
+        // both sharers.
+        rig.write(NodeId(3), addr, 8);
+        assert_eq!(rig.controller(NodeId(1)).cache().state(line), None);
+        assert_eq!(rig.controller(NodeId(2)).cache().state(line), None);
+        assert_eq!(
+            rig.controller(NodeId(3)).cache().state(line),
+            Some(CacheState::Modified)
+        );
+        rig.assert_coherence_invariant();
+
+        // The new value is visible from a fourth party.
+        assert_eq!(rig.read(NodeId(0), addr), 8);
+        rig.assert_coherence_invariant();
+    }
+
+    #[test]
+    fn shared_holder_upgrades_to_modified_on_write() {
+        let mut rig = ProtocolRig::new(2, 2, MemConfig::default());
+        let line = LineAddr(0);
+        let addr = line.base();
+        assert_eq!(rig.read(NodeId(1), addr), 0);
+        assert_eq!(
+            rig.controller(NodeId(1)).cache().state(line),
+            Some(CacheState::Shared)
+        );
+        // The write misses in Shared state (needs exclusivity), driving
+        // the upgrade path through the home.
+        rig.write(NodeId(1), addr, 5);
+        assert_eq!(
+            rig.controller(NodeId(1)).cache().state(line),
+            Some(CacheState::Modified)
+        );
+        assert_eq!(rig.controller(NodeId(1)).stats().write_misses, 1);
+        assert_eq!(rig.read(NodeId(0), addr), 5);
+        rig.assert_coherence_invariant();
+    }
+
+    #[test]
+    fn lossy_transport_retries_through_to_the_right_values() {
+        let config = MemConfig {
+            timeout_cycles: 60,
+            max_retries: 12,
+            ..MemConfig::default()
+        };
+        let mut rig = ProtocolRig::lossy(4, 3, config, 0.15, 0xFEED);
+        let lines = [LineAddr(0), LineAddr(1), LineAddr(2), LineAddr(3)];
+        // A rotating write/read pattern on four lines: every value written
+        // must be the value read back, despite dropped protocol messages.
+        for round in 0..6u64 {
+            for (i, line) in lines.iter().enumerate() {
+                let writer = NodeId((i + round as usize) % 4);
+                rig.issue(writer, MemOp::Write(line.base(), round * 10 + i as u64));
+            }
+            rig.run_to_quiescence(2_000_000).expect("writes quiesce");
+            for (i, line) in lines.iter().enumerate() {
+                let reader = NodeId((i + round as usize + 1) % 4);
+                assert_eq!(rig.read(reader, line.base()), round * 10 + i as u64);
+            }
+            rig.assert_coherence_invariant();
+        }
+        assert!(rig.dropped_messages() > 0, "the transport must be lossy");
+        let retries: u64 = (0..4)
+            .map(|i| rig.controller(NodeId(i)).stats().retries)
+            .sum();
+        assert!(
+            retries > 0,
+            "recovery must have gone through the retry path"
+        );
+    }
+
+    #[test]
+    fn duplicate_machinery_absorbs_lost_replies() {
+        // A higher drop rate concentrated on one hot line: lost replies
+        // force retransmissions whose duplicates the home and cache sides
+        // must absorb (re-grants, stale grants, surprises) without ever
+        // breaking coherence or wedging.
+        let config = MemConfig {
+            timeout_cycles: 40,
+            max_retries: 16,
+            ..MemConfig::default()
+        };
+        let mut rig = ProtocolRig::lossy(4, 2, config, 0.3, 0xC0FFEE);
+        let addr = LineAddr(0).base();
+        for v in 0..20u64 {
+            rig.write(NodeId((v % 3 + 1) as usize), addr, v);
+            assert_eq!(rig.read(NodeId(0), addr), v);
+        }
+        rig.assert_coherence_invariant();
+        let stats: Vec<_> = (0..4)
+            .map(|i| rig.controller(NodeId(i)).stats().clone())
+            .collect();
+        let duplicates: u64 = stats
+            .iter()
+            .map(|s| s.duplicate_requests + s.stale_grants + s.protocol_surprises)
+            .sum();
+        assert!(rig.dropped_messages() > 0);
+        assert!(
+            duplicates > 0,
+            "lost replies must exercise the duplicate-tolerance paths"
+        );
+        assert_eq!(
+            stats.iter().map(|s| s.retries_exhausted).sum::<u64>(),
+            0,
+            "the retry budget must cover this loss rate"
+        );
+    }
+}

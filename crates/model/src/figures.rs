@@ -1,0 +1,202 @@
+//! Per-figure prediction surface for the paper's evaluation (Figures
+//! 6–9): each function returns the analytical model's side of one figure
+//! as labeled rows of named values, so the conformance harness, the
+//! bench targets, and ad-hoc tools all draw the *same* predictions from
+//! one place instead of re-deriving them from the low-level model APIs.
+//!
+//! Figures 3–5 compare the model against the cycle-level simulator, so
+//! their measured sides live in `commloc-sim`; the model columns there
+//! are produced by [`CombinedModel::solve`] against a calibrated model.
+//! The pure-model figures (6: per-hop latency saturation, 7: locality
+//! gain, 8: issue-time decomposition, 9: the dimension study) are fully
+//! described here.
+
+use crate::breakdown::IssueTimeBreakdown;
+use crate::dimensions::dimension_study;
+use crate::error::Result;
+use crate::gain::{gain_curve, IDEAL_MAPPING_DISTANCE};
+use crate::machine::MachineConfig;
+use crate::scaling::{limiting_per_hop_latency, per_hop_latency_curve};
+#[cfg(doc)]
+use crate::CombinedModel;
+
+/// One labeled row of a figure: a point on a curve (or a bar in a
+/// decomposition) with its named numeric values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureRow {
+    /// Row label, unique within a figure (e.g. `"N=1000"`, `"random"`).
+    pub label: String,
+    /// Named values, in presentation order.
+    pub values: Vec<(&'static str, f64)>,
+}
+
+impl FigureRow {
+    /// Looks up a value by name.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.values
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+}
+
+/// Figure 6 — per-hop latency saturation under random mapping as the
+/// machine scales: one row per size with the Eq. 17 distance, the
+/// predicted `T_h`, and channel utilization, plus a final `limit` row
+/// carrying the Eq. 16 asymptote.
+///
+/// # Errors
+///
+/// Propagates model errors for unsolvable sizes.
+pub fn fig6_rows(machine: &MachineConfig, sizes: &[f64]) -> Result<Vec<FigureRow>> {
+    let mut rows: Vec<FigureRow> = per_hop_latency_curve(machine, sizes)?
+        .into_iter()
+        .map(|point| FigureRow {
+            label: format!("N={}", point.nodes as u64),
+            values: vec![
+                ("distance", point.distance),
+                ("per_hop_latency", point.per_hop_latency),
+                ("channel_utilization", point.channel_utilization),
+            ],
+        })
+        .collect();
+    rows.push(FigureRow {
+        label: "limit".to_owned(),
+        values: vec![("per_hop_latency", limiting_per_hop_latency(machine))],
+    });
+    Ok(rows)
+}
+
+/// Figure 7 — expected gain from ideal over random thread placement
+/// versus machine size, one curve per context count: rows are labeled
+/// `p{contexts}/N={size}` and carry the Eq. 17 random distance and the
+/// gain ratio.
+///
+/// # Errors
+///
+/// Propagates model errors for unsolvable `(contexts, size)` points.
+pub fn fig7_rows(
+    machine: &MachineConfig,
+    context_counts: &[u32],
+    sizes: &[f64],
+) -> Result<Vec<FigureRow>> {
+    let mut rows = Vec::new();
+    for &p in context_counts {
+        let curve = gain_curve(&machine.with_contexts(p), sizes)?;
+        for point in curve {
+            rows.push(FigureRow {
+                label: format!("p{}/N={}", p, point.nodes as u64),
+                values: vec![
+                    ("random_distance", point.random_distance),
+                    ("gain", point.gain),
+                ],
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Figure 8 — the issue-time decomposition at one machine size, under
+/// the ideal and the random mapping: rows `ideal` and `random`, each
+/// carrying the four [`IssueTimeBreakdown`] components plus the total
+/// and the share of it that is fixed transaction overhead (the paper's
+/// two-thirds observation).
+///
+/// # Errors
+///
+/// Propagates model errors (unsolvable operating points).
+pub fn fig8_rows(machine: &MachineConfig) -> Result<Vec<FigureRow>> {
+    let model = machine.to_combined_model()?;
+    let random_distance = machine.random_mapping_distance()?;
+    let mut rows = Vec::new();
+    for (label, distance) in [
+        ("ideal", IDEAL_MAPPING_DISTANCE),
+        ("random", random_distance),
+    ] {
+        let op = model.solve(distance)?;
+        let b = IssueTimeBreakdown::from_operating_point(&model, &op);
+        rows.push(FigureRow {
+            label: label.to_owned(),
+            values: vec![
+                ("variable_message", b.variable_message),
+                ("fixed_message", b.fixed_message),
+                ("fixed_transaction", b.fixed_transaction),
+                ("cpu", b.cpu),
+                ("total", b.total()),
+                ("fixed_transaction_share", b.fixed_transaction_share()),
+            ],
+        });
+    }
+    Ok(rows)
+}
+
+/// Figure 9 — the dimension study: locality gain, random distance, and
+/// the Eq. 16 limit as the torus dimensionality varies at fixed machine
+/// size. One row per dimension, labeled `n={dims}`.
+///
+/// # Errors
+///
+/// Propagates model errors for unsolvable dimensions.
+pub fn fig9_rows(machine: &MachineConfig, dimensions: &[u32]) -> Result<Vec<FigureRow>> {
+    Ok(dimension_study(machine, dimensions)?
+        .into_iter()
+        .map(|point| FigureRow {
+            label: format!("n={}", point.dimension),
+            values: vec![
+                ("radix", point.radix),
+                ("random_distance", point.random_distance),
+                ("limiting_per_hop_latency", point.limiting_per_hop_latency),
+                ("gain", point.gain),
+            ],
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_ends_with_limit_row() {
+        let rows = fig6_rows(&MachineConfig::alewife(), &[100.0, 1e4, 1e6]).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows.last().unwrap().label, "limit");
+        let limit = rows.last().unwrap().value("per_hop_latency").unwrap();
+        // All finite-size points sit below the Eq. 16 asymptote.
+        for row in &rows[..3] {
+            assert!(row.value("per_hop_latency").unwrap() < limit);
+        }
+    }
+
+    #[test]
+    fn fig7_gain_grows_with_size() {
+        let rows = fig7_rows(&MachineConfig::alewife(), &[1], &[1e3, 1e6]).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[1].value("gain").unwrap() > rows[0].value("gain").unwrap());
+    }
+
+    #[test]
+    fn fig8_breakdown_components_sum_to_total() {
+        let machine = MachineConfig::alewife().with_nodes(1e6);
+        for row in fig8_rows(&machine).unwrap() {
+            let sum = row.value("variable_message").unwrap()
+                + row.value("fixed_message").unwrap()
+                + row.value("fixed_transaction").unwrap()
+                + row.value("cpu").unwrap();
+            let total = row.value("total").unwrap();
+            assert!(
+                (sum - total).abs() < 1e-9,
+                "{}: {sum} vs {total}",
+                row.label
+            );
+        }
+    }
+
+    #[test]
+    fn fig9_gain_falls_with_dimension() {
+        let machine = MachineConfig::alewife().with_nodes(1e6);
+        let rows = fig9_rows(&machine, &[2, 3, 4]).unwrap();
+        let gains: Vec<f64> = rows.iter().map(|r| r.value("gain").unwrap()).collect();
+        assert!(gains[0] > gains[1] && gains[1] > gains[2], "{gains:?}");
+    }
+}

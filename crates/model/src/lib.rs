@@ -58,6 +58,7 @@ mod breakdown;
 mod combined;
 mod dimensions;
 mod error;
+mod figures;
 mod gain;
 mod machine;
 mod metrics;
@@ -71,6 +72,7 @@ pub use breakdown::{IssueTimeBreakdown, MessageComponents};
 pub use combined::{CombinedModel, OperatingPoint};
 pub use dimensions::{dimension_study, DimensionPoint};
 pub use error::{ModelError, Result};
+pub use figures::{fig6_rows, fig7_rows, fig8_rows, fig9_rows, FigureRow};
 pub use gain::{expected_gain, gain_curve, log_spaced_sizes, GainPoint, IDEAL_MAPPING_DISTANCE};
 pub use machine::MachineConfig;
 pub use metrics::{aggregate_performance, performance_ratio, useful_work_rate};

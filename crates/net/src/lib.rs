@@ -44,6 +44,8 @@
 mod active;
 mod fabric;
 pub mod fault;
+#[cfg(any(test, feature = "reference-engine"))]
+pub mod fuzz;
 mod message;
 #[cfg(any(test, feature = "reference-engine"))]
 mod reference;

@@ -17,13 +17,19 @@ use commloc_model::{
     expected_gain, limiting_per_hop_latency, log_spaced_sizes, per_hop_latency_curve,
     MachineConfig, MessageComponents,
 };
+use commloc_net::fuzz::{self, FuzzScenario};
 use commloc_net::Torus;
+use commloc_sim::conformance::figures::{
+    default_golden_dir, load_golden, self_check, store_golden, ConformanceRun, FIGURES,
+};
+use commloc_sim::conformance::{rel_err, Violation};
 use commloc_sim::{
-    default_jobs, mapping_suite, run_experiment, run_sweep, Machine, Mapping, SimConfig,
-    BREAKDOWN_CSV_HEADER, MEASUREMENTS_CSV_HEADER,
+    default_jobs, mapping_suite, parallel_map, run_experiment, run_sweep, Machine, Mapping,
+    SimConfig, BREAKDOWN_CSV_HEADER, MEASUREMENTS_CSV_HEADER,
 };
 use std::collections::HashMap;
 use std::io::Write;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -49,6 +55,16 @@ COMMANDS:
     suite   run the full validation mapping suite
             --contexts P --seed S --jobs J [--csv]
             (--jobs defaults to the machine's available parallelism)
+    conformance
+            run the paper-figure conformance gates (Figs. 3-9): reduced
+            deterministic scenarios checked against the golden tables in
+            conformance/golden/ plus the paper's own claims
+            --figure figN --jobs J [--csv] [--update-golden]
+            [--golden-dir DIR]
+    fuzz    differential-fuzz the optimized Fabric against the retained
+            ReferenceFabric over a seed range; on divergence, shrinks to
+            a minimal scenario and prints a ready-to-paste repro test
+            --seeds N --start S --jobs J
     help    print this message
 ";
 
@@ -63,6 +79,8 @@ fn allowed_keys(command: &str) -> Option<&'static [&'static str]> {
             "mapping", "seed", "contexts", "warmup", "window", "trace", "csv",
         ]),
         "suite" => Some(&["contexts", "seed", "warmup", "window", "jobs", "csv"]),
+        "conformance" => Some(&["figure", "jobs", "csv", "update-golden", "golden-dir"]),
+        "fuzz" => Some(&["seeds", "start", "jobs"]),
         _ => None,
     }
 }
@@ -96,6 +114,8 @@ fn main() -> ExitCode {
         "sim" => cmd_sim(&options),
         "report" => cmd_report(&options),
         "suite" => cmd_suite(&options),
+        "conformance" => cmd_conformance(&options),
+        "fuzz" => cmd_fuzz(&options),
         _ => unreachable!("filtered by allowed_keys"),
     };
     match result {
@@ -154,7 +174,7 @@ fn parse_options(
                     .join(", ")
             ));
         }
-        if name == "csv" {
+        if matches!(name, "csv" | "update-golden") {
             options.insert(name.to_owned(), "true".to_owned());
             continue;
         }
@@ -462,6 +482,180 @@ fn cmd_suite(options: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_conformance(options: &HashMap<String, String>) -> Result<(), String> {
+    let jobs = get_u64(options, "jobs", default_jobs() as u64)?.max(1) as usize;
+    let update = options.contains_key("update-golden");
+    let csv = options.contains_key("csv");
+    let dir = options
+        .get("golden-dir")
+        .map(PathBuf::from)
+        .unwrap_or_else(default_golden_dir);
+    let figures: Vec<String> = match options.get("figure") {
+        Some(name) => {
+            if !FIGURES.contains(&name.as_str()) {
+                return Err(format!(
+                    "--figure: unknown `{name}` (expected one of {})",
+                    FIGURES.join(", ")
+                ));
+            }
+            vec![name.clone()]
+        }
+        None => FIGURES.iter().map(|s| (*s).to_owned()).collect(),
+    };
+
+    let mut session = ConformanceRun::new(jobs);
+    let mut tables = Vec::new();
+    for name in &figures {
+        tables.push(session.figure(name)?);
+    }
+
+    // Paper-claim self-checks run in both modes: a broken model cannot
+    // be blessed into the goldens.
+    let mut violations: Vec<Violation> = tables.iter().flat_map(|t| self_check(t)).collect();
+
+    if update {
+        for table in &tables {
+            let path = store_golden(&dir, table)?;
+            eprintln!("wrote {}", path.display());
+        }
+    }
+
+    if csv {
+        println!("figure,label,metric,value,golden,rel_err");
+    }
+    for table in &tables {
+        let golden = if update {
+            None
+        } else {
+            let golden = load_golden(&dir, &table.figure)?;
+            violations.extend(table.compare_against(&golden));
+            Some(golden)
+        };
+        if csv {
+            for row in &table.rows {
+                for (metric, value) in &row.values {
+                    let golden_value = golden.as_ref().and_then(|g| {
+                        g.rows
+                            .iter()
+                            .find(|r| r.label == row.label)
+                            .and_then(|r| r.value(metric))
+                    });
+                    match golden_value {
+                        Some(gv) => println!(
+                            "{},{},{},{},{},{:e}",
+                            table.figure,
+                            row.label,
+                            metric,
+                            value,
+                            gv,
+                            rel_err(*value, gv)
+                        ),
+                        None => println!("{},{},{},{},,", table.figure, row.label, metric, value),
+                    }
+                }
+            }
+        } else {
+            let gate = if update { "blessed" } else { "checked" };
+            println!(
+                "{} [{}] — {} rows {gate} at {} = {:e}",
+                table.figure,
+                table.tolerance_name,
+                table.rows.len(),
+                table.tolerance_name,
+                table.tolerance
+            );
+            for row in &table.rows {
+                let values: Vec<String> = row
+                    .values
+                    .iter()
+                    .map(|(metric, value)| format!("{metric}={value:.6}"))
+                    .collect();
+                println!("  {:<16} {}", row.label, values.join("  "));
+            }
+        }
+    }
+    // The raw reduced-sweep measurements behind Figures 3-5, in the
+    // standard measurements CSV schema.
+    if csv {
+        println!();
+        println!("contexts,mapping,{MEASUREMENTS_CSV_HEADER}");
+        for (contexts, runs) in session.sweeps() {
+            for run in runs {
+                println!("{},{},{}", contexts, run.name, run.measured.to_csv_row());
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        if !csv {
+            println!(
+                "conformance: {} figure(s) {} {}",
+                tables.len(),
+                if update {
+                    "blessed into"
+                } else {
+                    "pass against"
+                },
+                dir.display()
+            );
+        }
+        Ok(())
+    } else {
+        for violation in &violations {
+            eprintln!("violation: {violation}");
+        }
+        Err(format!("{} conformance violation(s)", violations.len()))
+    }
+}
+
+fn cmd_fuzz(options: &HashMap<String, String>) -> Result<(), String> {
+    let seeds = get_u64(options, "seeds", 100)?;
+    if seeds == 0 {
+        return Err("--seeds: must be at least 1".into());
+    }
+    let start = get_u64(options, "start", 0)?;
+    let jobs = get_u64(options, "jobs", default_jobs() as u64)?.max(1) as usize;
+    let list: Vec<u64> = (start..start.saturating_add(seeds)).collect();
+    let began = std::time::Instant::now();
+    let results = parallel_map(&list, jobs, |&seed| (seed, fuzz::run_seed(seed)));
+    let mut totals = fuzz::FuzzReport::default();
+    for (seed, result) in results {
+        match result {
+            Ok(report) => {
+                totals.injected += report.injected;
+                totals.delivered += report.delivered;
+                totals.dropped += report.dropped;
+                totals.wedged += report.wedged;
+                totals.cycles += report.cycles;
+            }
+            Err(divergence) => {
+                eprintln!("seed {seed} diverged: {divergence}");
+                if let Some(outcome) = fuzz::shrink(&FuzzScenario::from_seed(seed), None) {
+                    eprintln!(
+                        "minimal failing scenario after {} shrink attempts ({}):",
+                        outcome.attempts, outcome.divergence
+                    );
+                    eprintln!("{}", outcome.repro_test());
+                }
+                return Err(format!("differential divergence at seed {seed}"));
+            }
+        }
+    }
+    println!(
+        "fuzz: {} seeds [{start}..{}) clean in {:.1}s — {} messages injected, {} delivered, \
+         {} dropped, {} wedged, {} engine cycles",
+        seeds,
+        start.saturating_add(seeds),
+        began.elapsed().as_secs_f64(),
+        totals.injected,
+        totals.delivered,
+        totals.dropped,
+        totals.wedged,
+        totals.cycles
+    );
+    Ok(())
+}
+
 fn err(e: commloc_model::ModelError) -> String {
     e.to_string()
 }
@@ -537,7 +731,20 @@ mod tests {
         assert!(parse(&["--mapping", "random", "--csv"], "sim").is_ok());
         assert!(parse(&["--trace", "out.jsonl"], "report").is_ok());
         assert!(parse(&["--jobs", "2", "--csv"], "suite").is_ok());
+        assert!(parse(
+            &["--figure", "fig6", "--update-golden", "--jobs", "2"],
+            "conformance"
+        )
+        .is_ok());
+        assert!(parse(&["--seeds", "500", "--start", "0", "--jobs", "4"], "fuzz").is_ok());
         assert!(allowed_keys("nonsense").is_none());
+    }
+
+    #[test]
+    fn update_golden_is_a_value_less_flag() {
+        let o = parse(&["--update-golden", "--figure", "fig3"], "conformance").unwrap();
+        assert_eq!(o.get("update-golden").unwrap(), "true");
+        assert_eq!(o.get("figure").unwrap(), "fig3");
     }
 
     #[test]

@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 
 mod breakdown;
+pub mod conformance;
 mod csv;
 mod disturbance;
 mod error;

@@ -18,14 +18,22 @@
 use commloc::sim::{run_disturbance, run_experiment, DisturbanceConfig, Mapping, SimConfig};
 
 fn main() {
+    // `COMMLOC_SMOKE` shrinks the horizon and windows so CI can exercise
+    // the example in seconds; unset, the full run reproduces the study.
+    let smoke = std::env::var_os("COMMLOC_SMOKE").is_some();
     let victim = 27;
-    let inject_cycle = 12_000;
+    let inject_cycle = if smoke { 3_000 } else { 12_000 };
     let stall_window = 800;
+    let (warmup, window, horizon) = if smoke {
+        (2_000, 4_000, 10_000)
+    } else {
+        (10_000, 20_000, 40_000)
+    };
     let mapping = Mapping::identity(64);
 
     // Fault-free calibration run: the operating point the analytical
     // comparison needs (channel utilization rho).
-    let baseline = run_experiment(&SimConfig::default(), &mapping, 10_000, 20_000)
+    let baseline = run_experiment(&SimConfig::default(), &mapping, warmup, window)
         .expect("fault-free calibration run");
     let rho = baseline.channel_utilization;
 
@@ -44,7 +52,7 @@ fn main() {
         victim,
         inject_cycle,
         stall_window,
-        horizon: 40_000,
+        horizon,
         bucket: 1_000,
     };
     let curve = run_disturbance(&config, &mapping).expect("disturbance experiment");

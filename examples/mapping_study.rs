@@ -7,6 +7,14 @@
 use commloc::sim::{default_jobs, mapping_suite, run_sweep, SimConfig};
 
 fn main() {
+    // `COMMLOC_SMOKE` shrinks the measurement windows so CI can exercise
+    // the example in seconds; unset, the full windows reproduce the figure.
+    let smoke = std::env::var_os("COMMLOC_SMOKE").is_some();
+    let (warmup, window) = if smoke {
+        (2_000, 6_000)
+    } else {
+        (20_000, 60_000)
+    };
     let config = SimConfig::default();
     let torus = commloc::net::Torus::new(config.dims, config.radix);
     let suite = mapping_suite(&torus, 1992);
@@ -22,7 +30,7 @@ fn main() {
         "{:<14} {:>6} {:>6} {:>9} {:>9} {:>8} {:>7}",
         "mapping", "d", "d_sim", "r_t", "T_m", "T_h", "rho"
     );
-    let points = run_sweep(&config, &suite, 20_000, 60_000, jobs).expect("fault-free runs");
+    let points = run_sweep(&config, &suite, warmup, window, jobs).expect("fault-free runs");
     for point in &points {
         let m = &point.measured;
         println!(

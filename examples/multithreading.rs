@@ -7,6 +7,14 @@
 use commloc::sim::{default_jobs, fit_line, mapping_suite, run_sweep, SimConfig};
 
 fn main() {
+    // `COMMLOC_SMOKE` shrinks the measurement windows so CI can exercise
+    // the example in seconds; unset, the full windows reproduce the figure.
+    let smoke = std::env::var_os("COMMLOC_SMOKE").is_some();
+    let (warmup, window) = if smoke {
+        (2_000, 6_000)
+    } else {
+        (15_000, 45_000)
+    };
     let torus = commloc::net::Torus::new(2, 8);
     let suite = mapping_suite(&torus, 7);
 
@@ -20,7 +28,7 @@ fn main() {
         println!("p = {contexts}:");
         println!("  {:<14} {:>8} {:>8}", "mapping", "t_m", "T_m");
         let sweep =
-            run_sweep(&config, &suite, 15_000, 45_000, default_jobs()).expect("fault-free runs");
+            run_sweep(&config, &suite, warmup, window, default_jobs()).expect("fault-free runs");
         for point in &sweep {
             let m = &point.measured;
             println!(

@@ -35,6 +35,13 @@ fn issue_interval(window: usize, grain: u32, latency: u64, cycles: u64) -> f64 {
 }
 
 fn main() {
+    // `COMMLOC_SMOKE` shrinks the measurement loops so CI can exercise
+    // the example in seconds; unset, the full run reproduces the study.
+    let cycles: u64 = if std::env::var_os("COMMLOC_SMOKE").is_some() {
+        20_000
+    } else {
+        200_000
+    };
     let grain = 10;
     let latencies: Vec<u64> = (1..=8).map(|i| i * 100).collect();
     println!("issue interval t_t vs transaction latency T_t (grain = {grain}):\n");
@@ -46,7 +53,7 @@ fn main() {
     for &latency in &latencies {
         print!("{latency:>8}");
         for w in [1usize, 2, 4, 8] {
-            print!(" {:>9.1}", issue_interval(w, grain, latency, 200_000));
+            print!(" {:>9.1}", issue_interval(w, grain, latency, cycles));
         }
         println!();
     }
@@ -54,7 +61,7 @@ fn main() {
     for w in [1usize, 2, 4, 8] {
         let points: Vec<(f64, f64)> = latencies
             .iter()
-            .map(|&l| (issue_interval(w, grain, l, 200_000), l as f64))
+            .map(|&l| (issue_interval(w, grain, l, cycles), l as f64))
             .collect();
         let fit = fit_line(&points).expect("distinct issue intervals");
         println!(

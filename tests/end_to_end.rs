@@ -1,9 +1,44 @@
 //! Cross-crate integration tests: the full simulated machine against the
 //! analytical model, spanning every workspace crate through the facade.
+//!
+//! Every tolerance used here is a named constant from
+//! [`commloc::sim::conformance::tolerances`], shared with the golden-file
+//! conformance gates — the one place in the tree where "how close must
+//! model and simulator agree" is decided.
 
 use commloc::model::{expected_gain, limiting_per_hop_latency, EndpointContention, MachineConfig};
 use commloc::net::Torus;
+use commloc::sim::conformance::tolerances::{
+    EQ16_BOUND_FLOOR, EQ16_BOUND_MARGIN, GAIN_1K_RANGE, GAIN_1M_RANGE, LIMITING_LATENCY,
+    LIMITING_LATENCY_TOL, MODEL_VS_SIM_GAIN, PROTOCOL_B_ABS, PROTOCOL_G_ABS,
+    SLOPE_RATIO_P2_OVER_P1, SLOW_NETWORK_GAIN_RATIO_RANGE,
+};
 use commloc::sim::{fit_line, run_experiment, Mapping, SimConfig};
+
+/// Asserts `value` lies in the inclusive `(lo, hi)` tolerance range.
+fn assert_in_range(what: &str, value: f64, (lo, hi): (f64, f64)) {
+    assert!(
+        (lo..=hi).contains(&value),
+        "{what} = {value} outside tolerance range [{lo}, {hi}]"
+    );
+}
+
+/// Asserts `actual` is within relative tolerance `tol` of `expected`.
+fn assert_rel_err(what: &str, actual: f64, expected: f64, tol: f64) {
+    let err = (actual - expected).abs() / expected.abs().max(1e-12);
+    assert!(
+        err <= tol,
+        "{what}: actual {actual} vs expected {expected} (rel err {err:.3} > {tol})"
+    );
+}
+
+/// Asserts `actual` is within absolute tolerance `tol` of `expected`.
+fn assert_abs_err(what: &str, actual: f64, expected: f64, tol: f64) {
+    assert!(
+        (actual - expected).abs() <= tol,
+        "{what}: actual {actual} vs expected {expected} (abs tol {tol})"
+    );
+}
 
 /// The centerpiece validation: message-curve slopes measured from the
 /// cycle-level simulator scale with the hardware context count as the
@@ -31,10 +66,10 @@ fn message_curve_slopes_scale_with_contexts() {
             .collect();
         slopes.push(fit_line(&points).expect("distinct message intervals").slope);
     }
-    let ratio = slopes[1] / slopes[0];
-    assert!(
-        (1.6..=2.4).contains(&ratio),
-        "slope ratio p2/p1 = {ratio} (expected about 2, slightly less in practice)"
+    assert_in_range(
+        "slope ratio p2/p1",
+        slopes[1] / slopes[0],
+        SLOPE_RATIO_P2_OVER_P1,
     );
 }
 
@@ -58,10 +93,7 @@ fn locality_gain_at_64_nodes_is_modest() {
         "64 nodes is far from the communication-bound regime: {sim_gain}"
     );
     // Model and simulation agree on the magnitude of the gain.
-    assert!(
-        (sim_gain - model_gain).abs() / model_gain < 0.35,
-        "sim gain {sim_gain} vs model gain {model_gain}"
-    );
+    assert_rel_err("locality gain", sim_gain, model_gain, MODEL_VS_SIM_GAIN);
 }
 
 /// The measured g and B of the simulated coherence protocol match the
@@ -77,17 +109,17 @@ fn protocol_statistics_match_calibration() {
     )
     .expect("fault-free run");
     let machine = MachineConfig::alewife();
-    assert!(
-        (m.messages_per_transaction - machine.messages_per_transaction()).abs() < 0.4,
-        "g: sim {} vs calibrated {}",
+    assert_abs_err(
+        "g (messages per transaction)",
         m.messages_per_transaction,
-        machine.messages_per_transaction()
+        machine.messages_per_transaction(),
+        PROTOCOL_G_ABS,
     );
-    assert!(
-        (m.avg_message_size - machine.message_size()).abs() < 1.5,
-        "B: sim {} vs calibrated {}",
+    assert_abs_err(
+        "B (message size)",
         m.avg_message_size,
-        machine.message_size()
+        machine.message_size(),
+        PROTOCOL_B_ABS,
     );
 }
 
@@ -108,7 +140,7 @@ fn simulated_per_hop_latency_respects_eq16_style_bound() {
         let s = contexts as f64 * m.messages_per_transaction / 2.0;
         let limit = m.avg_message_size * s / 4.0;
         assert!(
-            m.per_hop_latency < limit.max(2.0) * 1.5,
+            m.per_hop_latency < limit.max(EQ16_BOUND_FLOOR) * EQ16_BOUND_MARGIN,
             "p={contexts}: T_h = {} vs bound {limit}",
             m.per_hop_latency
         );
@@ -123,14 +155,14 @@ fn headline_numbers_from_the_abstract() {
     let base = MachineConfig::alewife().with_endpoint_contention(EndpointContention::Ignore);
     let g1k = expected_gain(&base.with_nodes(1e3)).unwrap().gain;
     let g1m = expected_gain(&base.with_nodes(1e6)).unwrap().gain;
-    assert!((1.5..=2.5).contains(&g1k), "gain(10^3) = {g1k}");
-    assert!((30.0..=60.0).contains(&g1m), "gain(10^6) = {g1m}");
+    assert_in_range("gain(10^3)", g1k, GAIN_1K_RANGE);
+    assert_in_range("gain(10^6)", g1m, GAIN_1M_RANGE);
     let slow = base.scale_network_speed(0.125);
     let s1k = expected_gain(&slow.with_nodes(1e3)).unwrap().gain;
-    let ratio = s1k / g1k;
-    assert!(
-        (2.2..=3.8).contains(&ratio),
-        "8x slowdown gain ratio = {ratio} (paper: about 3)"
+    assert_in_range(
+        "8x network-slowdown gain ratio",
+        s1k / g1k,
+        SLOW_NETWORK_GAIN_RATIO_RANGE,
     );
 }
 
@@ -139,5 +171,10 @@ fn headline_numbers_from_the_abstract() {
 #[test]
 fn limiting_latency_matches_paper() {
     let limit = limiting_per_hop_latency(&MachineConfig::alewife().with_contexts(2));
-    assert!((limit - 9.8).abs() < 0.5, "limit = {limit}");
+    assert_abs_err(
+        "limiting per-hop latency",
+        limit,
+        LIMITING_LATENCY,
+        LIMITING_LATENCY_TOL,
+    );
 }
