@@ -279,6 +279,59 @@ impl Controller {
         self.mshr.len()
     }
 
+    /// The controller's local cycle counter, advanced once per
+    /// [`Controller::step`] and in bulk by [`Controller::advance_idle`].
+    pub fn local_cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Whether a step right now could do observable work: occupancy is
+    /// draining, work is queued, or the outgoing/completion queues hold
+    /// items the machine has not drained yet. Outstanding MSHRs alone do
+    /// *not* count — a dormant controller with in-flight transactions
+    /// acts again only on a delivery or when a retry deadline fires (see
+    /// [`Controller::next_deadline`]).
+    pub fn has_pending_work(&self) -> bool {
+        self.busy > 0
+            || !self.work.is_empty()
+            || !self.outbox.is_empty()
+            || !self.completions.is_empty()
+    }
+
+    /// Horizon contract for the machine-level active-node engine: the
+    /// earliest local cycle at which a retry/backoff timer can fire, or
+    /// `None` if no armed deadline exists. While
+    /// [`Controller::has_pending_work`] is false and the local cycle
+    /// stays below this value, every step is exactly `{cycle += 1}`.
+    pub fn next_deadline(&self) -> Option<u64> {
+        if self.config.timeout_cycles == 0 {
+            return None;
+        }
+        self.mshr.values().filter_map(|m| m.deadline).min()
+    }
+
+    /// Applies `cycles` dormant steps in O(1). Valid only while the
+    /// controller has no pending work and no retry deadline at or before
+    /// the resulting cycle: each such step is exactly `{cycle += 1}` (the
+    /// timeout scan fires nothing while `now < deadline`), so the bulk
+    /// advance is bit-identical to stepping cycle by cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if pending work exists; debug-asserts that no deadline was
+    /// jumped over.
+    pub fn advance_idle(&mut self, cycles: u64) {
+        assert!(
+            !self.has_pending_work(),
+            "advance_idle on a controller with pending work"
+        );
+        self.cycle += cycles;
+        debug_assert!(
+            self.next_deadline().is_none_or(|d| d > self.cycle),
+            "advance_idle jumped a retry deadline"
+        );
+    }
+
     /// Advances the controller by one processor cycle.
     pub fn step(&mut self) {
         self.cycle += 1;
@@ -326,6 +379,10 @@ impl Controller {
             let write = entry.pending.front().is_some_and(|(_, op)| op.is_write());
             resend.push((line, write));
         }
+        // `mshr` is a HashMap, so two controllers in lockstep could
+        // otherwise fire same-cycle retries in different orders; sorting
+        // by line makes the resend (and thus outbox) order deterministic.
+        resend.sort_unstable_by_key(|&(line, _)| line);
         for (line, write) in resend {
             self.stats.retries += 1;
             let home = self.home.home(line);
@@ -930,6 +987,79 @@ mod tests {
         assert_eq!(ctrl.stats().timeouts, 4, "the exhausting timeout counts");
         assert_eq!(ctrl.stats().retries_exhausted, 1);
         assert_eq!(ctrl.outstanding_transactions(), 1, "left for the watchdog");
+    }
+
+    #[test]
+    fn next_deadline_and_advance_idle_agree_with_stepping() {
+        let config = MemConfig {
+            timeout_cycles: 8,
+            max_retries: 3,
+            ..MemConfig::default()
+        };
+        // Remote line that never gets a reply: the controller goes
+        // dormant between retries, with an armed deadline.
+        let run = |bulk: bool| {
+            let mut ctrl = Controller::new(NodeId(0), HomeMap::interleaved(2), config);
+            ctrl.request(TxnId(1), MemOp::Read(LineAddr(1).base()));
+            let mut sends = Vec::new();
+            let mut now = 0u64;
+            while now < 2_000 {
+                if bulk && !ctrl.has_pending_work() {
+                    if let Some(d) = ctrl.next_deadline() {
+                        // Jump to one cycle before the deadline; the next
+                        // real step then fires it exactly on time.
+                        let gap = d.saturating_sub(ctrl.local_cycle() + 1);
+                        let gap = gap.min(2_000 - now);
+                        if gap > 0 {
+                            ctrl.advance_idle(gap);
+                            now += gap;
+                            continue;
+                        }
+                    } else {
+                        // Retry budget exhausted: nothing left to observe.
+                        ctrl.advance_idle(2_000 - now);
+                        now = 2_000;
+                        continue;
+                    }
+                }
+                ctrl.step();
+                now += 1;
+                while let Some((_, msg)) = ctrl.take_outgoing() {
+                    sends.push((ctrl.local_cycle(), msg));
+                }
+            }
+            (sends, ctrl.stats().clone(), ctrl.local_cycle())
+        };
+        let (sends_bulk, stats_bulk, cycle_bulk) = run(true);
+        let (sends_step, stats_step, cycle_step) = run(false);
+        assert_eq!(cycle_bulk, cycle_step);
+        assert_eq!(sends_bulk, sends_step, "resends must fire on time");
+        assert_eq!(stats_bulk.retries, config.max_retries as u64);
+        assert_eq!(stats_bulk, stats_step);
+    }
+
+    #[test]
+    fn dormancy_predicates_track_queue_state() {
+        let mut ctrl = Controller::new(NodeId(0), HomeMap::interleaved(1), MemConfig::default());
+        assert!(!ctrl.has_pending_work());
+        assert_eq!(ctrl.next_deadline(), None, "timeouts disabled by default");
+        ctrl.request(TxnId(1), MemOp::Write(LineAddr(0).base(), 7));
+        assert!(ctrl.has_pending_work());
+        for _ in 0..100 {
+            ctrl.step();
+        }
+        // Completion still queued counts as pending work.
+        assert!(ctrl.has_pending_work());
+        ctrl.poll_completion().expect("write completed");
+        assert!(!ctrl.has_pending_work());
+    }
+
+    #[test]
+    #[should_panic(expected = "pending work")]
+    fn advance_idle_with_queued_work_panics() {
+        let mut ctrl = Controller::new(NodeId(0), HomeMap::interleaved(1), MemConfig::default());
+        ctrl.request(TxnId(1), MemOp::Read(LineAddr(0).base()));
+        ctrl.advance_idle(5);
     }
 
     #[test]

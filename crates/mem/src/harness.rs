@@ -77,6 +77,18 @@ impl ProtocolRig {
         &self.controllers[node.0]
     }
 
+    /// The earliest local cycle at which any controller's retry/backoff
+    /// timer can fire, or `None` if no deadline is armed anywhere — the
+    /// rig-level horizon mirroring [`Controller::next_deadline`]. (All
+    /// controllers step in lockstep with the rig clock, so local cycles
+    /// are directly comparable.)
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.controllers
+            .iter()
+            .filter_map(Controller::next_deadline)
+            .min()
+    }
+
     /// Issues an operation at `node`, returning its transaction id.
     pub fn issue(&mut self, node: NodeId, op: MemOp) -> TxnId {
         let txn = TxnId(self.next_txn);
@@ -278,6 +290,24 @@ mod tests {
         assert_eq!(rig.controller(NodeId(1)).stats().write_misses, 1);
         assert_eq!(rig.read(NodeId(0), addr), 5);
         rig.assert_coherence_invariant();
+    }
+
+    #[test]
+    fn rig_next_deadline_tracks_the_earliest_armed_timer() {
+        let config = MemConfig {
+            timeout_cycles: 50,
+            max_retries: 2,
+            ..MemConfig::default()
+        };
+        let mut rig = ProtocolRig::new(2, 3, config);
+        assert_eq!(rig.next_deadline(), None, "no outstanding transactions");
+        // A remote read arms a timer on the requester's controller.
+        rig.issue(NodeId(1), MemOp::Read(LineAddr(0).base()));
+        rig.step();
+        let d = rig.next_deadline().expect("deadline armed");
+        assert!(d > 0 && d <= 1 + 50, "first deadline within one timeout");
+        rig.run_to_quiescence(10_000).expect("read completes");
+        assert_eq!(rig.next_deadline(), None, "disarmed after completion");
     }
 
     #[test]

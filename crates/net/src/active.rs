@@ -1,5 +1,6 @@
 //! A fixed-capacity set of small indices with ordered iteration, used by
-//! the fabric's active-set cycle engine.
+//! the fabric's active-set cycle engine and the machine-level active-node
+//! engine in `commloc-sim`.
 //!
 //! The set is a plain bitmap: membership updates are O(1), and collecting
 //! the members always yields **ascending order** — the property the cycle
@@ -12,13 +13,13 @@
 
 /// A set of indices in `0..capacity` backed by a bitmap.
 #[derive(Debug, Clone)]
-pub(crate) struct ActiveSet {
+pub struct ActiveSet {
     words: Vec<u64>,
 }
 
 impl ActiveSet {
     /// Creates an empty set able to hold indices below `capacity`.
-    pub(crate) fn new(capacity: usize) -> Self {
+    pub fn new(capacity: usize) -> Self {
         Self {
             words: vec![0; capacity.div_ceil(64)],
         }
@@ -26,24 +27,35 @@ impl ActiveSet {
 
     /// Adds `index` to the set.
     #[inline]
-    pub(crate) fn insert(&mut self, index: usize) {
+    pub fn insert(&mut self, index: usize) {
         self.words[index / 64] |= 1u64 << (index % 64);
     }
 
     /// Removes `index` from the set.
     #[inline]
-    pub(crate) fn remove(&mut self, index: usize) {
+    pub fn remove(&mut self, index: usize) {
         self.words[index / 64] &= !(1u64 << (index % 64));
     }
 
     /// Whether `index` is in the set.
-    #[cfg(test)]
-    pub(crate) fn contains(&self, index: usize) -> bool {
+    #[inline]
+    pub fn contains(&self, index: usize) -> bool {
         self.words[index / 64] & (1u64 << (index % 64)) != 0
     }
 
+    /// Whether the set has no members.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes every member.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
     /// Clears `out` and fills it with the members in ascending order.
-    pub(crate) fn collect_into(&self, out: &mut Vec<u32>) {
+    pub fn collect_into(&self, out: &mut Vec<u32>) {
         out.clear();
         for (w, &word) in self.words.iter().enumerate() {
             let mut bits = word;
@@ -92,6 +104,20 @@ mod tests {
     fn empty_set_collects_nothing() {
         let s = ActiveSet::new(64);
         let mut out = vec![1u32];
+        s.collect_into(&mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn clear_and_is_empty() {
+        let mut s = ActiveSet::new(100);
+        assert!(s.is_empty());
+        s.insert(42);
+        s.insert(99);
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        let mut out = vec![7u32];
         s.collect_into(&mut out);
         assert!(out.is_empty());
     }

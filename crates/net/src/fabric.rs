@@ -212,6 +212,10 @@ pub struct Fabric<P> {
     /// Messages in flight (`slots` entries that are `Some`).
     live: usize,
     deliveries: Vec<VecDeque<Delivery<P>>>,
+    /// Nodes that received a delivery since the last
+    /// [`Fabric::take_delivery_events`] drain — the wake-up signal the
+    /// machine-level active-node engine subscribes to.
+    delivery_events: ActiveSet,
     /// Flattened (port, vc) enumeration shared by all routers, used for
     /// round-robin allocation.
     input_vc_list: Vec<(usize, usize)>,
@@ -310,6 +314,7 @@ impl<P> Fabric<P> {
             free_slots: Vec::new(),
             live: 0,
             deliveries: (0..nodes).map(|_| VecDeque::new()).collect(),
+            delivery_events: ActiveSet::new(nodes),
             input_vc_list,
             neighbors,
             occupancy: vec![0; nodes],
@@ -457,6 +462,18 @@ impl<P> Fabric<P> {
         self.deliveries[node.0].pop_front()
     }
 
+    /// Clears `out` and fills it (ascending) with the nodes that received
+    /// a delivery since the previous drain, then resets the event set.
+    ///
+    /// This is the fabric-to-machine wake-up channel of the active-node
+    /// engine: a drained event only says "a delivery was pushed for this
+    /// node at some point"; the deliveries themselves stay queued until
+    /// [`Fabric::poll_delivery`] consumes them.
+    pub fn take_delivery_events(&mut self, out: &mut Vec<u32>) {
+        self.delivery_events.collect_into(out);
+        self.delivery_events.clear();
+    }
+
     /// Total flits currently buffered across all routers (diagnostic).
     pub fn buffered_flits(&self) -> usize {
         self.occupancy.iter().map(|&c| c as usize).sum()
@@ -564,6 +581,17 @@ impl<P> Fabric<P> {
             plan.activate(target);
         }
         cycles
+    }
+
+    /// Absolute-cycle form of [`Fabric::fast_forward`], for machine-level
+    /// callers that think in horizons rather than deltas: jumps the clock
+    /// to `target` (a no-op if the clock is already there or past it) and
+    /// returns the cycles actually skipped — `0` if traffic is in flight.
+    pub fn fast_forward_to(&mut self, target: u64) -> u64 {
+        if target <= self.cycle {
+            return 0;
+        }
+        self.fast_forward(target - self.cycle)
     }
 
     fn link_ports(&self) -> usize {
@@ -995,6 +1023,7 @@ impl<P> Fabric<P> {
                 });
             }
             self.deliveries[node].push_back(delivery);
+            self.delivery_events.insert(node);
         }
         Ok(())
     }
@@ -1093,6 +1122,7 @@ impl<P> Fabric<P> {
                     }
                     let dst = delivery.message.dst.0;
                     self.deliveries[dst].push_back(delivery);
+                    self.delivery_events.insert(dst);
                     self.activity += 1;
                     // Loopback consumes this cycle's injection slot.
                     break;

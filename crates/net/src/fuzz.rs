@@ -610,20 +610,47 @@ impl ShrinkOutcome {
 ///
 /// Returns `None` if `scenario` does not actually fail.
 pub fn shrink(scenario: &FuzzScenario, mutation: Option<FuzzMutation>) -> Option<ShrinkOutcome> {
+    let (scenario, divergence, attempts) = shrink_with(
+        scenario,
+        |s| run_scenario_mutated(s, mutation).err(),
+        reductions,
+    )?;
+    Some(ShrinkOutcome {
+        scenario,
+        divergence,
+        attempts,
+    })
+}
+
+/// The greedy shrinking loop behind [`shrink`], generic over the scenario
+/// and divergence types so the machine-level fuzzer in `commloc-sim` can
+/// reuse it with its own scenario space.
+///
+/// `fails` returns `Some(divergence)` when a candidate still exhibits the
+/// failure; `reduce` enumerates candidate single-step reductions, most
+/// aggressive first. Each pass keeps the first reduction that still fails
+/// and loops to a fixed point, with a hard cap on attempts so shrinking
+/// is best-effort, never a hang.
+///
+/// Returns `None` if `scenario` does not actually fail.
+pub fn shrink_with<S: Clone, D>(
+    scenario: &S,
+    mut fails: impl FnMut(&S) -> Option<D>,
+    reduce: impl Fn(&S) -> Vec<S>,
+) -> Option<(S, D, u32)> {
     let mut best = scenario.clone();
-    let mut divergence = run_scenario_mutated(&best, mutation).err()?;
+    let mut divergence = fails(&best)?;
     let mut attempts = 0u32;
     loop {
         let mut progressed = false;
-        for candidate in reductions(&best) {
+        for candidate in reduce(&best) {
             attempts += 1;
-            if let Err(d) = run_scenario_mutated(&candidate, mutation) {
+            if let Some(d) = fails(&candidate) {
                 best = candidate;
                 divergence = d;
                 progressed = true;
                 break;
             }
-            // A hard cap: shrinking is best-effort, never a hang.
             if attempts >= 400 {
                 progressed = false;
                 break;
@@ -633,11 +660,7 @@ pub fn shrink(scenario: &FuzzScenario, mutation: Option<FuzzMutation>) -> Option
             break;
         }
     }
-    Some(ShrinkOutcome {
-        scenario: best,
-        divergence,
-        attempts,
-    })
+    Some((best, divergence, attempts))
 }
 
 /// Candidate single-step reductions of a scenario, most aggressive first.

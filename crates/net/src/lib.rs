@@ -57,6 +57,7 @@ mod topology;
 pub mod trace;
 pub mod traffic;
 
+pub use active::ActiveSet;
 pub use fabric::{Fabric, FabricConfig, FabricError};
 pub use fault::{FaultConfig, FaultEvent, FaultLog, FaultPlan};
 pub use message::{Delivery, Flit, FlitKind, Message, MessageBreakdown, MessageId};

@@ -175,6 +175,47 @@ impl Processor {
             .all(|c| c.state == ContextState::WaitingMem)
     }
 
+    /// Horizon contract for the machine-level active-node engine: the
+    /// number of cycles until this processor can possibly do observable
+    /// work on its own.
+    ///
+    /// * `None` — every context is blocked on memory; until a completion
+    ///   arrives, each step is exactly `{cycles += 1, idle_cycles += 1,
+    ///   cpu = Idle}` (see [`Processor::advance_idle`]).
+    /// * `Some(r)` with `r > 0` — a context switch is draining for `r`
+    ///   more cycles (those cycles accrue `switch_cycles`, so they must
+    ///   be stepped, not skipped).
+    /// * `Some(0)` — runnable work exists right now.
+    pub fn next_wake(&self) -> Option<u64> {
+        if self.is_stalled() {
+            return None;
+        }
+        match self.cpu {
+            CpuState::Switching { remaining, .. } => Some(u64::from(remaining)),
+            CpuState::Running | CpuState::Idle => Some(0),
+        }
+    }
+
+    /// Applies `cycles` fully-blocked steps in O(1). Valid only while
+    /// [`Processor::is_stalled`]: from either blocked CPU state
+    /// (`Running` on a context that just blocked, or `Idle`), one step is
+    /// exactly `{cycles += 1, idle_cycles += 1, cpu = Idle}` and the two
+    /// states behave identically on any later wake-up path, so the bulk
+    /// advance is bit-identical to stepping cycle by cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any context is runnable.
+    pub fn advance_idle(&mut self, cycles: u64) {
+        assert!(
+            self.is_stalled(),
+            "advance_idle on a processor with runnable work"
+        );
+        self.cpu = CpuState::Idle;
+        self.stats.cycles += cycles;
+        self.stats.idle_cycles += cycles;
+    }
+
     /// Delivers a memory completion to a context, unblocking it.
     ///
     /// # Panics
@@ -464,6 +505,74 @@ mod tests {
         assert!(p.is_stalled());
         p.complete(req.context, 7);
         assert!(!p.is_stalled());
+    }
+
+    #[test]
+    fn next_wake_reports_the_horizon() {
+        // Runnable work: wake now.
+        let mut p = cpu(3, 2, 11);
+        assert_eq!(p.next_wake(), Some(0));
+        // First issue starts a switch toward the second context.
+        let req = loop {
+            if let Some(r) = p.step() {
+                break r;
+            }
+        };
+        assert_eq!(p.next_wake(), Some(11), "switch must drain 11 cycles");
+        p.step();
+        assert_eq!(p.next_wake(), Some(10));
+        // Block the other context too: fully stalled.
+        let second = loop {
+            if let Some(r) = p.step() {
+                break r;
+            }
+        };
+        assert!(p.is_stalled());
+        assert_eq!(p.next_wake(), None);
+        p.complete(req.context, 0);
+        p.complete(second.context, 0);
+        assert_eq!(p.next_wake(), Some(0));
+    }
+
+    #[test]
+    fn advance_idle_matches_stepping_bit_for_bit() {
+        // Two processors reach the same fully-blocked state; one steps
+        // through the idle gap, the other bulk-advances. Stats and all
+        // subsequent behavior must match exactly.
+        let run = |bulk: bool| {
+            let mut p = cpu(4, 2, 5);
+            let mut issued = Vec::new();
+            while issued.len() < 2 {
+                if let Some(r) = p.step() {
+                    issued.push(r);
+                }
+            }
+            assert!(p.is_stalled());
+            if bulk {
+                p.advance_idle(100);
+            } else {
+                for _ in 0..100 {
+                    assert!(p.step().is_none());
+                }
+            }
+            for r in issued {
+                p.complete(r.context, 0);
+            }
+            // Post-gap trajectory: run until the next issue.
+            let mut tail = 0u64;
+            while p.step().is_none() {
+                tail += 1;
+            }
+            (*p.stats(), tail)
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "runnable work")]
+    fn advance_idle_on_runnable_processor_panics() {
+        let mut p = cpu(5, 1, 0);
+        p.advance_idle(10);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use commloc_net::Torus;
 use commloc_sim::conformance::figures::{
     default_golden_dir, load_golden, self_check, store_golden, ConformanceRun, FIGURES,
 };
-use commloc_sim::conformance::{rel_err, Violation};
+use commloc_sim::conformance::{rel_err, suite_jobs, Violation};
 use commloc_sim::{
     default_jobs, mapping_suite, parallel_map, run_experiment, run_sweep, Machine, Mapping,
     SimConfig, BREAKDOWN_CSV_HEADER, MEASUREMENTS_CSV_HEADER,
@@ -64,7 +64,10 @@ COMMANDS:
     fuzz    differential-fuzz the optimized Fabric against the retained
             ReferenceFabric over a seed range; on divergence, shrinks to
             a minimal scenario and prints a ready-to-paste repro test
-            --seeds N --start S --jobs J
+            --seeds N --start S --jobs J [--machine]
+            (--machine runs full-machine lockstep instead: the
+            active-node engine vs exhaustive reference stepping, checking
+            stats, breakdowns, fault logs, and watchdog trips bit-exactly)
     help    print this message
 ";
 
@@ -80,7 +83,7 @@ fn allowed_keys(command: &str) -> Option<&'static [&'static str]> {
         ]),
         "suite" => Some(&["contexts", "seed", "warmup", "window", "jobs", "csv"]),
         "conformance" => Some(&["figure", "jobs", "csv", "update-golden", "golden-dir"]),
-        "fuzz" => Some(&["seeds", "start", "jobs"]),
+        "fuzz" => Some(&["seeds", "start", "jobs", "machine"]),
         _ => None,
     }
 }
@@ -174,7 +177,7 @@ fn parse_options(
                     .join(", ")
             ));
         }
-        if matches!(name, "csv" | "update-golden") {
+        if matches!(name, "csv" | "update-golden" | "machine") {
             options.insert(name.to_owned(), "true".to_owned());
             continue;
         }
@@ -198,6 +201,27 @@ fn get_u64(options: &HashMap<String, String>, key: &str, default: u64) -> Result
         v.parse()
             .map_err(|_| format!("--{key}: `{v}` is not an integer"))
     })
+}
+
+/// Worker-thread count: `--jobs` if given, else `COMMLOC_JOBS`, else the
+/// machine's available parallelism. `--jobs 0` and non-numeric values
+/// are rejected outright (previously zero was silently clamped to 1).
+fn get_jobs(options: &HashMap<String, String>) -> Result<usize, String> {
+    match options.get("jobs") {
+        None => suite_jobs(),
+        Some(v) => match v.parse::<usize>() {
+            Ok(jobs) if jobs >= 1 => Ok(jobs),
+            Ok(_) => Err(format!(
+                "--jobs: must be at least 1 (did you mean `--jobs {}`, the machine's \
+                 available parallelism?)",
+                default_jobs()
+            )),
+            Err(_) => Err(format!(
+                "--jobs: `{v}` is not an integer (omit --jobs to use the machine's \
+                 available parallelism)"
+            )),
+        },
+    }
 }
 
 fn machine_from(options: &HashMap<String, String>) -> Result<MachineConfig, String> {
@@ -451,7 +475,7 @@ fn cmd_suite(options: &HashMap<String, String>) -> Result<(), String> {
     let seed = get_u64(options, "seed", 1992)?;
     let warmup = get_u64(options, "warmup", 15_000)?;
     let window = get_u64(options, "window", 45_000)?;
-    let jobs = get_u64(options, "jobs", default_jobs() as u64)?.max(1) as usize;
+    let jobs = get_jobs(options)?;
     let csv = options.contains_key("csv");
     if csv {
         println!("mapping,{MEASUREMENTS_CSV_HEADER}");
@@ -483,7 +507,7 @@ fn cmd_suite(options: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_conformance(options: &HashMap<String, String>) -> Result<(), String> {
-    let jobs = get_u64(options, "jobs", default_jobs() as u64)?.max(1) as usize;
+    let jobs = get_jobs(options)?;
     let update = options.contains_key("update-golden");
     let csv = options.contains_key("csv");
     let dir = options
@@ -614,7 +638,10 @@ fn cmd_fuzz(options: &HashMap<String, String>) -> Result<(), String> {
         return Err("--seeds: must be at least 1".into());
     }
     let start = get_u64(options, "start", 0)?;
-    let jobs = get_u64(options, "jobs", default_jobs() as u64)?.max(1) as usize;
+    let jobs = get_jobs(options)?;
+    if options.contains_key("machine") {
+        return run_machine_fuzz(seeds, start, jobs);
+    }
     let list: Vec<u64> = (start..start.saturating_add(seeds)).collect();
     let began = std::time::Instant::now();
     let results = parallel_map(&list, jobs, |&seed| (seed, fuzz::run_seed(seed)));
@@ -654,6 +681,66 @@ fn cmd_fuzz(options: &HashMap<String, String>) -> Result<(), String> {
         totals.cycles
     );
     Ok(())
+}
+
+/// `commloc fuzz --machine`: full-machine lockstep over a seed range —
+/// the active-node engine against exhaustive reference stepping, with
+/// bit-exact checks on completions, measurements, latency breakdowns,
+/// fault logs, and watchdog trips. Failing seeds shrink to a minimal
+/// scenario and print a ready-to-paste repro test.
+#[cfg(feature = "reference-engine")]
+fn run_machine_fuzz(seeds: u64, start: u64, jobs: usize) -> Result<(), String> {
+    use commloc_sim::fuzz as machine_fuzz;
+    let list: Vec<u64> = (start..start.saturating_add(seeds)).collect();
+    let began = std::time::Instant::now();
+    let results = parallel_map(&list, jobs, |&seed| (seed, machine_fuzz::run_seed(seed)));
+    let mut completions = 0u64;
+    let mut net_cycles = 0u64;
+    let mut stalls = 0u64;
+    for (seed, result) in results {
+        match result {
+            Ok(report) => {
+                completions += report.completions;
+                net_cycles += report.net_cycles;
+                stalls += u64::from(report.stalled);
+            }
+            Err(divergence) => {
+                eprintln!("seed {seed} diverged: {divergence}");
+                let scenario = machine_fuzz::MachineScenario::from_seed(seed);
+                if let Some(outcome) = machine_fuzz::shrink(&scenario, None) {
+                    eprintln!(
+                        "minimal failing scenario after {} shrink attempts ({}):",
+                        outcome.attempts, outcome.divergence
+                    );
+                    eprintln!("{}", outcome.repro_test());
+                }
+                return Err(format!("machine-lockstep divergence at seed {seed}"));
+            }
+        }
+    }
+    println!(
+        "fuzz --machine: {} seeds [{start}..{}) lockstep-clean in {:.1}s — {} transactions \
+         completed, {} watchdog stalls matched bit-exactly, {} net cycles per engine",
+        seeds,
+        start.saturating_add(seeds),
+        began.elapsed().as_secs_f64(),
+        completions,
+        stalls,
+        net_cycles
+    );
+    Ok(())
+}
+
+/// Without the `reference-engine` feature the reference stepping mode is
+/// compiled out, so machine lockstep cannot run.
+#[cfg(not(feature = "reference-engine"))]
+fn run_machine_fuzz(_seeds: u64, _start: u64, _jobs: usize) -> Result<(), String> {
+    Err(
+        "--machine requires the `reference-engine` feature; rebuild with \
+         `cargo build --release --features commloc-sim/reference-engine` \
+         (full workspace builds enable it through commloc-bench)"
+            .into(),
+    )
 }
 
 fn err(e: commloc_model::ModelError) -> String {
@@ -737,7 +824,29 @@ mod tests {
         )
         .is_ok());
         assert!(parse(&["--seeds", "500", "--start", "0", "--jobs", "4"], "fuzz").is_ok());
+        assert!(parse(&["--machine", "--seeds", "200"], "fuzz").is_ok());
         assert!(allowed_keys("nonsense").is_none());
+    }
+
+    #[test]
+    fn machine_is_a_value_less_flag() {
+        let o = parse(&["--machine", "--seeds", "64"], "fuzz").unwrap();
+        assert_eq!(o.get("machine").unwrap(), "true");
+        assert_eq!(o.get("seeds").unwrap(), "64");
+    }
+
+    #[test]
+    fn jobs_validation_rejects_zero_and_words() {
+        // `--jobs 0` used to be silently clamped to 1; now it must error
+        // with a pointer at the sane alternative.
+        let err = get_jobs(&opts(&["--jobs", "0"])).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        assert!(err.contains("did you mean `--jobs"), "{err}");
+        let err = get_jobs(&opts(&["--jobs", "many"])).unwrap_err();
+        assert!(err.contains("`many` is not an integer"), "{err}");
+        let err = get_jobs(&opts(&["--jobs", "-2"])).unwrap_err();
+        assert!(err.contains("not an integer"), "{err}");
+        assert!(get_jobs(&opts(&["--jobs", "4"])).unwrap() == 4);
     }
 
     #[test]

@@ -67,12 +67,29 @@ pub struct ValidationRun {
 
 /// Worker-thread count for validation sweeps: `COMMLOC_JOBS` if set,
 /// otherwise the machine's available parallelism.
-pub fn suite_jobs() -> usize {
-    std::env::var("COMMLOC_JOBS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&j| j >= 1)
-        .unwrap_or_else(crate::default_jobs)
+///
+/// # Errors
+///
+/// A set-but-invalid `COMMLOC_JOBS` (zero, negative, or non-numeric) is
+/// an error rather than a silent fallback to the default — a typo like
+/// `COMMLOC_JOBS=fourty` must not quietly change the worker count.
+pub fn suite_jobs() -> Result<usize, String> {
+    match std::env::var("COMMLOC_JOBS") {
+        Err(std::env::VarError::NotPresent) => Ok(crate::default_jobs()),
+        Err(e) => Err(format!("COMMLOC_JOBS: {e}")),
+        Ok(v) => match v.parse::<usize>() {
+            Ok(jobs) if jobs >= 1 => Ok(jobs),
+            Ok(_) => Err(
+                "COMMLOC_JOBS: must be at least 1 (unset it to use the machine's \
+                 available parallelism)"
+                    .into(),
+            ),
+            Err(_) => Err(format!(
+                "COMMLOC_JOBS: `{v}` is not an integer (unset it to use the machine's \
+                 available parallelism)"
+            )),
+        },
+    }
 }
 
 /// Runs the full validation suite (all mappings, full windows) at one
@@ -85,7 +102,8 @@ pub fn validation_runs(contexts: usize) -> Vec<ValidationRun> {
     };
     let torus = Torus::new(config.dims, config.radix);
     let suite = mapping_suite(&torus, SUITE_SEED);
-    run_sweep(&config, &suite, WARMUP, WINDOW, suite_jobs())
+    let jobs = suite_jobs().expect("invalid COMMLOC_JOBS");
+    run_sweep(&config, &suite, WARMUP, WINDOW, jobs)
         .expect("fault-free validation run")
         .into_iter()
         .map(|p| ValidationRun {
@@ -211,5 +229,22 @@ mod tests {
     fn pct_err_signs() {
         assert!(pct_err(11.0, 10.0) > 0.0);
         assert!(pct_err(9.0, 10.0) < 0.0);
+    }
+
+    #[test]
+    fn suite_jobs_validates_the_environment() {
+        // One test owns every COMMLOC_JOBS state, because the process
+        // environment is shared across the parallel test threads.
+        std::env::remove_var("COMMLOC_JOBS");
+        assert!(suite_jobs().expect("unset env uses the default") >= 1);
+        std::env::set_var("COMMLOC_JOBS", "3");
+        assert_eq!(suite_jobs().expect("explicit job count"), 3);
+        std::env::set_var("COMMLOC_JOBS", "0");
+        let err = suite_jobs().expect_err("zero workers is invalid");
+        assert!(err.contains("at least 1"), "{err}");
+        std::env::set_var("COMMLOC_JOBS", "fourty");
+        let err = suite_jobs().expect_err("words are not worker counts");
+        assert!(err.contains("`fourty` is not an integer"), "{err}");
+        std::env::remove_var("COMMLOC_JOBS");
     }
 }

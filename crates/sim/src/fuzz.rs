@@ -1,0 +1,581 @@
+//! Machine-lockstep differential fuzzing: the active-node engine versus
+//! the retained exhaustive reference stepping mode.
+//!
+//! Each seed draws a random full-machine scenario — torus shape, context
+//! count, clock ratio, mapping, retry/timeout configuration, watchdog
+//! window, and an optional fault plan — and runs two [`Machine`]s over it
+//! in lockstep: one stepped by the active-node engine
+//! ([`Machine::new`]), one by the reference loop
+//! ([`Machine::new_reference`]). The checker requires **bit-identical**
+//! behavior: completion counts (total and per node), measurements,
+//! latency breakdowns, fault logs, and — when the scenario wedges — the
+//! watchdog's stall report, down to the trip cycle.
+//!
+//! Failing seeds shrink through the same greedy fixed-point loop as the
+//! fabric fuzzer ([`commloc_net::fuzz::shrink_with`]) and render a
+//! ready-to-paste repro test. The `commloc fuzz --machine --seeds N`
+//! subcommand drives sweeps from CI.
+
+use crate::machine::{Machine, SimConfig};
+use crate::mapping::Mapping;
+use commloc_mem::MemConfig;
+use commloc_net::fuzz::{shrink_with, Divergence, FaultSpec};
+use commloc_net::{DetRng, Direction, FabricConfig};
+
+/// Domain-separation constant so machine-scenario generation never shares
+/// a stream with the fabric fuzzer or the workloads.
+const SCENARIO_SALT: u64 = 0x7E57_AC71_0EB1_05ED;
+
+/// Lockstep comparison interval in network cycles: long enough to
+/// amortize the checks, short enough to localize a divergence.
+const CHECK_INTERVAL: u64 = 128;
+
+/// Which thread-to-processor mapping a scenario uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MappingKind {
+    /// Thread `i` on processor `i` (distance 1).
+    Identity,
+    /// A seeded uniform random permutation (the Eq. 17 regime).
+    Random(u64),
+    /// Identity perturbed by a seeded number of random swaps.
+    Swaps(u64),
+}
+
+/// One randomly drawn machine-level differential-test case. All fields
+/// are plain data so failing cases can be shrunk and replayed literally.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineScenario {
+    /// Seed for the fault stream (the workload itself is deterministic).
+    pub seed: u64,
+    /// Torus dimensionality (1–3).
+    pub dims: u32,
+    /// Per-dimension radix.
+    pub radix: usize,
+    /// Hardware contexts per processor.
+    pub contexts: usize,
+    /// Network cycles per processor cycle.
+    pub clock_ratio: u32,
+    /// Context-switch cost in processor cycles.
+    pub switch_cycles: u32,
+    /// Computation grain between memory accesses.
+    pub work: u32,
+    /// Controller timeout (`0` disables retries).
+    pub timeout_cycles: u32,
+    /// Retry budget per transaction.
+    pub max_retries: u32,
+    /// Progress-watchdog window (`0` disables it).
+    pub watchdog_cycles: u64,
+    /// Thread-to-processor mapping.
+    pub mapping: MappingKind,
+    /// Trace ring capacity on the active engine only (`0` = off);
+    /// exercised because tracing must never perturb behavior.
+    pub trace_capacity: usize,
+    /// Warmup cycles before the measurement reset.
+    pub warmup: u64,
+    /// Measured cycles after the reset.
+    pub window: u64,
+    /// Optional fault plan, shared verbatim by both engines.
+    pub fault: Option<FaultSpec>,
+}
+
+impl MachineScenario {
+    /// Draws a scenario deterministically from `seed`: small tori (the
+    /// reference engine is intentionally slow), every context count and
+    /// clock ratio, identity/swapped/random mappings, with faults,
+    /// timeouts, and watchdog windows mixed in half the time.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = DetRng::new(seed ^ SCENARIO_SALT);
+        let dims = 1 + rng.index(3) as u32;
+        let radix = match dims {
+            1 => 4 + rng.index(9), // rings of 4..=12 nodes
+            2 => 3 + rng.index(3), // 9..=25 nodes
+            _ => 3,                // 27 nodes
+        };
+        let contexts = [1usize, 2, 4][rng.index(3)];
+        let clock_ratio = if rng.chance(0.5) { 1 } else { 2 };
+        let switch_cycles = [0u32, 2, 11][rng.index(3)];
+        let work = 2 + rng.index(10) as u32;
+        let (timeout_cycles, max_retries) = if rng.chance(0.5) {
+            (100 + rng.index(500) as u32, 1 + rng.index(6) as u32)
+        } else {
+            (0, 8)
+        };
+        let watchdog_cycles = if rng.chance(0.5) {
+            1_500 + rng.range_u64(0, 2_500)
+        } else {
+            0
+        };
+        let nodes = radix.pow(dims);
+        let mapping = match rng.index(3) {
+            0 => MappingKind::Identity,
+            1 => MappingKind::Random(rng.range_u64(1, u64::from(u32::MAX))),
+            _ => MappingKind::Swaps(rng.range_u64(1, u64::from(u32::MAX))),
+        };
+        let trace_capacity = if rng.chance(0.3) { 32 } else { 0 };
+        let warmup = rng.range_u64(200, 1_200);
+        let window = rng.range_u64(800, 3_000);
+        let fault = if rng.chance(0.4) {
+            let mut spec = FaultSpec {
+                drop_rate: if rng.chance(0.5) {
+                    rng.range_f64(0.0, 0.01)
+                } else {
+                    0.0
+                },
+                corrupt_rate: if rng.chance(0.3) {
+                    rng.range_f64(0.0, 0.01)
+                } else {
+                    0.0
+                },
+                stall_rate: if rng.chance(0.3) {
+                    rng.range_f64(0.0, 0.002)
+                } else {
+                    0.0
+                },
+                stall_window: rng.range_u64(10, 120),
+                kills: Vec::new(),
+                link_stalls: Vec::new(),
+                router_stalls: Vec::new(),
+            };
+            let horizon = warmup + window;
+            if rng.chance(0.3) {
+                spec.kills.push((
+                    rng.range_u64(1, horizon),
+                    rng.index(nodes),
+                    rng.index(dims as usize) as u32,
+                    if rng.chance(0.5) {
+                        Direction::Plus
+                    } else {
+                        Direction::Minus
+                    },
+                ));
+            }
+            if rng.chance(0.25) {
+                spec.link_stalls.push((
+                    rng.range_u64(1, horizon),
+                    rng.index(nodes),
+                    rng.index(dims as usize) as u32,
+                    if rng.chance(0.5) {
+                        Direction::Plus
+                    } else {
+                        Direction::Minus
+                    },
+                    rng.range_u64(50, 600),
+                ));
+            }
+            if rng.chance(0.25) {
+                spec.router_stalls.push((
+                    rng.range_u64(1, horizon),
+                    rng.index(nodes),
+                    rng.range_u64(50, 600),
+                ));
+            }
+            if spec.is_empty() {
+                None
+            } else {
+                Some(spec)
+            }
+        } else {
+            None
+        };
+        Self {
+            seed,
+            dims,
+            radix,
+            contexts,
+            clock_ratio,
+            switch_cycles,
+            work,
+            timeout_cycles,
+            max_retries,
+            watchdog_cycles,
+            mapping,
+            trace_capacity,
+            warmup,
+            window,
+            fault,
+        }
+    }
+
+    /// Number of nodes in the scenario's torus.
+    pub fn nodes(&self) -> usize {
+        self.radix.pow(self.dims)
+    }
+
+    /// The mapping object this scenario describes.
+    pub fn build_mapping(&self) -> Mapping {
+        let nodes = self.nodes();
+        match self.mapping {
+            MappingKind::Identity => Mapping::identity(nodes),
+            MappingKind::Random(seed) => Mapping::random(nodes, seed),
+            MappingKind::Swaps(seed) => Mapping::random_swaps(nodes, nodes / 2, seed),
+        }
+    }
+
+    /// The simulation configuration, with tracing enabled only when
+    /// `traced` (the differential pair runs traced-active against
+    /// untraced-reference to prove tracing is behavior-neutral).
+    fn sim_config(&self, traced: bool) -> SimConfig {
+        SimConfig {
+            dims: self.dims,
+            radix: self.radix,
+            contexts: self.contexts,
+            clock_ratio: self.clock_ratio,
+            switch_cycles: self.switch_cycles,
+            work: self.work,
+            mem: MemConfig {
+                timeout_cycles: self.timeout_cycles,
+                max_retries: self.max_retries,
+                ..MemConfig::default()
+            },
+            fabric: FabricConfig {
+                link_vcs: 4,
+                vc_buffer_capacity: 8,
+                injection_buffer_capacity: 8,
+                trace_capacity: if traced { self.trace_capacity } else { 0 },
+                ..FabricConfig::default()
+            },
+            watchdog_cycles: self.watchdog_cycles,
+            fault_plan: self.fault.as_ref().map(|spec| spec.build(self.seed)),
+        }
+    }
+}
+
+/// An intentional perturbation of the **reference** machine only — the
+/// hook proving the differential checker and shrinker actually fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineMutation {
+    /// Lengthen the reference machine's computation grain by one cycle,
+    /// desynchronizing every issue schedule.
+    SkewWork,
+}
+
+/// Statistics from one clean machine-lockstep run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MachineFuzzReport {
+    /// Transactions completed by each engine.
+    pub completions: u64,
+    /// Network cycles both machines reached.
+    pub net_cycles: u64,
+    /// Whether the run ended in a (bit-identical) watchdog stall.
+    pub stalled: bool,
+}
+
+macro_rules! check_eq {
+    ($cycle:expr, $a:expr, $b:expr, $what:expr) => {
+        if $a != $b {
+            return Err(Divergence {
+                cycle: $cycle,
+                what: format!("{}: active {:?} != reference {:?}", $what, $a, $b),
+            });
+        }
+    };
+}
+
+/// Runs one seed's lockstep differential check.
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] between the engines.
+pub fn run_seed(seed: u64) -> Result<MachineFuzzReport, Divergence> {
+    run_scenario(&MachineScenario::from_seed(seed))
+}
+
+/// Runs a scenario's lockstep differential check.
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] between the engines.
+pub fn run_scenario(scenario: &MachineScenario) -> Result<MachineFuzzReport, Divergence> {
+    run_scenario_mutated(scenario, None)
+}
+
+/// [`run_scenario`] with an optional intentional mutation applied to the
+/// reference machine — the test hook proving the checker can fail.
+/// Production sweeps pass `None`.
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] detected (which, under a mutation,
+/// is the expected outcome).
+pub fn run_scenario_mutated(
+    scenario: &MachineScenario,
+    mutation: Option<MachineMutation>,
+) -> Result<MachineFuzzReport, Divergence> {
+    let mapping = scenario.build_mapping();
+    let mut ref_config = scenario.sim_config(false);
+    if mutation == Some(MachineMutation::SkewWork) {
+        ref_config.work += 1;
+    }
+    let mut active = Machine::new(&scenario.sim_config(true), &mapping);
+    let mut reference = Machine::new_reference(&ref_config, &mapping);
+
+    let mut stalled = false;
+    'phases: for (name, cycles) in [("warmup", scenario.warmup), ("window", scenario.window)] {
+        let mut left = cycles;
+        while left > 0 {
+            let chunk = left.min(CHECK_INTERVAL);
+            let ra = active.run_network_cycles(chunk);
+            let rb = reference.run_network_cycles(chunk);
+            let now = Some(active.net_cycle());
+            check_eq!(now, ra, rb, format!("{name} step result"));
+            check_eq!(
+                now,
+                active.net_cycle(),
+                reference.net_cycle(),
+                "network clock"
+            );
+            if ra.is_err() {
+                // Both stalled with the identical report: the run ends
+                // here on both sides, already proven equal.
+                stalled = true;
+                break 'phases;
+            }
+            check_eq!(
+                now,
+                active.completions(),
+                reference.completions(),
+                "completions"
+            );
+            check_eq!(
+                now,
+                active.completions_per_node(),
+                reference.completions_per_node(),
+                "per-node completions"
+            );
+            check_eq!(now, active.measure(), reference.measure(), "measurements");
+            left -= chunk;
+        }
+        if name == "warmup" {
+            active.reset_measurements();
+            reference.reset_measurements();
+        }
+    }
+
+    let end = Some(active.net_cycle());
+    check_eq!(
+        end,
+        active.latency_breakdown(),
+        reference.latency_breakdown(),
+        "latency breakdown"
+    );
+    check_eq!(end, active.fault_log(), reference.fault_log(), "fault log");
+    check_eq!(
+        end,
+        active.total_iterations(),
+        reference.total_iterations(),
+        "workload iterations"
+    );
+    Ok(MachineFuzzReport {
+        completions: active.completions(),
+        net_cycles: active.net_cycle(),
+        stalled,
+    })
+}
+
+/// Result of shrinking a failing machine scenario to a minimal one.
+#[derive(Debug, Clone)]
+pub struct MachineShrinkOutcome {
+    /// The minimal failing scenario found.
+    pub scenario: MachineScenario,
+    /// Its divergence.
+    pub divergence: Divergence,
+    /// Candidate scenarios tried during shrinking.
+    pub attempts: u32,
+}
+
+impl MachineShrinkOutcome {
+    /// Renders a ready-to-paste `#[test]` that replays the minimal
+    /// failing scenario (paste into a crate depending on `commloc-sim`
+    /// with the `reference-engine` feature).
+    pub fn repro_test(&self) -> String {
+        let s = &self.scenario;
+        let fault = match &s.fault {
+            None => "None".to_owned(),
+            Some(f) => format!(
+                "Some(FaultSpec {{\n            drop_rate: {:?},\n            corrupt_rate: {:?},\n            \
+                 stall_rate: {:?},\n            stall_window: {},\n            kills: vec!{:?},\n            \
+                 link_stalls: vec!{:?},\n            router_stalls: vec!{:?},\n        }})",
+                f.drop_rate,
+                f.corrupt_rate,
+                f.stall_rate,
+                f.stall_window,
+                f.kills,
+                f.link_stalls,
+                f.router_stalls
+            ),
+        };
+        format!(
+            "#[test]\nfn machine_fuzz_repro_seed_{seed}() {{\n    \
+             use commloc_sim::fuzz::{{run_scenario, MachineScenario, MappingKind}};\n    \
+             use commloc_net::fuzz::FaultSpec;\n    use commloc_net::Direction;\n    \
+             let _ = &Direction::Plus; // used by fault literals\n    \
+             let scenario = MachineScenario {{\n        seed: {seed},\n        dims: {dims},\n        \
+             radix: {radix},\n        contexts: {contexts},\n        clock_ratio: {ratio},\n        \
+             switch_cycles: {switch},\n        work: {work},\n        timeout_cycles: {timeout},\n        \
+             max_retries: {retries},\n        watchdog_cycles: {watchdog},\n        \
+             mapping: MappingKind::{mapping:?},\n        trace_capacity: {tcap},\n        \
+             warmup: {warmup},\n        window: {window},\n        fault: {fault},\n    }};\n    \
+             run_scenario(&scenario).expect(\"active and reference machines must agree\");\n}}\n",
+            seed = s.seed,
+            dims = s.dims,
+            radix = s.radix,
+            contexts = s.contexts,
+            ratio = s.clock_ratio,
+            switch = s.switch_cycles,
+            work = s.work,
+            timeout = s.timeout_cycles,
+            retries = s.max_retries,
+            watchdog = s.watchdog_cycles,
+            mapping = s.mapping,
+            tcap = s.trace_capacity,
+            warmup = s.warmup,
+            window = s.window,
+            fault = fault,
+        )
+    }
+}
+
+/// Greedily shrinks a failing machine scenario through the shared
+/// fixed-point loop ([`shrink_with`]); the `mutation`, if any, is held
+/// constant across candidates.
+///
+/// Returns `None` if `scenario` does not actually fail.
+pub fn shrink(
+    scenario: &MachineScenario,
+    mutation: Option<MachineMutation>,
+) -> Option<MachineShrinkOutcome> {
+    let (scenario, divergence, attempts) = shrink_with(
+        scenario,
+        |s| run_scenario_mutated(s, mutation).err(),
+        reductions,
+    )?;
+    Some(MachineShrinkOutcome {
+        scenario,
+        divergence,
+        attempts,
+    })
+}
+
+/// Candidate single-step reductions, most aggressive first.
+fn reductions(s: &MachineScenario) -> Vec<MachineScenario> {
+    let mut out = Vec::new();
+    if s.window > 400 {
+        let mut c = s.clone();
+        c.window = (s.window / 2).max(400);
+        out.push(c);
+    }
+    if s.warmup > 0 {
+        let mut c = s.clone();
+        c.warmup = s.warmup / 2;
+        out.push(c);
+    }
+    if s.fault.is_some() {
+        let mut c = s.clone();
+        c.fault = None;
+        out.push(c);
+    }
+    if s.watchdog_cycles > 0 {
+        let mut c = s.clone();
+        c.watchdog_cycles = 0;
+        out.push(c);
+    }
+    if s.timeout_cycles > 0 {
+        let mut c = s.clone();
+        c.timeout_cycles = 0;
+        out.push(c);
+    }
+    if s.contexts > 1 {
+        let mut c = s.clone();
+        c.contexts = 1;
+        out.push(c);
+    }
+    if s.mapping != MappingKind::Identity {
+        let mut c = s.clone();
+        c.mapping = MappingKind::Identity;
+        out.push(c);
+    }
+    if s.dims > 1 {
+        let mut c = s.clone();
+        c.dims = s.dims - 1;
+        out.push(c);
+    }
+    if s.radix > 3 {
+        let mut c = s.clone();
+        c.radix = s.radix - 1;
+        out.push(c);
+    }
+    if s.switch_cycles > 0 {
+        let mut c = s.clone();
+        c.switch_cycles = 0;
+        out.push(c);
+    }
+    if s.work > 1 {
+        let mut c = s.clone();
+        c.work = (s.work / 2).max(1);
+        out.push(c);
+    }
+    if s.trace_capacity > 0 {
+        let mut c = s.clone();
+        c.trace_capacity = 0;
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_generation_is_deterministic_and_valid() {
+        for seed in 0..200u64 {
+            let a = MachineScenario::from_seed(seed);
+            let b = MachineScenario::from_seed(seed);
+            assert_eq!(a, b, "seed {seed} not deterministic");
+            assert!((1..=3).contains(&a.dims));
+            assert!(a.nodes() >= 4 && a.nodes() <= 27, "seed {seed}");
+            assert!(a.contexts == 1 || a.contexts == 2 || a.contexts == 4);
+            assert!(a.clock_ratio == 1 || a.clock_ratio == 2);
+            assert!(a.window >= 800);
+        }
+    }
+
+    #[test]
+    fn machine_fuzz_sweep_short() {
+        // A quick slice of the sweep; CI runs hundreds of seeds through
+        // `commloc fuzz --machine`.
+        for seed in 0..12u64 {
+            if let Err(d) = run_seed(seed) {
+                panic!("seed {seed}: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_trips_the_machine_checker() {
+        // A longer grain on the reference machine must desynchronize the
+        // engines; if the checker cannot see that, it verifies nothing.
+        let tripped = (0..4u64).any(|seed| {
+            let scenario = MachineScenario::from_seed(seed);
+            run_scenario_mutated(&scenario, Some(MachineMutation::SkewWork)).is_err()
+        });
+        assert!(tripped, "SkewWork never diverged across 4 seeds");
+    }
+
+    #[test]
+    fn shrinker_minimizes_and_prints_machine_repro() {
+        let scenario = MachineScenario::from_seed(1);
+        let outcome =
+            shrink(&scenario, Some(MachineMutation::SkewWork)).expect("mutated scenario must fail");
+        assert!(outcome.scenario.window <= scenario.window);
+        let repro = outcome.repro_test();
+        assert!(repro.contains("machine_fuzz_repro_seed_1"));
+        assert!(repro.contains("MachineScenario {"));
+    }
+
+    #[test]
+    fn shrink_returns_none_for_passing_machine_scenario() {
+        let scenario = MachineScenario::from_seed(0);
+        assert!(shrink(&scenario, None).is_none());
+    }
+}

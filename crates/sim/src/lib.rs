@@ -35,6 +35,8 @@ mod csv;
 mod disturbance;
 mod error;
 mod fit;
+#[cfg(any(test, feature = "reference-engine"))]
+pub mod fuzz;
 mod machine;
 mod mapping;
 mod parallel;

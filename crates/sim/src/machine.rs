@@ -12,6 +12,23 @@
 //! inter-message injection time `t_m`, message latency `T_m`, per-hop
 //! latency `T_h`, channel utilization, communication distance `d`, and
 //! the per-transaction message statistics `g` and `B`.
+//!
+//! # The active-node engine
+//!
+//! Stepping is built around an **active-node worklist with cross-layer
+//! next-event horizons** (DESIGN.md §4.9). Each processor boundary visits
+//! only the nodes that can possibly act — a node is enqueued when the
+//! fabric delivers to it, when it has processor or controller work of its
+//! own, or when a retry timer fires — and when the worklist is empty and
+//! the fabric is drained, [`Machine::run_network_cycles`] fast-forwards
+//! the whole machine to the earliest next event (`min` of the run target,
+//! the first retry deadline, and the watchdog trip cycle). Each layer
+//! contributes its horizon: `Processor::next_wake`,
+//! `Controller::next_deadline`, and `Fabric::fast_forward`. The previous
+//! exhaustive every-node-every-cycle loop is retained as a reference
+//! stepping mode ([`Machine::new_reference`], `reference-engine` feature)
+//! and the differential fuzzer asserts bit-identical behavior between the
+//! two across random scenarios.
 
 use crate::breakdown::{SpanEvent, SpanLog, TransactionBreakdown};
 use crate::error::{SimError, StallKind, StallReport};
@@ -19,11 +36,11 @@ use crate::mapping::Mapping;
 use crate::workload::{workload_home_map, TorusNeighborProgram};
 use commloc_mem::{Controller, MemConfig, ProtocolMsg, TxnId};
 use commloc_net::{
-    Fabric, FabricConfig, FaultLog, FaultPlan, LatencyBreakdown, Message, NodeId, Torus,
+    ActiveSet, Fabric, FabricConfig, FaultLog, FaultPlan, LatencyBreakdown, Message, NodeId, Torus,
     TraceBuffer,
 };
 use commloc_proc::{Processor, ThreadProgram};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Full-system simulation parameters.
@@ -182,6 +199,31 @@ pub struct Machine {
     /// Transaction-level span ring, present iff tracing is enabled
     /// (`config.fabric.trace_capacity > 0`).
     spans: Option<SpanLog>,
+    /// Nodes with possible work at the next processor boundary (the
+    /// active-node worklist).
+    active: ActiveSet,
+    /// Processor-boundary index at which each node's processor and
+    /// controller clocks were last advanced. Dormant nodes accrue "idle
+    /// debt" settled lazily on their next visit (or by
+    /// [`Machine::reset_measurements`]), since a dormant boundary is
+    /// exactly `{cpu: cycles+1/idle+1, ctrl: cycle+1}` for both layers.
+    last_stepped: Vec<u64>,
+    /// Dormant nodes keyed by the processor-boundary index of their
+    /// earliest retry/backoff deadline (controller local cycles coincide
+    /// with boundary indices). Stale entries are harmless: a woken node
+    /// visit with no due timer is a no-op identical to a reference step.
+    timer_wakes: BTreeMap<u64, Vec<u32>>,
+    /// Scratch: snapshot of the active set being visited.
+    node_scratch: Vec<u32>,
+    /// Scratch: drained fabric delivery events.
+    event_scratch: Vec<u32>,
+    /// Network cycles skipped by machine-level fast-forward jumps
+    /// (diagnostic: lets tests and benches assert the quiescent path
+    /// actually fired, since its whole point is being unobservable).
+    fast_forwarded: u64,
+    /// Step with the retained exhaustive every-node loop instead of the
+    /// active-node engine (differential testing only).
+    reference: bool,
 }
 
 impl Machine {
@@ -193,6 +235,20 @@ impl Machine {
     ///
     /// Panics if the mapping size does not match the torus.
     pub fn new(config: &SimConfig, mapping: &Mapping) -> Self {
+        Self::new_with_engine(config, mapping, false)
+    }
+
+    /// Builds a machine that steps with the retained exhaustive
+    /// every-node-every-boundary loop instead of the active-node engine.
+    /// Differential-testing surface only: the two engines are asserted
+    /// bit-identical by the golden-equivalence tests and
+    /// `commloc fuzz --machine`.
+    #[cfg(any(test, feature = "reference-engine"))]
+    pub fn new_reference(config: &SimConfig, mapping: &Mapping) -> Self {
+        Self::new_with_engine(config, mapping, true)
+    }
+
+    fn new_with_engine(config: &SimConfig, mapping: &Mapping, reference: bool) -> Self {
         let mut config = config.clone();
         let torus = Torus::new(config.dims, config.radix);
         let fault_plan = config.fault_plan.take();
@@ -235,6 +291,12 @@ impl Machine {
             Some(plan) => Fabric::with_fault_plan(torus, config.fabric, plan),
             None => Fabric::new(torus, config.fabric),
         };
+        // Every node starts with runnable processor work, so the active
+        // set begins full.
+        let mut active = ActiveSet::new(node_count);
+        for n in 0..node_count {
+            active.insert(n);
+        }
         Self {
             fabric,
             nodes,
@@ -250,6 +312,13 @@ impl Machine {
             spans: (config.fabric.trace_capacity > 0)
                 .then(|| SpanLog::new(config.fabric.trace_capacity)),
             config,
+            active,
+            last_stepped: vec![0; node_count],
+            timer_wakes: BTreeMap::new(),
+            node_scratch: Vec::new(),
+            event_scratch: Vec::new(),
+            fast_forwarded: 0,
+            reference,
         }
     }
 
@@ -284,21 +353,95 @@ impl Machine {
             .net_cycle
             .is_multiple_of(u64::from(self.config.clock_ratio))
         {
-            self.step_nodes()?;
+            if self.reference {
+                self.step_nodes_reference()?;
+            } else {
+                self.step_nodes_active()?;
+            }
         }
         self.check_watchdog()
     }
 
     /// Advances `cycles` network cycles.
     ///
+    /// With the active-node engine, fully quiescent stretches — no
+    /// messages in flight, every node dormant — are fast-forwarded to the
+    /// earliest next-event horizon in O(active components) instead of
+    /// being stepped cycle by cycle; the observable behavior (stats,
+    /// fault log, watchdog trips, measurements) is bit-identical to
+    /// per-cycle stepping.
+    ///
     /// # Errors
     ///
     /// Propagates the first error from [`Machine::step`].
     pub fn run_network_cycles(&mut self, cycles: u64) -> Result<(), SimError> {
-        for _ in 0..cycles {
+        let target = self.net_cycle + cycles;
+        while self.net_cycle < target {
+            if !self.reference {
+                self.try_fast_forward(target);
+            }
             self.step()?;
         }
         Ok(())
+    }
+
+    /// When the whole machine is quiescent, jumps the clock to one cycle
+    /// before the earliest next-event horizon; the ordinary [`Machine::step`]
+    /// that follows then lands exactly on the horizon cycle and performs
+    /// full boundary and watchdog processing there.
+    ///
+    /// Quiescence means: the fabric is drained (no queued, streaming, or
+    /// in-network message — scheduled faults inside the gap are still
+    /// fired at their exact cycles by [`Fabric::fast_forward`]) and every
+    /// node is dormant. The skipped cycles are provably no-ops: a dormant
+    /// boundary touches nothing observable, and the watchdog's progress
+    /// marker cannot change while nothing moves, so intermediate checks
+    /// only re-derive `stalled_for` values below the trip threshold.
+    ///
+    /// The horizon is `min` of the run target, the first retry-timer wake
+    /// (from [`Controller::next_deadline`]), and the watchdog trip cycle.
+    fn try_fast_forward(&mut self, target: u64) {
+        if self.fabric.in_flight() != 0 {
+            return;
+        }
+        // Deliveries pushed but not yet polled mean node work at the next
+        // boundary: fold the pending events into the worklist first.
+        self.fabric.take_delivery_events(&mut self.event_scratch);
+        for i in 0..self.event_scratch.len() {
+            self.active.insert(self.event_scratch[i] as usize);
+        }
+        if !self.active.is_empty() {
+            return;
+        }
+        let ratio = u64::from(self.config.clock_ratio);
+        let mut horizon = target;
+        if let Some((&wake, _)) = self.timer_wakes.first_key_value() {
+            horizon = horizon.min(wake.saturating_mul(ratio));
+        }
+        if self.config.watchdog_cycles > 0 {
+            // The watchdog trips when `max(net_cycle - progress_cycle,
+            // oldest transaction age)` reaches the window — i.e. at
+            // exactly `min(progress_cycle, oldest issue) + window`.
+            let base = self
+                .oldest_outstanding_issue()
+                .map_or(self.progress_cycle, |issued| {
+                    issued.min(self.progress_cycle)
+                });
+            horizon = horizon.min(base + self.config.watchdog_cycles);
+        }
+        if horizon.saturating_sub(1) <= self.net_cycle {
+            return;
+        }
+        let jumped = self.fabric.fast_forward_to(horizon - 1);
+        self.net_cycle += jumped;
+        self.fast_forwarded += jumped;
+    }
+
+    /// Total network cycles skipped by quiescent fast-forward jumps —
+    /// always 0 for the reference engine. Diagnostic only: the jumps are
+    /// behaviorally invisible by construction.
+    pub fn fast_forwarded_cycles(&self) -> u64 {
+        self.fast_forwarded
     }
 
     /// The progress watchdog. Two trip conditions:
@@ -321,19 +464,9 @@ impl Machine {
         if window == 0 {
             return Ok(());
         }
-        // Drop completed transactions from the front of the issue-order
-        // queue; the first survivor is the oldest outstanding one.
-        while let Some(front) = self.txn_issue_order.front() {
-            if self.txn_issue_cycle.contains_key(front) {
-                break;
-            }
-            self.txn_issue_order.pop_front();
-        }
         let oldest_txn_age = self
-            .txn_issue_order
-            .front()
-            .and_then(|txn| self.txn_issue_cycle.get(txn))
-            .map_or(0, |&issued| self.net_cycle - issued);
+            .oldest_outstanding_issue()
+            .map_or(0, |issued| self.net_cycle - issued);
         let stalled_for = (self.net_cycle - self.progress_cycle).max(oldest_txn_age);
         if stalled_for < window {
             return Ok(());
@@ -368,9 +501,30 @@ impl Machine {
         })))
     }
 
+    /// Issue cycle of the oldest still-outstanding transaction, dropping
+    /// completed transactions from the front of the issue-order queue
+    /// along the way (issue cycles are monotone, so the first survivor is
+    /// the oldest — O(1) amortized).
+    fn oldest_outstanding_issue(&mut self) -> Option<u64> {
+        while let Some(front) = self.txn_issue_order.front() {
+            if self.txn_issue_cycle.contains_key(front) {
+                break;
+            }
+            self.txn_issue_order.pop_front();
+        }
+        self.txn_issue_order
+            .front()
+            .and_then(|txn| self.txn_issue_cycle.get(txn))
+            .copied()
+    }
+
     /// Resets every statistics window (fabric, controllers, processors,
     /// and transaction counters) — call after warmup.
     pub fn reset_measurements(&mut self) {
+        // Settle dormant nodes' lazy idle debt first, so the per-node
+        // cycle counters the new window starts from match exhaustive
+        // stepping exactly.
+        self.settle_idle_debts();
         self.fabric.reset_stats();
         for node in &mut self.nodes {
             node.ctrl.reset_stats();
@@ -378,6 +532,27 @@ impl Machine {
         }
         self.window = Window::default();
         self.window_start = self.net_cycle;
+    }
+
+    /// Applies every dormant node's outstanding idle debt: advances its
+    /// processor and controller clocks to the latest processor boundary,
+    /// exactly as the skipped boundaries would have (each is a pure
+    /// `{cycles+1, idle+1}` / `{cycle+1}` tick for a dormant node).
+    fn settle_idle_debts(&mut self) {
+        // The reference engine steps every node at every boundary, so no
+        // debt ever accrues (and `last_stepped` is not maintained there).
+        if self.reference {
+            return;
+        }
+        let boundary = self.net_cycle / u64::from(self.config.clock_ratio);
+        for (n, node) in self.nodes.iter_mut().enumerate() {
+            let debt = boundary - self.last_stepped[n];
+            if debt > 0 {
+                node.cpu.advance_idle(debt);
+                node.ctrl.advance_idle(debt);
+                self.last_stepped[n] = boundary;
+            }
+        }
     }
 
     /// Produces the measurement record for the current window.
@@ -434,9 +609,75 @@ impl Machine {
             .sum()
     }
 
-    fn step_nodes(&mut self) -> Result<(), SimError> {
+    /// The retained exhaustive stepping loop: every node, every boundary,
+    /// in ascending order. The active-node engine must be bit-identical
+    /// to this (asserted by the golden-equivalence tests and the
+    /// `--machine` differential fuzzer).
+    fn step_nodes_reference(&mut self) -> Result<(), SimError> {
         let now = self.net_cycle;
         for n in 0..self.nodes.len() {
+            self.visit_node(n, now)?;
+        }
+        Ok(())
+    }
+
+    /// The active-node engine's boundary: folds fabric delivery events
+    /// and due retry timers into the worklist, visits only the listed
+    /// nodes (ascending, like the exhaustive loop), settles each node's
+    /// lazy idle debt before its real step, and updates residency — a
+    /// node leaves the worklist when its processor is fully blocked and
+    /// its controller dormant, re-entering on a delivery or timer.
+    fn step_nodes_active(&mut self) -> Result<(), SimError> {
+        let now = self.net_cycle;
+        let boundary = now / u64::from(self.config.clock_ratio);
+        self.fabric.take_delivery_events(&mut self.event_scratch);
+        for i in 0..self.event_scratch.len() {
+            self.active.insert(self.event_scratch[i] as usize);
+        }
+        while let Some((&wake, _)) = self.timer_wakes.first_key_value() {
+            if wake > boundary {
+                break;
+            }
+            let (_, woken) = self.timer_wakes.pop_first().expect("peeked entry");
+            for n in woken {
+                self.active.insert(n as usize);
+            }
+        }
+        let mut worklist = std::mem::take(&mut self.node_scratch);
+        self.active.collect_into(&mut worklist);
+        let mut result = Ok(());
+        for &n in &worklist {
+            let n = n as usize;
+            // Skipped boundaries were pure idle ticks for both layers;
+            // apply them in bulk before the real step.
+            let debt = boundary - self.last_stepped[n] - 1;
+            if debt > 0 {
+                self.nodes[n].cpu.advance_idle(debt);
+                self.nodes[n].ctrl.advance_idle(debt);
+            }
+            self.last_stepped[n] = boundary;
+            if let Err(e) = self.visit_node(n, now) {
+                result = Err(e);
+                break;
+            }
+            let node = &self.nodes[n];
+            if node.cpu.next_wake().is_none() && !node.ctrl.has_pending_work() {
+                self.active.remove(n);
+                // Controller local cycles coincide with boundary indices,
+                // so a deadline is directly the boundary to wake at.
+                if let Some(deadline) = node.ctrl.next_deadline() {
+                    self.timer_wakes.entry(deadline).or_default().push(n as u32);
+                }
+            }
+        }
+        self.node_scratch = worklist;
+        result
+    }
+
+    /// One node's processor boundary: the five phases of the stepping
+    /// contract, shared verbatim by both engines.
+    fn visit_node(&mut self, n: usize, now: u64) -> Result<(), SimError> {
+        {
             // 1. Network deliveries reach the controller.
             while let Some(delivery) = self.fabric.poll_delivery(NodeId(n)) {
                 if let Some(spans) = self.spans.as_mut() {
@@ -862,5 +1103,187 @@ mod tests {
         assert_eq!(log_a, log_b, "fault logs diverged for identical seeds");
         assert_eq!(m_a, m_b, "measurements diverged for identical seeds");
         assert!(!log_a.is_empty(), "no faults injected; test is vacuous");
+    }
+
+    /// A small machine for engine-equivalence tests: the reference engine
+    /// is O(nodes) per boundary, so 16 nodes keep the lockstep runs fast.
+    fn small_config() -> SimConfig {
+        SimConfig {
+            dims: 2,
+            radix: 4,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn watchdog_trips_identically_across_engines_on_killed_link() {
+        use commloc_net::{Direction, FaultPlan};
+        // A killed link wedges transactions routed over it; the fabric
+        // never drains, so the active engine cannot fast-forward — the
+        // watchdog must still trip at the exact same cycle with the exact
+        // same diagnostics as exhaustive stepping.
+        let config = SimConfig {
+            watchdog_cycles: 3_000,
+            fault_plan: Some(FaultPlan::new(7).kill_link_at(1_000, 0, 0, Direction::Plus)),
+            ..small_config()
+        };
+        let mapping = Mapping::identity(16);
+        let mut active = Machine::new(&config, &mapping);
+        let mut reference = Machine::new_reference(&config, &mapping);
+        let ea = active
+            .run_network_cycles(200_000)
+            .expect_err("killed link must wedge the workload");
+        let eb = reference
+            .run_network_cycles(200_000)
+            .expect_err("killed link must wedge the workload");
+        assert_eq!(ea, eb, "stall reports must be bit-identical");
+        assert_eq!(active.net_cycle(), reference.net_cycle());
+        let SimError::Stalled(report) = ea else {
+            panic!("expected a stall, got {ea}");
+        };
+        assert_eq!(report.kind, StallKind::Deadlock);
+    }
+
+    #[test]
+    fn watchdog_backpressure_classification_matches_across_engines() {
+        use commloc_net::FaultPlan;
+        let config = SimConfig {
+            watchdog_cycles: 2_000,
+            fault_plan: Some(FaultPlan::new(3).stall_router_at(1_000, 5, 50_000)),
+            ..small_config()
+        };
+        let mapping = Mapping::identity(16);
+        let mut active = Machine::new(&config, &mapping);
+        let mut reference = Machine::new_reference(&config, &mapping);
+        let ra = active.run_network_cycles(60_000);
+        let rb = reference.run_network_cycles(60_000);
+        assert_eq!(ra, rb, "transient-stall outcomes must match");
+        assert_eq!(active.net_cycle(), reference.net_cycle());
+        if let Err(SimError::Stalled(report)) = ra {
+            assert_eq!(report.kind, StallKind::Backpressure);
+        }
+    }
+
+    #[test]
+    fn fast_forward_through_retry_gaps_is_invisible_and_does_not_false_trip() {
+        use commloc_net::{FaultConfig, FaultPlan};
+        // Heavy drops + a long retry timeout carve genuine idle gaps: all
+        // processors blocked, the fabric drained, the next event a retry
+        // deadline. The active engine must jump those gaps (asserted via
+        // the diagnostic counter) while the watchdog — window larger than
+        // any gap — stays quiet, and every observable stays bit-identical
+        // to exhaustive stepping.
+        let config = SimConfig {
+            mem: MemConfig {
+                timeout_cycles: 3_000,
+                max_retries: 30,
+                ..MemConfig::default()
+            },
+            watchdog_cycles: 40_000,
+            fault_plan: Some(FaultPlan::new(23).with_config(FaultConfig {
+                drop_rate: 0.05,
+                ..FaultConfig::default()
+            })),
+            ..small_config()
+        };
+        let mapping = Mapping::identity(16);
+        let mut active = Machine::new(&config, &mapping);
+        let mut reference = Machine::new_reference(&config, &mapping);
+        let ra = active.run_network_cycles(60_000);
+        let rb = reference.run_network_cycles(60_000);
+        assert_eq!(ra, rb, "retry-gap runs must agree");
+        assert!(
+            ra.is_ok(),
+            "watchdog must not trip inside retry gaps: {ra:?}"
+        );
+        assert_eq!(active.net_cycle(), reference.net_cycle());
+        assert_eq!(active.measure(), reference.measure());
+        assert_eq!(active.fault_log(), reference.fault_log());
+        assert_eq!(
+            active.completions_per_node(),
+            reference.completions_per_node()
+        );
+        assert!(
+            active.fast_forwarded_cycles() > 0,
+            "no quiescent gap was jumped; the scenario does not exercise fast-forward"
+        );
+        assert_eq!(reference.fast_forwarded_cycles(), 0);
+    }
+
+    #[test]
+    fn fast_forward_lands_watchdog_trips_on_the_exact_cycle() {
+        use commloc_net::{FaultConfig, FaultPlan};
+        // With retries disabled, every dropped message permanently wedges
+        // one thread. At a 5% drop rate all 16 single-context nodes wedge
+        // within a few thousand cycles — long before the oldest stuck
+        // transaction ages past the window — leaving the machine fully
+        // quiescent with the watchdog trip as the only future event. The
+        // active engine fast-forwards straight to that horizon — and must
+        // report the identical cycle and diagnostics as the reference
+        // engine grinding through the gap cycle by cycle.
+        let config = SimConfig {
+            mem: MemConfig {
+                timeout_cycles: 0,
+                ..MemConfig::default()
+            },
+            watchdog_cycles: 30_000,
+            fault_plan: Some(FaultPlan::new(41).with_config(FaultConfig {
+                drop_rate: 0.05,
+                ..FaultConfig::default()
+            })),
+            ..small_config()
+        };
+        let mapping = Mapping::identity(16);
+        let mut active = Machine::new(&config, &mapping);
+        let mut reference = Machine::new_reference(&config, &mapping);
+        let ea = active
+            .run_network_cycles(400_000)
+            .expect_err("an unretried drop must wedge the machine");
+        let eb = reference
+            .run_network_cycles(400_000)
+            .expect_err("an unretried drop must wedge the machine");
+        assert_eq!(ea, eb, "trip cycle and diagnostics must be bit-identical");
+        assert_eq!(active.net_cycle(), reference.net_cycle());
+        assert!(
+            active.fast_forwarded_cycles() > 0,
+            "the wedge gap should have been jumped"
+        );
+    }
+
+    #[test]
+    fn engines_agree_across_random_fault_plans() {
+        use commloc_net::{DetRng, FaultConfig, FaultPlan};
+        // Property check over DetRng-drawn fault plans (the machine
+        // fuzzer sweeps far wider ranges; this is the always-on slice).
+        for seed in 0..4u64 {
+            let mut rng = DetRng::new(seed ^ 0xD06_F00D);
+            let config = SimConfig {
+                mem: MemConfig {
+                    timeout_cycles: if rng.chance(0.5) {
+                        1_000 + rng.range_u64(0, 2_000) as u32
+                    } else {
+                        0
+                    },
+                    max_retries: 1 + rng.range_u64(0, 6) as u32,
+                    ..MemConfig::default()
+                },
+                watchdog_cycles: 30_000,
+                fault_plan: Some(FaultPlan::new(seed).with_config(FaultConfig {
+                    drop_rate: rng.range_f64(0.0, 0.01),
+                    corrupt_rate: rng.range_f64(0.0, 0.005),
+                    ..FaultConfig::default()
+                })),
+                ..small_config()
+            };
+            let mapping = Mapping::identity(16);
+            let mut active = Machine::new(&config, &mapping);
+            let mut reference = Machine::new_reference(&config, &mapping);
+            let ra = active.run_network_cycles(25_000);
+            let rb = reference.run_network_cycles(25_000);
+            assert_eq!(ra, rb, "seed {seed}: outcomes diverged");
+            assert_eq!(active.net_cycle(), reference.net_cycle(), "seed {seed}");
+            assert_eq!(active.measure(), reference.measure(), "seed {seed}");
+            assert_eq!(active.fault_log(), reference.fault_log(), "seed {seed}");
+        }
     }
 }
