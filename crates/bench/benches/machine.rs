@@ -24,13 +24,16 @@
 
 use commloc_mem::MemConfig;
 use commloc_net::{FaultConfig, FaultPlan};
-use commloc_sim::{Machine, Mapping, SimConfig};
+use commloc_sim::{Machine, Mapping, MigrationSpec, SimConfig};
 use std::path::PathBuf;
 
 struct Scenario {
     name: &'static str,
     config: SimConfig,
     mapping: Mapping,
+    /// Migration policy spec, built fresh per engine (`None` = static
+    /// machine without the resilience layer).
+    migration: Option<MigrationSpec>,
     /// Network-cycle run bound; fault scenarios may trip the watchdog
     /// earlier (identically on both engines).
     cycles: u64,
@@ -56,6 +59,7 @@ fn scenarios() -> Vec<Scenario> {
             name: "fig3_dense_identity_8x8",
             config: SimConfig::default(),
             mapping: Mapping::identity(64),
+            migration: None,
             cycles: 30_000,
         },
         Scenario {
@@ -67,6 +71,7 @@ fn scenarios() -> Vec<Scenario> {
                 ..SimConfig::default()
             },
             mapping: Mapping::random(64, 1992),
+            migration: None,
             cycles: 30_000,
         },
         Scenario {
@@ -90,6 +95,7 @@ fn scenarios() -> Vec<Scenario> {
                 ..SimConfig::default()
             },
             mapping: Mapping::identity(16),
+            migration: None,
             cycles: 120_000,
         },
         Scenario {
@@ -113,7 +119,37 @@ fn scenarios() -> Vec<Scenario> {
                 ..SimConfig::default()
             },
             mapping: Mapping::identity(16),
+            migration: None,
             cycles: 400_000,
+        },
+        Scenario {
+            // Resilience regime: unretried drops continuously wedge
+            // threads while the work-stealing policy migrates them away
+            // — gates the policy layer's boundary scan, park/adopt
+            // machinery, and the extra fast-forward clamps it installs.
+            name: "resilience_migration_4x4",
+            config: SimConfig {
+                dims: 2,
+                radix: 4,
+                mem: MemConfig {
+                    timeout_cycles: 0,
+                    ..MemConfig::default()
+                },
+                watchdog_cycles: 100_000,
+                fault_plan: Some(FaultPlan::new(41).with_config(FaultConfig {
+                    drop_rate: 0.05,
+                    ..FaultConfig::default()
+                })),
+                ..SimConfig::default()
+            },
+            mapping: Mapping::identity(16),
+            migration: Some(MigrationSpec {
+                stealing: true,
+                steal_latency: 300,
+                wedge_threshold: 2_000,
+                max_migrations: 10_000,
+            }),
+            cycles: 120_000,
         },
     ]
 }
@@ -121,10 +157,13 @@ fn scenarios() -> Vec<Scenario> {
 /// Runs one engine over the scenario; returns wall seconds plus the
 /// observables the harness cross-checks between engines.
 fn run_engine(s: &Scenario, reference: bool) -> (f64, u64, u64, u64) {
-    let mut machine = if reference {
-        Machine::new_reference(&s.config, &s.mapping)
-    } else {
-        Machine::new(&s.config, &s.mapping)
+    let mut machine = match (reference, s.migration) {
+        (true, Some(spec)) => {
+            Machine::new_reference_with_policy(&s.config, &s.mapping, spec.build())
+        }
+        (true, None) => Machine::new_reference(&s.config, &s.mapping),
+        (false, Some(spec)) => Machine::with_policy(&s.config, &s.mapping, spec.build()),
+        (false, None) => Machine::new(&s.config, &s.mapping),
     };
     let start = std::time::Instant::now();
     // Watchdog trips are expected in the fault scenarios; the engines

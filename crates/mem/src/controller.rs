@@ -116,6 +116,9 @@ pub struct MemStats {
     /// Protocol messages that arrived in a directory state that cannot
     /// consume them (late duplicates); ignored rather than asserted on.
     pub protocol_surprises: u64,
+    /// Transactions abandoned because their thread migrated to another
+    /// node (the operation is re-issued there).
+    pub abandoned: u64,
 }
 
 /// Outstanding-transaction record for one line: the head of `pending` is
@@ -249,6 +252,48 @@ impl Controller {
     /// Takes the next transaction completion, if any.
     pub fn poll_completion(&mut self) -> Option<Completion> {
         self.completions.pop_front()
+    }
+
+    /// Abandons a processor transaction whose thread is migrating to
+    /// another node: removes it from its line's MSHR queue (or from the
+    /// not-yet-processed work queue) and returns its operation so the
+    /// migrated thread can re-issue it elsewhere. The coherence request
+    /// itself may still be in flight — a late grant then finds no
+    /// matching MSHR and is dropped through the existing stale-grant
+    /// path, exactly like a duplicate reply after a retransmit.
+    ///
+    /// Returns `None` if the transaction is not queued here (it already
+    /// completed, or never reached this controller).
+    pub fn abandon(&mut self, txn: TxnId) -> Option<MemOp> {
+        // Still sitting unprocessed in the work queue.
+        if let Some(pos) = self
+            .work
+            .iter()
+            .position(|item| matches!(item, WorkItem::Proc { txn: t, .. } if *t == txn))
+        {
+            let Some(WorkItem::Proc { op, .. }) = self.work.remove(pos) else {
+                unreachable!("position matched a Proc item");
+            };
+            self.stats.abandoned += 1;
+            return Some(op);
+        }
+        // Tracked by an MSHR: the in-flight head or queued behind it. A
+        // transaction lives in at most one MSHR, so the map's iteration
+        // order cannot affect the outcome.
+        let mut found: Option<(LineAddr, MemOp)> = None;
+        for (&line, entry) in self.mshr.iter_mut() {
+            if let Some(pos) = entry.pending.iter().position(|&(t, _)| t == txn) {
+                let (_, op) = entry.pending.remove(pos).expect("position exists");
+                found = Some((line, op));
+                break;
+            }
+        }
+        let (line, op) = found?;
+        if self.mshr[&line].pending.is_empty() {
+            self.mshr.remove(&line);
+        }
+        self.stats.abandoned += 1;
+        Some(op)
     }
 
     /// Whether the controller has no queued work, no occupancy, and no
@@ -893,6 +938,65 @@ mod tests {
             ctrl.step();
         }
         ctrl.take_outgoing().map(|(dst, msg)| (budget, dst, msg))
+    }
+
+    #[test]
+    fn abandon_recovers_the_op_and_drops_the_late_grant() {
+        // Two-node home map so the miss leaves a request in flight; the
+        // abandoned transaction's MSHR disappears, and a later grant for
+        // the line is dropped through the stale-grant path.
+        let mut ctrl = Controller::new(NodeId(0), HomeMap::interleaved(2), MemConfig::default());
+        let addr = LineAddr(1).base(); // homed at node 1: a remote miss
+        ctrl.request(TxnId(7), MemOp::Read(addr));
+        let (_, dst, _) = next_outgoing(&mut ctrl, 100).expect("request leaves");
+        assert_eq!(dst, NodeId(1));
+        assert_eq!(ctrl.outstanding_transactions(), 1);
+        let op = ctrl.abandon(TxnId(7)).expect("transaction is in flight");
+        assert_eq!(op, MemOp::Read(addr));
+        assert_eq!(ctrl.outstanding_transactions(), 0);
+        assert_eq!(ctrl.stats().abandoned, 1);
+        assert_eq!(ctrl.abandon(TxnId(7)), None, "second abandon finds nothing");
+        // A grant now arriving for that line must be swallowed as stale.
+        ctrl.deliver(ProtocolMsg::ReadReply {
+            line: addr.line(),
+            data: LineData::default(),
+        });
+        for _ in 0..100 {
+            ctrl.step();
+        }
+        assert!(
+            ctrl.poll_completion().is_none(),
+            "no completion may surface"
+        );
+        assert_eq!(ctrl.stats().stale_grants, 1);
+    }
+
+    #[test]
+    fn abandon_of_a_queued_follower_keeps_the_head_in_flight() {
+        let mut ctrl = Controller::new(NodeId(0), HomeMap::interleaved(2), MemConfig::default());
+        let addr = LineAddr(1).base();
+        ctrl.request(TxnId(1), MemOp::Read(addr));
+        ctrl.request(TxnId(2), MemOp::Read(addr));
+        for _ in 0..100 {
+            ctrl.step();
+        }
+        assert_eq!(ctrl.outstanding_transactions(), 1);
+        assert_eq!(ctrl.abandon(TxnId(2)), Some(MemOp::Read(addr)));
+        assert_eq!(
+            ctrl.outstanding_transactions(),
+            1,
+            "the in-flight head must stay tracked"
+        );
+        ctrl.deliver(ProtocolMsg::ReadReply {
+            line: addr.line(),
+            data: LineData::default(),
+        });
+        for _ in 0..100 {
+            ctrl.step();
+        }
+        let done = ctrl.poll_completion().expect("head completes");
+        assert_eq!(done.txn, TxnId(1));
+        assert!(ctrl.poll_completion().is_none(), "follower was abandoned");
     }
 
     #[test]

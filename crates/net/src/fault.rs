@@ -25,6 +25,7 @@ use crate::rng::DetRng;
 use crate::topology::{Direction, NodeId};
 use crate::MessageId;
 use std::collections::{BTreeSet, HashMap};
+use std::fmt;
 
 /// Probabilistic fault rates applied to every head-flit link crossing.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,6 +52,58 @@ impl Default for FaultConfig {
         }
     }
 }
+
+/// A fault plan whose schedule cannot be honoured by the intended run:
+/// events placed at or past the run horizon would silently never take
+/// effect (a stall that begins on the final cycle disturbs nothing).
+///
+/// Returned by [`FaultPlan::validate_horizon`]; lists every offending
+/// event so the caller can fix the plan (or the horizon) in one pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlanError {
+    /// The run horizon (network cycles) the plan was validated against.
+    pub horizon: u64,
+    /// The unreachable events as `(scheduled cycle, description)` pairs,
+    /// earliest first.
+    pub events: Vec<(u64, String)>,
+}
+
+impl FaultPlanError {
+    /// The smallest horizon under which every offending event would fire
+    /// with at least one cycle left to act.
+    pub fn min_horizon(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|&(cycle, _)| cycle)
+            .max()
+            .map_or(0, |cycle| cycle + 1)
+    }
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fault plan schedules {} event(s) at or past the run horizon of {} cycles, \
+             so they would silently never take effect: ",
+            self.events.len(),
+            self.horizon
+        )?;
+        let listed: Vec<String> = self
+            .events
+            .iter()
+            .map(|(cycle, what)| format!("{what} at cycle {cycle}"))
+            .collect();
+        write!(
+            f,
+            "{} (did you mean a horizon of at least {}?)",
+            listed.join(", "),
+            self.min_horizon()
+        )
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
 
 /// A fault scheduled for a specific cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -302,6 +355,29 @@ impl FaultPlan {
         self
     }
 
+    /// Checks that every scheduled event fires strictly before `horizon`
+    /// (the number of network cycles the run will execute). Events at or
+    /// past the horizon used to be dropped silently — a typoed injection
+    /// cycle ran a clean experiment and reported nothing wrong.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FaultPlanError`] listing every unreachable event,
+    /// earliest first, with the minimum horizon that would cover them.
+    pub fn validate_horizon(&self, horizon: u64) -> Result<(), FaultPlanError> {
+        let mut events: Vec<(u64, String)> = self
+            .schedule
+            .iter()
+            .filter(|&&(at, _)| at >= horizon)
+            .map(|&(at, fault)| (at, describe(fault)))
+            .collect();
+        if events.is_empty() {
+            return Ok(());
+        }
+        events.sort();
+        Err(FaultPlanError { horizon, events })
+    }
+
     /// The record of faults injected so far.
     pub fn log(&self) -> &FaultLog {
         &self.log
@@ -476,6 +552,32 @@ fn link_port(dim: u32, dir: Direction) -> usize {
     dim as usize * 2 + dir.index()
 }
 
+/// Human-readable description of a scheduled fault for error listings.
+fn describe(fault: ScheduledFault) -> String {
+    let link = |port: usize| {
+        format!(
+            "dim {} {}",
+            port / 2,
+            if port % 2 == Direction::Plus.index() {
+                '+'
+            } else {
+                '-'
+            }
+        )
+    };
+    match fault {
+        ScheduledFault::KillLink { node, port } => {
+            format!("kill-link node {node} {}", link(port))
+        }
+        ScheduledFault::StallLink { node, port, window } => {
+            format!("stall-link node {node} {} for {window}", link(port))
+        }
+        ScheduledFault::StallRouter { node, window } => {
+            format!("stall-router node {node} for {window}")
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -536,6 +638,37 @@ mod tests {
         let killed = FaultPlan::new(4).kill_link_at(5, 0, 0, Direction::Minus);
         assert!(!killed.transient_stall_active(0), "kills are not transient");
         assert!(killed.has_permanent_faults());
+    }
+
+    #[test]
+    fn validate_horizon_accepts_reachable_schedules() {
+        let plan = FaultPlan::new(6)
+            .kill_link_at(100, 3, 0, Direction::Plus)
+            .stall_router_at(4_999, 5, 20);
+        assert_eq!(plan.validate_horizon(5_000), Ok(()));
+        assert!(FaultPlan::new(7).validate_horizon(0).is_ok(), "empty plan");
+    }
+
+    #[test]
+    fn validate_horizon_lists_unreachable_events() {
+        let plan = FaultPlan::new(8)
+            .stall_router_at(9_000, 5, 20)
+            .kill_link_at(7_000, 3, 1, Direction::Minus)
+            .stall_link_at(100, 0, 0, Direction::Plus, 50);
+        let err = plan.validate_horizon(7_000).unwrap_err();
+        assert_eq!(err.horizon, 7_000);
+        assert_eq!(err.events.len(), 2, "{err:?}");
+        // Earliest first, each naming the fault kind and placement.
+        assert_eq!(err.events[0].0, 7_000);
+        assert!(err.events[0].1.contains("kill-link node 3 dim 1 -"));
+        assert!(err.events[1].1.contains("stall-router node 5 for 20"));
+        assert_eq!(err.min_horizon(), 9_001);
+        let text = format!("{err}");
+        assert!(text.contains("2 event(s)"), "{text}");
+        assert!(
+            text.contains("did you mean a horizon of at least 9001?"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -59,7 +59,7 @@ pub mod traffic;
 
 pub use active::ActiveSet;
 pub use fabric::{Fabric, FabricConfig, FabricError};
-pub use fault::{FaultConfig, FaultEvent, FaultLog, FaultPlan};
+pub use fault::{FaultConfig, FaultEvent, FaultLog, FaultPlan, FaultPlanError};
 pub use message::{Delivery, Flit, FlitKind, Message, MessageBreakdown, MessageId};
 #[cfg(feature = "reference-engine")]
 pub use reference::ReferenceFabric;

@@ -45,4 +45,4 @@ mod program;
 
 pub use pipelined::PipelinedProcessor;
 pub use processor::{IssueRequest, ProcStats, Processor};
-pub use program::{LoopProgram, ThreadOp, ThreadProgram};
+pub use program::{LoopProgram, ParkedProgram, ReissueProgram, ThreadOp, ThreadProgram};

@@ -13,7 +13,7 @@
 //! latency-masked (Eq. 4); with large ones it is latency-bound and issues
 //! `p` transactions every `T_r + T_t` cycles (Eq. 5).
 
-use crate::program::{ThreadOp, ThreadProgram};
+use crate::program::{ParkedProgram, ThreadOp, ThreadProgram};
 use commloc_mem::MemOp;
 
 /// Execution state of one hardware context.
@@ -214,6 +214,41 @@ impl Processor {
         self.cpu = CpuState::Idle;
         self.stats.cycles += cycles;
         self.stats.idle_cycles += cycles;
+    }
+
+    /// Removes the program of a memory-blocked context so its thread can
+    /// migrate to another processor. The slot is left permanently parked:
+    /// it stays `WaitingMem` forever (the caller abandons its outstanding
+    /// transaction and must never complete it), so the scheduler skips it
+    /// and the processor behaves as if it had one context fewer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context is not blocked on memory — only a thread
+    /// wedged behind an outstanding transaction may migrate.
+    pub fn park(&mut self, context: usize) -> Box<dyn ThreadProgram> {
+        let ctx = &mut self.contexts[context];
+        assert_eq!(
+            ctx.state,
+            ContextState::WaitingMem,
+            "park of context {context} that is not blocked on memory"
+        );
+        ctx.last_read = None;
+        std::mem::replace(&mut ctx.program, Box::new(ParkedProgram))
+    }
+
+    /// Adds a context running `program` — a thread stolen from another
+    /// node — in `Ready` state, returning its index. The new context
+    /// joins the round-robin rotation and is scheduled (paying the usual
+    /// switch cost if the processor was busy or idle on another slot)
+    /// from the next cycle.
+    pub fn adopt(&mut self, program: Box<dyn ThreadProgram>) -> usize {
+        self.contexts.push(Context {
+            program,
+            state: ContextState::Ready,
+            last_read: None,
+        });
+        self.contexts.len() - 1
     }
 
     /// Delivers a memory completion to a context, unblocking it.
@@ -573,6 +608,55 @@ mod tests {
     fn advance_idle_on_runnable_processor_panics() {
         let mut p = cpu(5, 1, 0);
         p.advance_idle(10);
+    }
+
+    #[test]
+    fn park_removes_a_blocked_thread_and_adopt_resumes_it() {
+        // Block the only context, park it, hand its program to a second
+        // processor: the source idles forever, the destination runs the
+        // thread from where it stopped.
+        let mut src = cpu(4, 1, 0);
+        let req = loop {
+            if let Some(r) = src.step() {
+                break r;
+            }
+        };
+        assert!(src.is_stalled());
+        let program = src.park(req.context);
+        assert!(src.is_stalled(), "parked slot must stay blocked");
+        assert_eq!(src.next_wake(), None);
+        for _ in 0..50 {
+            assert!(src.step().is_none(), "parked processor must never fetch");
+        }
+
+        let mut dst = cpu(4, 1, 0);
+        let ctx = dst.adopt(program);
+        assert_eq!(ctx, 1);
+        assert_eq!(dst.contexts(), 2);
+        let mut issues = 0;
+        let mut outstanding: Vec<(u64, usize)> = Vec::new();
+        for now in 0..200u64 {
+            outstanding.retain(|&(due, c)| {
+                if due <= now {
+                    dst.complete(c, 0);
+                    false
+                } else {
+                    true
+                }
+            });
+            if let Some(r) = dst.step() {
+                issues += 1;
+                outstanding.push((now + 10, r.context));
+            }
+        }
+        assert!(issues > 2, "adopted thread must issue on the new node");
+    }
+
+    #[test]
+    #[should_panic(expected = "not blocked on memory")]
+    fn park_of_runnable_context_panics() {
+        let mut p = cpu(5, 1, 0);
+        p.park(0);
     }
 
     #[test]

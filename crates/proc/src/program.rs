@@ -79,6 +79,51 @@ impl ThreadProgram for LoopProgram {
     }
 }
 
+/// Placeholder left behind when a thread migrates away (see
+/// [`Processor::park`](crate::Processor::park)). The parked context stays
+/// blocked on memory forever, so the scheduler never fetches from it;
+/// reaching `next` means a parked slot was illegally resumed.
+#[derive(Debug, Clone, Copy)]
+pub struct ParkedProgram;
+
+impl ThreadProgram for ParkedProgram {
+    fn next(&mut self, _last_read: Option<u64>) -> ThreadOp {
+        panic!("parked context fetched after its thread migrated away");
+    }
+}
+
+/// Replays one operation before resuming an inner program.
+///
+/// A migrating thread is parked mid-transaction: its outstanding memory
+/// operation was abandoned at the source controller, so on its new node
+/// it must first re-issue that operation, then continue exactly where the
+/// inner program left off (the completion value feeds the inner program's
+/// `last_read` just as the original completion would have).
+#[derive(Debug)]
+pub struct ReissueProgram {
+    pending: Option<ThreadOp>,
+    inner: Box<dyn ThreadProgram>,
+}
+
+impl ReissueProgram {
+    /// Wraps `inner`, emitting `pending` once before delegating.
+    pub fn new(pending: ThreadOp, inner: Box<dyn ThreadProgram>) -> Self {
+        Self {
+            pending: Some(pending),
+            inner,
+        }
+    }
+}
+
+impl ThreadProgram for ReissueProgram {
+    fn next(&mut self, last_read: Option<u64>) -> ThreadOp {
+        match self.pending.take() {
+            Some(op) => op,
+            None => self.inner.next(last_read),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -20,16 +20,17 @@ use commloc_model::{
 use commloc_net::fuzz::{self, FuzzScenario};
 use commloc_net::Torus;
 use commloc_sim::conformance::figures::{
-    default_golden_dir, load_golden, self_check, store_golden, ConformanceRun, FIGURES,
+    default_golden_dir, load_golden, resilience_degradation_detail, resilience_wave_detail,
+    self_check, store_golden, ConformanceRun, FIGURES,
 };
-use commloc_sim::conformance::{rel_err, suite_jobs, Violation};
+use commloc_sim::conformance::{rel_err, suite_jobs, GoldenTable, Violation};
 use commloc_sim::{
     default_jobs, mapping_suite, parallel_map, run_experiment, run_sweep, Machine, Mapping,
     SimConfig, BREAKDOWN_CSV_HEADER, MEASUREMENTS_CSV_HEADER,
 };
 use std::collections::HashMap;
 use std::io::Write;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -61,6 +62,15 @@ COMMANDS:
             conformance/golden/ plus the paper's own claims
             --figure figN --jobs J [--csv] [--update-golden]
             [--golden-dir DIR]
+    resilience
+            delay-injection resilience studies: the idle-wave analysis
+            (propagation speed, decay distance, damping, per-component
+            absorption) and the link-kill graceful-degradation sweep
+            under work-stealing thread migration; both are gated
+            against golden rows in conformance/golden/ exactly like the
+            paper figures
+            --study wave|degradation (omit for both) [--csv]
+            [--update-golden] [--golden-dir DIR]
     fuzz    differential-fuzz the optimized Fabric against the retained
             ReferenceFabric over a seed range; on divergence, shrinks to
             a minimal scenario and prints a ready-to-paste repro test
@@ -83,6 +93,7 @@ fn allowed_keys(command: &str) -> Option<&'static [&'static str]> {
         ]),
         "suite" => Some(&["contexts", "seed", "warmup", "window", "jobs", "csv"]),
         "conformance" => Some(&["figure", "jobs", "csv", "update-golden", "golden-dir"]),
+        "resilience" => Some(&["study", "csv", "update-golden", "golden-dir"]),
         "fuzz" => Some(&["seeds", "start", "jobs", "machine"]),
         _ => None,
     }
@@ -118,6 +129,7 @@ fn main() -> ExitCode {
         "report" => cmd_report(&options),
         "suite" => cmd_suite(&options),
         "conformance" => cmd_conformance(&options),
+        "resilience" => cmd_resilience(&options),
         "fuzz" => cmd_fuzz(&options),
         _ => unreachable!("filtered by allowed_keys"),
     };
@@ -533,25 +545,47 @@ fn cmd_conformance(options: &HashMap<String, String>) -> Result<(), String> {
         tables.push(session.figure(name)?);
     }
 
-    // Paper-claim self-checks run in both modes: a broken model cannot
-    // be blessed into the goldens.
-    let mut violations: Vec<Violation> = tables.iter().flat_map(|t| self_check(t)).collect();
-
-    if update {
-        for table in &tables {
-            let path = store_golden(&dir, table)?;
-            eprintln!("wrote {}", path.display());
-        }
-    }
-
     if csv {
         println!("figure,label,metric,value,golden,rel_err");
     }
-    for table in &tables {
+    let violations = gate_tables(&tables, &dir, update, csv)?;
+    // The raw reduced-sweep measurements behind Figures 3-5, in the
+    // standard measurements CSV schema.
+    if csv {
+        println!();
+        println!("contexts,mapping,{MEASUREMENTS_CSV_HEADER}");
+        for (contexts, runs) in session.sweeps() {
+            for run in runs {
+                println!("{},{},{}", contexts, run.name, run.measured.to_csv_row());
+            }
+        }
+    }
+    finish_gate("conformance", &tables, &violations, update, csv, &dir)
+}
+
+/// Self-checks, prints, and golden-gates a batch of figure tables:
+/// blesses them into `dir` under `--update-golden`, compares against the
+/// checked-in goldens otherwise. Self-checks run in both modes, so a
+/// broken model cannot be blessed into the goldens. Returns the
+/// accumulated violations (I/O problems are hard errors).
+fn gate_tables(
+    tables: &[GoldenTable],
+    dir: &Path,
+    update: bool,
+    csv: bool,
+) -> Result<Vec<Violation>, String> {
+    let mut violations: Vec<Violation> = tables.iter().flat_map(self_check).collect();
+    if update {
+        for table in tables {
+            let path = store_golden(dir, table)?;
+            eprintln!("wrote {}", path.display());
+        }
+    }
+    for table in tables {
         let golden = if update {
             None
         } else {
-            let golden = load_golden(&dir, &table.figure)?;
+            let golden = load_golden(dir, &table.figure)?;
             violations.extend(table.compare_against(&golden));
             Some(golden)
         };
@@ -598,22 +632,22 @@ fn cmd_conformance(options: &HashMap<String, String>) -> Result<(), String> {
             }
         }
     }
-    // The raw reduced-sweep measurements behind Figures 3-5, in the
-    // standard measurements CSV schema.
-    if csv {
-        println!();
-        println!("contexts,mapping,{MEASUREMENTS_CSV_HEADER}");
-        for (contexts, runs) in session.sweeps() {
-            for run in runs {
-                println!("{},{},{}", contexts, run.name, run.measured.to_csv_row());
-            }
-        }
-    }
+    Ok(violations)
+}
 
+/// Shared pass/fail epilogue of the golden-gated subcommands.
+fn finish_gate(
+    gate: &str,
+    tables: &[GoldenTable],
+    violations: &[Violation],
+    update: bool,
+    csv: bool,
+    dir: &Path,
+) -> Result<(), String> {
     if violations.is_empty() {
         if !csv {
             println!(
-                "conformance: {} figure(s) {} {}",
+                "{gate}: {} figure(s) {} {}",
                 tables.len(),
                 if update {
                     "blessed into"
@@ -625,11 +659,101 @@ fn cmd_conformance(options: &HashMap<String, String>) -> Result<(), String> {
         }
         Ok(())
     } else {
-        for violation in &violations {
+        for violation in violations {
             eprintln!("violation: {violation}");
         }
-        Err(format!("{} conformance violation(s)", violations.len()))
+        Err(format!("{} {gate} violation(s)", violations.len()))
     }
+}
+
+fn cmd_resilience(options: &HashMap<String, String>) -> Result<(), String> {
+    let update = options.contains_key("update-golden");
+    let csv = options.contains_key("csv");
+    let dir = options
+        .get("golden-dir")
+        .map(PathBuf::from)
+        .unwrap_or_else(default_golden_dir);
+    let (run_wave, run_degradation) = match options.get("study").map(String::as_str) {
+        None => (true, true),
+        Some("wave") => (true, false),
+        Some("degradation") => (false, true),
+        Some(other) => {
+            return Err(format!(
+                "--study: unknown `{other}` (wave|degradation; omit for both)"
+            ))
+        }
+    };
+
+    if csv {
+        println!("figure,label,metric,value,golden,rel_err");
+    }
+    let mut tables = Vec::new();
+    if run_wave {
+        let (waves, table) = resilience_wave_detail()?;
+        if csv {
+            // Analyzer detail beyond the golden rows: the spatial
+            // profile and the per-component absorption attribution
+            // (no golden columns — these back the table, they are not
+            // gated individually).
+            for (label, wave) in &waves {
+                if let Some(speed) = wave.propagation_speed() {
+                    println!("resilience-wave-detail,{label},cycles_per_hop,{speed},,");
+                }
+                for (d, peak) in wave.curve.ring_peaks().iter().enumerate() {
+                    println!("resilience-wave-detail,{label},ring{d}_peak,{peak},,");
+                }
+                for (component, value) in &wave.absorption {
+                    println!("resilience-wave-detail,{label},absorbed_{component},{value},,");
+                }
+            }
+        } else {
+            println!("idle-wave study: transient router stall, lockstep-differenced");
+            for (label, wave) in &waves {
+                let speed = wave
+                    .propagation_speed()
+                    .map_or("n/a".to_owned(), |s| format!("{s:.0} cycles/hop"));
+                println!(
+                    "  {label:<12} speed {speed}, decay distance {} hops, damping {:.2}, \
+                     deficit {} completions ({} absorbed in the fabric)",
+                    wave.decay_distance(0.5),
+                    wave.damping(),
+                    wave.total_deficit(),
+                    wave.absorbed_total()
+                );
+                let peaks: Vec<String> = wave
+                    .curve
+                    .ring_peaks()
+                    .iter()
+                    .map(|p| format!("{p:.2}"))
+                    .collect();
+                println!("    ring peaks/node: {}", peaks.join(" "));
+                let absorption: Vec<String> = wave
+                    .absorption
+                    .iter()
+                    .map(|(component, value)| format!("{component}={value:+}"))
+                    .collect();
+                println!("    absorption: {}", absorption.join(" "));
+            }
+        }
+        tables.push(table);
+    }
+    if run_degradation {
+        let (points, table) = resilience_degradation_detail()?;
+        if !csv {
+            println!("degradation study: cumulative link kills under work-stealing migration");
+            for p in &points {
+                println!(
+                    "  {} link(s) killed: {} completions, {} migrations, {}/64 nodes \
+                     surviving, {:.1} completions/survivor",
+                    p.killed_links, p.completions, p.migrations, p.survivors, p.per_survivor
+                );
+            }
+        }
+        tables.push(table);
+    }
+
+    let violations = gate_tables(&tables, &dir, update, csv)?;
+    finish_gate("resilience", &tables, &violations, update, csv, &dir)
 }
 
 fn cmd_fuzz(options: &HashMap<String, String>) -> Result<(), String> {
@@ -821,6 +945,18 @@ mod tests {
         assert!(parse(
             &["--figure", "fig6", "--update-golden", "--jobs", "2"],
             "conformance"
+        )
+        .is_ok());
+        assert!(parse(
+            &[
+                "--study",
+                "wave",
+                "--csv",
+                "--update-golden",
+                "--golden-dir",
+                "/tmp/g"
+            ],
+            "resilience"
         )
         .is_ok());
         assert!(parse(&["--seeds", "500", "--start", "0", "--jobs", "4"], "fuzz").is_ok());

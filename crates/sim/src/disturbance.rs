@@ -18,15 +18,18 @@
 //! decays (see `examples/delay_propagation.rs`).
 
 use crate::error::SimError;
-use crate::machine::{Machine, SimConfig};
+use crate::machine::SimConfig;
 use crate::mapping::Mapping;
-use commloc_net::{FaultPlan, NodeId};
+use crate::resilience::run_idle_wave;
+use commloc_net::NodeId;
 
 /// Parameters of a delay-injection experiment.
 #[derive(Debug, Clone)]
 pub struct DisturbanceConfig {
-    /// Base machine configuration. Its `fault_plan` field is ignored —
-    /// the experiment installs its own single-stall plan.
+    /// Base machine configuration. Its `fault_plan` (if any) is composed
+    /// into *both* lockstep machines as the ambient fault environment;
+    /// the experiment adds its own single router stall on top for the
+    /// disturbed copy only.
     pub sim: SimConfig,
     /// Node whose router is stalled.
     pub victim: usize,
@@ -103,15 +106,19 @@ impl DisturbanceCurve {
     }
 }
 
-/// Runs the delay-injection experiment: a fault-free and a single-stall
+/// Runs the delay-injection experiment: a baseline and a single-stall
 /// machine advance in lockstep and their per-node completions are
 /// differenced each bucket.
 ///
+/// This is the curve-only view of [`run_idle_wave`] — use that directly
+/// when the absorption attribution and wave analyzers are wanted too.
+///
 /// # Errors
 ///
-/// Propagates the first [`SimError`] from either machine. Pick a
-/// `stall_window` shorter than the watchdog window (or disable the
-/// watchdog) if the stall is meant to be survived.
+/// Propagates the first [`SimError`] from either machine (including
+/// [`SimError::InvalidFaultPlan`] for events scheduled past the
+/// horizon). Pick a `stall_window` shorter than the watchdog window (or
+/// disable the watchdog) if the stall is meant to be survived.
 ///
 /// # Panics
 ///
@@ -120,64 +127,7 @@ pub fn run_disturbance(
     config: &DisturbanceConfig,
     mapping: &Mapping,
 ) -> Result<DisturbanceCurve, SimError> {
-    assert!(config.bucket > 0, "bucket width must be positive");
-    let baseline_cfg = SimConfig {
-        fault_plan: None,
-        ..config.sim.clone()
-    };
-    let disturbed_cfg = SimConfig {
-        fault_plan: Some(FaultPlan::new(0).stall_router_at(
-            config.inject_cycle,
-            config.victim,
-            config.stall_window,
-        )),
-        ..config.sim.clone()
-    };
-    let mut baseline = Machine::new(&baseline_cfg, mapping);
-    let mut disturbed = Machine::new(&disturbed_cfg, mapping);
-    let torus = baseline.torus().clone();
-    assert!(config.victim < torus.nodes(), "victim out of range");
-    let victim = NodeId(config.victim);
-    let ring_of: Vec<usize> = (0..torus.nodes())
-        .map(|n| torus.distance(victim, NodeId(n)))
-        .collect();
-    let max_ring = ring_of.iter().copied().max().unwrap_or(0);
-    let mut ring_sizes = vec![0usize; max_ring + 1];
-    for &r in &ring_of {
-        ring_sizes[r] += 1;
-    }
-
-    let mut rings: Vec<Vec<i64>> = vec![Vec::new(); max_ring + 1];
-    let mut prev_base: Vec<u64> = vec![0; torus.nodes()];
-    let mut prev_dist: Vec<u64> = vec![0; torus.nodes()];
-    let mut elapsed = 0;
-    while elapsed < config.horizon {
-        let chunk = config.bucket.min(config.horizon - elapsed);
-        baseline.run_network_cycles(chunk)?;
-        disturbed.run_network_cycles(chunk)?;
-        elapsed += chunk;
-        let base = baseline.completions_per_node();
-        let dist = disturbed.completions_per_node();
-        let mut bucket_deficit = vec![0i64; max_ring + 1];
-        for n in 0..torus.nodes() {
-            let base_inc = (base[n] - prev_base[n]) as i64;
-            let dist_inc = (dist[n] - prev_dist[n]) as i64;
-            bucket_deficit[ring_of[n]] += base_inc - dist_inc;
-        }
-        prev_base.copy_from_slice(base);
-        prev_dist.copy_from_slice(dist);
-        for (ring, deficit) in bucket_deficit.into_iter().enumerate() {
-            rings[ring].push(deficit);
-        }
-    }
-    Ok(DisturbanceCurve {
-        victim,
-        inject_cycle: config.inject_cycle,
-        stall_window: config.stall_window,
-        bucket: config.bucket,
-        rings,
-        ring_sizes,
-    })
+    Ok(run_idle_wave(config, mapping)?.curve)
 }
 
 #[cfg(test)]

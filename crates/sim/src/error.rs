@@ -9,7 +9,7 @@
 //!
 //! [`Machine::step`]: crate::Machine::step
 
-use commloc_net::{FabricError, FaultEvent, NodeId};
+use commloc_net::{FabricError, FaultEvent, FaultPlanError, NodeId};
 use std::fmt;
 
 /// Why the watchdog declared a stall.
@@ -56,6 +56,12 @@ pub struct StallReport {
     /// The most recent fault-log events (empty when no fault plan is
     /// installed).
     pub fault_log_tail: Vec<FaultEvent>,
+    /// Nodes a thread has migrated away from (ascending; empty when no
+    /// migration policy is installed or none has fired). A stall on a
+    /// machine with migration enabled names where threads fled, so the
+    /// report distinguishes "wedged despite migration" from "wedged with
+    /// nowhere to go".
+    pub migrated_from: Vec<NodeId>,
 }
 
 impl fmt::Display for StallReport {
@@ -100,6 +106,10 @@ impl fmt::Display for StallReport {
                 outstanding.join(" ")
             }
         )?;
+        if !self.migrated_from.is_empty() {
+            let fled: Vec<String> = self.migrated_from.iter().map(NodeId::to_string).collect();
+            writeln!(f, "  threads migrated away from: {}", fled.join(" "))?;
+        }
         write!(
             f,
             "  fault log tail ({} events):",
@@ -127,6 +137,10 @@ pub enum SimError {
     },
     /// The progress watchdog fired: see the report for diagnostics.
     Stalled(Box<StallReport>),
+    /// A fault plan schedules events at or past the run horizon, so they
+    /// would silently never take effect (see
+    /// [`FaultPlan::validate_horizon`](commloc_net::FaultPlan::validate_horizon)).
+    InvalidFaultPlan(FaultPlanError),
 }
 
 impl fmt::Display for SimError {
@@ -137,6 +151,7 @@ impl fmt::Display for SimError {
                 write!(f, "completion for unknown context at {node}: txn {txn:#x}")
             }
             SimError::Stalled(report) => write!(f, "simulation stalled: {report}"),
+            SimError::InvalidFaultPlan(e) => write!(f, "invalid fault plan: {e}"),
         }
     }
 }
@@ -146,6 +161,12 @@ impl std::error::Error for SimError {}
 impl From<FabricError> for SimError {
     fn from(e: FabricError) -> Self {
         SimError::Fabric(e)
+    }
+}
+
+impl From<FaultPlanError> for SimError {
+    fn from(e: FaultPlanError) -> Self {
+        SimError::InvalidFaultPlan(e)
     }
 }
 
@@ -164,12 +185,14 @@ mod tests {
             router_occupancy: vec![0, 7, 0],
             outstanding: vec![(NodeId(1), 1)],
             fault_log_tail: Vec::new(),
+            migrated_from: vec![NodeId(4)],
         };
         let text = format!("{report}");
         assert!(text.contains("deadlock at net cycle 1234"));
         assert!(text.contains("no progress for 500 cycles"));
         assert!(text.contains("n1:7"));
         assert!(text.contains("n1:1"));
+        assert!(text.contains("threads migrated away from: n4"));
     }
 
     #[test]

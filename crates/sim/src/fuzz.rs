@@ -3,9 +3,10 @@
 //!
 //! Each seed draws a random full-machine scenario — torus shape, context
 //! count, clock ratio, mapping, retry/timeout configuration, watchdog
-//! window, and an optional fault plan — and runs two [`Machine`]s over it
-//! in lockstep: one stepped by the active-node engine
-//! ([`Machine::new`]), one by the reference loop
+//! window, an optional fault plan (including one-off exact-cycle delay
+//! events), and an optional migration policy (null or work-stealing) —
+//! and runs two [`Machine`]s over it in lockstep: one stepped by the
+//! active-node engine ([`Machine::new`]), one by the reference loop
 //! ([`Machine::new_reference`]). The checker requires **bit-identical**
 //! behavior: completion counts (total and per node), measurements,
 //! latency breakdowns, fault logs, and — when the scenario wedges — the
@@ -18,6 +19,7 @@
 
 use crate::machine::{Machine, SimConfig};
 use crate::mapping::Mapping;
+use crate::resilience::MigrationSpec;
 use commloc_mem::MemConfig;
 use commloc_net::fuzz::{shrink_with, Divergence, FaultSpec};
 use commloc_net::{DetRng, Direction, FabricConfig};
@@ -76,6 +78,10 @@ pub struct MachineScenario {
     pub window: u64,
     /// Optional fault plan, shared verbatim by both engines.
     pub fault: Option<FaultSpec>,
+    /// Optional migration policy (null or work-stealing), built fresh
+    /// for each engine from the same spec — the resilience layer's
+    /// park/adopt/abandon machinery must stay bit-exact across engines.
+    pub migration: Option<MigrationSpec>,
 }
 
 impl MachineScenario {
@@ -177,6 +183,42 @@ impl MachineScenario {
         } else {
             None
         };
+        // One-off delay events beyond the plan drawn above: a single
+        // exact-cycle router stall, the resilience subsystem's injector
+        // shape, composed onto whatever ambient faults exist.
+        let mut fault = fault;
+        if rng.chance(0.3) {
+            let delay = (
+                rng.range_u64(1, warmup + window),
+                rng.index(nodes),
+                rng.range_u64(20, 400),
+            );
+            fault
+                .get_or_insert_with(|| FaultSpec {
+                    drop_rate: 0.0,
+                    corrupt_rate: 0.0,
+                    stall_rate: 0.0,
+                    stall_window: 0,
+                    kills: Vec::new(),
+                    link_stalls: Vec::new(),
+                    router_stalls: Vec::new(),
+                })
+                .router_stalls
+                .push(delay);
+        }
+        // Migration policies ride along about a third of the time: null
+        // (must be invisible) or work-stealing with small budgets and
+        // thresholds low enough to fire on ordinary congestion.
+        let migration = if rng.chance(0.35) {
+            Some(MigrationSpec {
+                stealing: rng.chance(0.5),
+                steal_latency: rng.range_u64(0, 400),
+                wedge_threshold: rng.range_u64(200, 1_700),
+                max_migrations: rng.range_u64(0, 5),
+            })
+        } else {
+            None
+        };
         Self {
             seed,
             dims,
@@ -193,6 +235,7 @@ impl MachineScenario {
             warmup,
             window,
             fault,
+            migration,
         }
     }
 
@@ -306,8 +349,15 @@ pub fn run_scenario_mutated(
     if mutation == Some(MachineMutation::SkewWork) {
         ref_config.work += 1;
     }
-    let mut active = Machine::new(&scenario.sim_config(true), &mapping);
-    let mut reference = Machine::new_reference(&ref_config, &mapping);
+    let active_config = scenario.sim_config(true);
+    let mut active = match scenario.migration {
+        Some(spec) => Machine::with_policy(&active_config, &mapping, spec.build()),
+        None => Machine::new(&active_config, &mapping),
+    };
+    let mut reference = match scenario.migration {
+        Some(spec) => Machine::new_reference_with_policy(&ref_config, &mapping, spec.build()),
+        None => Machine::new_reference(&ref_config, &mapping),
+    };
 
     let mut stalled = false;
     'phases: for (name, cycles) in [("warmup", scenario.warmup), ("window", scenario.window)] {
@@ -343,6 +393,12 @@ pub fn run_scenario_mutated(
                 "per-node completions"
             );
             check_eq!(now, active.measure(), reference.measure(), "measurements");
+            check_eq!(
+                now,
+                active.migrations(),
+                reference.migrations(),
+                "migrations"
+            );
             left -= chunk;
         }
         if name == "warmup" {
@@ -364,6 +420,18 @@ pub fn run_scenario_mutated(
         active.total_iterations(),
         reference.total_iterations(),
         "workload iterations"
+    );
+    check_eq!(
+        end,
+        active.migrations(),
+        reference.migrations(),
+        "migrations"
+    );
+    check_eq!(
+        end,
+        active.migrated_from_nodes(),
+        reference.migrated_from_nodes(),
+        "migrated-from nodes"
     );
     Ok(MachineFuzzReport {
         completions: active.completions(),
@@ -404,17 +472,28 @@ impl MachineShrinkOutcome {
                 f.router_stalls
             ),
         };
+        let migration = match &s.migration {
+            None => "None".to_owned(),
+            Some(m) => format!(
+                "Some(MigrationSpec {{\n            stealing: {},\n            steal_latency: {},\n            \
+                 wedge_threshold: {},\n            max_migrations: {},\n        }})",
+                m.stealing, m.steal_latency, m.wedge_threshold, m.max_migrations
+            ),
+        };
         format!(
             "#[test]\nfn machine_fuzz_repro_seed_{seed}() {{\n    \
              use commloc_sim::fuzz::{{run_scenario, MachineScenario, MappingKind}};\n    \
+             use commloc_sim::MigrationSpec;\n    \
              use commloc_net::fuzz::FaultSpec;\n    use commloc_net::Direction;\n    \
              let _ = &Direction::Plus; // used by fault literals\n    \
+             let _: Option<MigrationSpec> = None; // used by migration literals\n    \
              let scenario = MachineScenario {{\n        seed: {seed},\n        dims: {dims},\n        \
              radix: {radix},\n        contexts: {contexts},\n        clock_ratio: {ratio},\n        \
              switch_cycles: {switch},\n        work: {work},\n        timeout_cycles: {timeout},\n        \
              max_retries: {retries},\n        watchdog_cycles: {watchdog},\n        \
              mapping: MappingKind::{mapping:?},\n        trace_capacity: {tcap},\n        \
-             warmup: {warmup},\n        window: {window},\n        fault: {fault},\n    }};\n    \
+             warmup: {warmup},\n        window: {window},\n        fault: {fault},\n        \
+             migration: {migration},\n    }};\n    \
              run_scenario(&scenario).expect(\"active and reference machines must agree\");\n}}\n",
             seed = s.seed,
             dims = s.dims,
@@ -473,6 +552,23 @@ fn reductions(s: &MachineScenario) -> Vec<MachineScenario> {
         let mut c = s.clone();
         c.fault = None;
         out.push(c);
+    }
+    if s.migration.is_some() {
+        let mut c = s.clone();
+        c.migration = None;
+        out.push(c);
+    }
+    if let Some(spec) = s.migration {
+        if spec.stealing {
+            // Weaker than dropping the layer outright: keep the policy
+            // machinery in place but make it a guaranteed no-op.
+            let mut c = s.clone();
+            c.migration = Some(MigrationSpec {
+                stealing: false,
+                ..spec
+            });
+            out.push(c);
+        }
     }
     if s.watchdog_cycles > 0 {
         let mut c = s.clone();
@@ -537,6 +633,28 @@ mod tests {
             assert!(a.contexts == 1 || a.contexts == 2 || a.contexts == 4);
             assert!(a.clock_ratio == 1 || a.clock_ratio == 2);
             assert!(a.window >= 800);
+            if let Some(m) = a.migration {
+                assert!(m.wedge_threshold >= 200, "seed {seed}");
+                assert!(m.max_migrations < 5, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn migration_scenarios_appear_and_run_clean() {
+        // The scenario space must actually contain both policy kinds,
+        // and a few such seeds must hold lockstep.
+        let drawn: Vec<(u64, MigrationSpec)> = (0..60u64)
+            .filter_map(|s| MachineScenario::from_seed(s).migration.map(|m| (s, m)))
+            .collect();
+        assert!(
+            drawn.iter().any(|(_, m)| m.stealing) && drawn.iter().any(|(_, m)| !m.stealing),
+            "expected both null and stealing policies in 60 seeds: {drawn:?}"
+        );
+        for &(seed, _) in drawn.iter().take(4) {
+            if let Err(d) = run_seed(seed) {
+                panic!("seed {seed}: {d}");
+            }
         }
     }
 

@@ -40,6 +40,7 @@ pub mod fuzz;
 mod machine;
 mod mapping;
 mod parallel;
+mod resilience;
 mod workload;
 
 pub use breakdown::{SpanEvent, SpanLog, TransactionBreakdown, BREAKDOWN_CSV_HEADER};
@@ -50,4 +51,9 @@ pub use fit::{fit_line, FitError, LineFit};
 pub use machine::{run_experiment, Machine, Measurements, SimConfig};
 pub use mapping::{mapping_suite, Mapping, NamedMapping};
 pub use parallel::{default_jobs, parallel_map, run_sweep, SweepPoint};
+pub use resilience::{
+    run_degradation, run_idle_wave, DegradationConfig, DegradationPoint, IdleWave, MigrationPolicy,
+    MigrationRecord, MigrationSpec, MigrationView, NullPolicy, WorkStealingPolicy,
+    ABSORPTION_COMPONENTS,
+};
 pub use workload::{state_word, workload_home_map, TorusNeighborProgram};

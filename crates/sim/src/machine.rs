@@ -33,14 +33,15 @@
 use crate::breakdown::{SpanEvent, SpanLog, TransactionBreakdown};
 use crate::error::{SimError, StallKind, StallReport};
 use crate::mapping::Mapping;
+use crate::resilience::{MigrationPolicy, MigrationRecord, MigrationView};
 use crate::workload::{workload_home_map, TorusNeighborProgram};
-use commloc_mem::{Controller, MemConfig, ProtocolMsg, TxnId};
+use commloc_mem::{Controller, MemConfig, MemOp, ProtocolMsg, TxnId};
 use commloc_net::{
-    ActiveSet, Fabric, FabricConfig, FaultLog, FaultPlan, LatencyBreakdown, Message, NodeId, Torus,
-    TraceBuffer,
+    ActiveSet, Fabric, FabricConfig, FaultEvent, FaultLog, FaultPlan, LatencyBreakdown, Message,
+    NodeId, Torus, TraceBuffer,
 };
-use commloc_proc::{Processor, ThreadProgram};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use commloc_proc::{Processor, ReissueProgram, ThreadOp, ThreadProgram};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 /// Full-system simulation parameters.
@@ -106,6 +107,13 @@ struct NodeSim {
     /// Outstanding transaction per hardware context.
     ctx_txn: Vec<Option<TxnId>>,
     next_txn: u64,
+}
+
+/// A migrating thread in flight to its destination node.
+#[derive(Debug)]
+struct StolenThread {
+    to: usize,
+    program: Box<dyn ThreadProgram>,
 }
 
 /// Measurement-window counters for transaction-level statistics.
@@ -224,6 +232,26 @@ pub struct Machine {
     /// Step with the retained exhaustive every-node loop instead of the
     /// active-node engine (differential testing only).
     reference: bool,
+    /// Dynamic re-mapping policy, consulted at every processor boundary
+    /// (`None` = the static machine; [`crate::NullPolicy`] is bit-exact
+    /// with `None`).
+    policy: Option<Box<dyn MigrationPolicy>>,
+    /// Migrating threads keyed by the network cycle their steal latency
+    /// elapses; each is adopted at the first processor boundary at or
+    /// after that cycle.
+    arrivals: BTreeMap<u64, Vec<StolenThread>>,
+    /// Raw ids of abandoned transactions whose (already unreachable)
+    /// completions must be swallowed rather than reported as
+    /// [`SimError::UnknownCompletion`].
+    abandoned: HashSet<u64>,
+    /// Every migration performed, in decision order.
+    migrations: Vec<MigrationRecord>,
+    /// Nodes a thread has ever migrated away from (sticky; feeds the
+    /// stall report and degradation accounting).
+    migrated_from: Vec<bool>,
+    /// Threads currently assigned to each node (in-flight migrations
+    /// count at their destination) — the policy's load view.
+    live_threads: Vec<usize>,
 }
 
 impl Machine {
@@ -235,7 +263,24 @@ impl Machine {
     ///
     /// Panics if the mapping size does not match the torus.
     pub fn new(config: &SimConfig, mapping: &Mapping) -> Self {
-        Self::new_with_engine(config, mapping, false)
+        Self::new_with_engine(config, mapping, false, None)
+    }
+
+    /// Builds the machine with a dynamic re-mapping policy installed
+    /// (see [`crate::MigrationPolicy`]): wedged threads may migrate to
+    /// other nodes instead of tripping the watchdog. A
+    /// [`crate::NullPolicy`] machine behaves bit-exactly like
+    /// [`Machine::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mapping size does not match the torus.
+    pub fn with_policy(
+        config: &SimConfig,
+        mapping: &Mapping,
+        policy: Box<dyn MigrationPolicy>,
+    ) -> Self {
+        Self::new_with_engine(config, mapping, false, Some(policy))
     }
 
     /// Builds a machine that steps with the retained exhaustive
@@ -245,10 +290,26 @@ impl Machine {
     /// `commloc fuzz --machine`.
     #[cfg(any(test, feature = "reference-engine"))]
     pub fn new_reference(config: &SimConfig, mapping: &Mapping) -> Self {
-        Self::new_with_engine(config, mapping, true)
+        Self::new_with_engine(config, mapping, true, None)
     }
 
-    fn new_with_engine(config: &SimConfig, mapping: &Mapping, reference: bool) -> Self {
+    /// Reference-engine counterpart of [`Machine::with_policy`]
+    /// (differential testing of the migration layer).
+    #[cfg(any(test, feature = "reference-engine"))]
+    pub fn new_reference_with_policy(
+        config: &SimConfig,
+        mapping: &Mapping,
+        policy: Box<dyn MigrationPolicy>,
+    ) -> Self {
+        Self::new_with_engine(config, mapping, true, Some(policy))
+    }
+
+    fn new_with_engine(
+        config: &SimConfig,
+        mapping: &Mapping,
+        reference: bool,
+        policy: Option<Box<dyn MigrationPolicy>>,
+    ) -> Self {
         let mut config = config.clone();
         let torus = Torus::new(config.dims, config.radix);
         let fault_plan = config.fault_plan.take();
@@ -297,6 +358,7 @@ impl Machine {
         for n in 0..node_count {
             active.insert(n);
         }
+        let contexts = config.contexts;
         Self {
             fabric,
             nodes,
@@ -319,6 +381,12 @@ impl Machine {
             event_scratch: Vec::new(),
             fast_forwarded: 0,
             reference,
+            policy,
+            arrivals: BTreeMap::new(),
+            abandoned: HashSet::new(),
+            migrations: Vec::new(),
+            migrated_from: vec![false; node_count],
+            live_threads: vec![contexts; node_count],
         }
     }
 
@@ -357,6 +425,9 @@ impl Machine {
                 self.step_nodes_reference()?;
             } else {
                 self.step_nodes_active()?;
+            }
+            if self.policy.is_some() {
+                self.process_migrations();
             }
         }
         self.check_watchdog()
@@ -418,16 +489,31 @@ impl Machine {
         if let Some((&wake, _)) = self.timer_wakes.first_key_value() {
             horizon = horizon.min(wake.saturating_mul(ratio));
         }
+        let oldest = self.oldest_outstanding_issue();
         if self.config.watchdog_cycles > 0 {
             // The watchdog trips when `max(net_cycle - progress_cycle,
             // oldest transaction age)` reaches the window — i.e. at
             // exactly `min(progress_cycle, oldest issue) + window`.
-            let base = self
-                .oldest_outstanding_issue()
-                .map_or(self.progress_cycle, |issued| {
-                    issued.min(self.progress_cycle)
-                });
+            let base = oldest.map_or(self.progress_cycle, |issued| {
+                issued.min(self.progress_cycle)
+            });
             horizon = horizon.min(base + self.config.watchdog_cycles);
+        }
+        if let Some(policy) = self.policy.as_ref() {
+            // Migration events happen at processor boundaries: the first
+            // boundary at or after a steal arrival, and the boundary at
+            // which the oldest outstanding transaction's age reaches the
+            // wedge threshold. Land on (one cycle before) those exactly.
+            let next_boundary = |cycle: u64| cycle.div_ceil(ratio).saturating_mul(ratio);
+            if let Some((&due, _)) = self.arrivals.first_key_value() {
+                horizon = horizon.min(next_boundary(due.max(self.net_cycle + 1)));
+            }
+            let threshold = policy.wedge_threshold();
+            if threshold != u64::MAX {
+                if let Some(issued) = oldest {
+                    horizon = horizon.min(next_boundary(issued.saturating_add(threshold)));
+                }
+            }
         }
         if horizon.saturating_sub(1) <= self.net_cycle {
             return;
@@ -498,6 +584,7 @@ impl Machine {
                 .fault_log()
                 .map(|log| log.tail(16).to_vec())
                 .unwrap_or_default(),
+            migrated_from: self.migrated_from_nodes(),
         })))
     }
 
@@ -553,6 +640,158 @@ impl Machine {
                 self.last_stepped[n] = boundary;
             }
         }
+    }
+
+    /// Settles one node's outstanding idle debt (active engine only):
+    /// the migration layer mutates processors and controllers outside
+    /// `visit_node`, so the node's clocks must first reach the current
+    /// boundary exactly as exhaustive stepping would have them.
+    fn settle_node_debt(&mut self, n: usize) {
+        if self.reference {
+            return;
+        }
+        let boundary = self.net_cycle / u64::from(self.config.clock_ratio);
+        let debt = boundary - self.last_stepped[n];
+        if debt > 0 {
+            self.nodes[n].cpu.advance_idle(debt);
+            self.nodes[n].ctrl.advance_idle(debt);
+            self.last_stepped[n] = boundary;
+        }
+    }
+
+    /// The migration layer's boundary work (runs right after the node
+    /// boundary, only when a policy is installed): adopt arriving stolen
+    /// threads, then offer wedged contexts to the policy. Parking
+    /// abandons the context's outstanding memory operation at its
+    /// controller (any in-flight grant is later dropped as stale) and
+    /// re-issues it from the destination via a
+    /// [`ReissueProgram`] wrapper, so no work is lost or duplicated.
+    fn process_migrations(&mut self) {
+        let now = self.net_cycle;
+        // 1. Adopt threads whose steal latency has elapsed.
+        while let Some((&due, _)) = self.arrivals.first_key_value() {
+            if due > now {
+                break;
+            }
+            let (_, batch) = self.arrivals.pop_first().expect("peeked entry");
+            for stolen in batch {
+                self.settle_node_debt(stolen.to);
+                let node = &mut self.nodes[stolen.to];
+                node.cpu.adopt(stolen.program);
+                node.ctx_txn.push(None);
+                if !self.reference {
+                    self.active.insert(stolen.to);
+                }
+            }
+        }
+        // 2. Wedge scan, gated on a cheap oldest-transaction age check
+        // so the per-context sweep only runs when something is actually
+        // wedged.
+        let threshold = self
+            .policy
+            .as_ref()
+            .expect("caller checked a policy exists")
+            .wedge_threshold();
+        if threshold == u64::MAX {
+            return;
+        }
+        match self.oldest_outstanding_issue() {
+            Some(issued) if now - issued >= threshold => {}
+            _ => return,
+        }
+        let mut victims: Vec<(usize, usize, TxnId, u64)> = Vec::new();
+        for (n, node) in self.nodes.iter().enumerate() {
+            for (ctx, slot) in node.ctx_txn.iter().enumerate() {
+                let Some(txn) = *slot else { continue };
+                let Some(&issued) = self.txn_issue_cycle.get(&txn.0) else {
+                    continue;
+                };
+                if now - issued >= threshold {
+                    victims.push((n, ctx, txn, now - issued));
+                }
+            }
+        }
+        if victims.is_empty() {
+            return;
+        }
+        let mut wedged = vec![false; self.nodes.len()];
+        for &(n, ..) in &victims {
+            wedged[n] = true;
+        }
+        let mut killed = vec![false; self.nodes.len()];
+        if let Some(log) = self.fabric.fault_log() {
+            for event in log.events() {
+                if let FaultEvent::LinkKilled { node, .. } = event {
+                    killed[node.0] = true;
+                }
+            }
+        }
+        let torus = self.fabric.torus().clone();
+        let mut policy = self.policy.take().expect("caller checked a policy exists");
+        for (victim, ctx, txn, age) in victims {
+            let view = MigrationView {
+                victim,
+                context: ctx,
+                age,
+                cycle: now,
+                torus: &torus,
+                wedged: &wedged,
+                load: &self.live_threads,
+                migrated_from: &self.migrated_from,
+                killed: &killed,
+            };
+            let Some(dst) = policy.choose_destination(&view) else {
+                continue;
+            };
+            if dst.0 == victim {
+                continue;
+            }
+            self.settle_node_debt(victim);
+            let Some(op) = self.nodes[victim].ctrl.abandon(txn) else {
+                continue;
+            };
+            let program = self.nodes[victim].cpu.park(ctx);
+            self.nodes[victim].ctx_txn[ctx] = None;
+            self.txn_issue_cycle.remove(&txn.0);
+            self.abandoned.insert(txn.0);
+            self.migrated_from[victim] = true;
+            self.live_threads[victim] -= 1;
+            self.live_threads[dst.0] += 1;
+            let reissue = match op {
+                MemOp::Read(addr) => ThreadOp::Read(addr),
+                MemOp::Write(addr, value) => ThreadOp::Write(addr, value),
+            };
+            let due = now.saturating_add(policy.steal_latency());
+            self.arrivals.entry(due).or_default().push(StolenThread {
+                to: dst.0,
+                program: Box::new(ReissueProgram::new(reissue, program)),
+            });
+            self.migrations.push(MigrationRecord {
+                cycle: now,
+                from: NodeId(victim),
+                to: dst,
+                context: ctx,
+                txn: txn.0,
+            });
+        }
+        self.policy = Some(policy);
+    }
+
+    /// Every migration performed so far, in decision order.
+    pub fn migrations(&self) -> &[MigrationRecord] {
+        &self.migrations
+    }
+
+    /// Nodes a thread has ever migrated away from, ascending. Sticky by
+    /// design: degradation accounting counts a node as a casualty even
+    /// if another thread later lands on it.
+    pub fn migrated_from_nodes(&self) -> Vec<NodeId> {
+        self.migrated_from
+            .iter()
+            .enumerate()
+            .filter(|&(_, &migrated)| migrated)
+            .map(|(n, _)| NodeId(n))
+            .collect()
     }
 
     /// Produces the measurement record for the current window.
@@ -695,6 +934,11 @@ impl Machine {
             // 3. Completions unblock contexts.
             while let Some(done) = node.ctrl.poll_completion() {
                 let Some(ctx) = node.ctx_txn.iter().position(|t| *t == Some(done.txn)) else {
+                    // A completion raced a migration: the thread is gone
+                    // and the value will be re-fetched from its new node.
+                    if self.abandoned.remove(&done.txn.0) {
+                        continue;
+                    }
                     return Err(SimError::UnknownCompletion {
                         node: NodeId(n),
                         txn: done.txn.0,
@@ -1248,6 +1492,151 @@ mod tests {
             active.fast_forwarded_cycles() > 0,
             "the wedge gap should have been jumped"
         );
+    }
+
+    #[test]
+    fn wedged_node_with_migration_does_not_trip_the_watchdog() {
+        use crate::resilience::WorkStealingPolicy;
+        use commloc_net::{FaultConfig, FaultPlan};
+        // Without migration this exact scenario trips the watchdog (see
+        // `fast_forward_lands_watchdog_trips_on_the_exact_cycle`): with
+        // retries disabled, every dropped message permanently wedges one
+        // thread. With work stealing enabled, each wedged thread is
+        // offered to the policy at age `wedge_threshold` — far below the
+        // watchdog window — and re-issues its abandoned operation from a
+        // new node, so the machine keeps retiring transactions.
+        let config = SimConfig {
+            mem: MemConfig {
+                timeout_cycles: 0,
+                ..MemConfig::default()
+            },
+            watchdog_cycles: 30_000,
+            fault_plan: Some(FaultPlan::new(41).with_config(FaultConfig {
+                drop_rate: 0.05,
+                ..FaultConfig::default()
+            })),
+            ..small_config()
+        };
+        let mapping = Mapping::identity(16);
+        let policy = || Box::new(WorkStealingPolicy::new(300, 2_000, 10_000));
+        let mut active = Machine::with_policy(&config, &mapping, policy());
+        let mut reference = Machine::new_reference_with_policy(&config, &mapping, policy());
+        let ra = active.run_network_cycles(60_000);
+        let rb = reference.run_network_cycles(60_000);
+        assert_eq!(ra, rb, "migration runs must agree across engines");
+        assert!(
+            ra.is_ok(),
+            "migration should keep the wedged machine alive: {ra:?}"
+        );
+        assert!(
+            !active.migrations().is_empty(),
+            "the unretried drops should have forced at least one migration"
+        );
+        assert_eq!(active.migrations(), reference.migrations());
+        assert_eq!(active.net_cycle(), reference.net_cycle());
+        assert_eq!(active.measure(), reference.measure());
+        assert_eq!(
+            active.completions_per_node(),
+            reference.completions_per_node()
+        );
+        assert_eq!(
+            active.migrated_from_nodes(),
+            reference.migrated_from_nodes()
+        );
+    }
+
+    #[test]
+    fn exhausted_migration_budget_trips_and_names_the_migrated_nodes() {
+        use crate::resilience::WorkStealingPolicy;
+        use commloc_net::{FaultConfig, FaultPlan};
+        // A budget of one move: the first wedged context migrates, the
+        // next wedged context has no budget left and ages out, and the
+        // resulting stall report must name where threads already fled.
+        let config = SimConfig {
+            mem: MemConfig {
+                timeout_cycles: 0,
+                ..MemConfig::default()
+            },
+            watchdog_cycles: 20_000,
+            fault_plan: Some(FaultPlan::new(41).with_config(FaultConfig {
+                drop_rate: 0.05,
+                ..FaultConfig::default()
+            })),
+            ..small_config()
+        };
+        let mapping = Mapping::identity(16);
+        let policy = Box::new(WorkStealingPolicy::new(300, 2_000, 1));
+        let mut machine = Machine::with_policy(&config, &mapping, policy);
+        let err = machine
+            .run_network_cycles(400_000)
+            .expect_err("budget exhaustion must leave a wedged thread");
+        let SimError::Stalled(report) = err else {
+            panic!("expected a stall, got {err}");
+        };
+        assert_eq!(machine.migrations().len(), 1);
+        assert_eq!(
+            report.migrated_from,
+            vec![machine.migrations()[0].from],
+            "the report must name the migrated-from node"
+        );
+    }
+
+    #[test]
+    fn migration_layer_conserves_completions_on_fault_free_runs() {
+        use crate::resilience::WorkStealingPolicy;
+        // Property: on a fault-free machine the stealing policy's wedge
+        // threshold (far above any healthy transaction latency) never
+        // fires, so a policy-carrying machine must complete exactly the
+        // same transactions as the static machine.
+        for (mapping, contexts) in [(Mapping::identity(16), 1), (Mapping::random(16, 3), 2)] {
+            let config = SimConfig {
+                contexts,
+                ..small_config()
+            };
+            let policy = Box::new(WorkStealingPolicy::new(200, 3_000, 1_000));
+            let mut dynamic = Machine::with_policy(&config, &mapping, policy);
+            let mut static_run = Machine::new(&config, &mapping);
+            dynamic.run_network_cycles(30_000).unwrap();
+            static_run.run_network_cycles(30_000).unwrap();
+            assert!(dynamic.migrations().is_empty(), "no faults, no moves");
+            assert_eq!(dynamic.completions(), static_run.completions());
+            assert_eq!(
+                dynamic.completions_per_node(),
+                static_run.completions_per_node()
+            );
+            assert_eq!(dynamic.measure(), static_run.measure());
+        }
+    }
+
+    #[test]
+    fn null_policy_is_bit_exact_with_the_static_machine() {
+        use crate::resilience::NullPolicy;
+        use commloc_net::{FaultConfig, FaultPlan};
+        // Even under an eventful fault plan, the null policy must leave
+        // no trace: identical cycles, measurements, and fault log.
+        let config = SimConfig {
+            mem: MemConfig {
+                timeout_cycles: 2_000,
+                ..MemConfig::default()
+            },
+            fault_plan: Some(FaultPlan::new(19).with_config(FaultConfig {
+                drop_rate: 0.002,
+                corrupt_rate: 0.001,
+                ..FaultConfig::default()
+            })),
+            ..small_config()
+        };
+        let mapping = Mapping::identity(16);
+        let mut with_null = Machine::with_policy(&config, &mapping, Box::new(NullPolicy));
+        let mut without = Machine::new(&config, &mapping);
+        let ra = with_null.run_network_cycles(30_000);
+        let rb = without.run_network_cycles(30_000);
+        assert_eq!(ra, rb);
+        assert_eq!(with_null.net_cycle(), without.net_cycle());
+        assert_eq!(with_null.measure(), without.measure());
+        assert_eq!(with_null.fault_log(), without.fault_log());
+        assert!(with_null.migrations().is_empty());
+        assert!(with_null.migrated_from_nodes().is_empty());
     }
 
     #[test]

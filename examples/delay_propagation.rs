@@ -2,20 +2,24 @@
 //! watch the disturbance spread and die out — the fault-injection
 //! counterpart of the paper's open-network contention model.
 //!
-//! Two deterministic copies of the 64-node machine run in lockstep; one
-//! suffers a transient router stall at the victim node. Their per-node
-//! completion counts are differenced per time bucket and grouped by torus
-//! distance from the victim, so the printed deficits *are* the
-//! disturbance. The analytical model says the network operates well below
-//! saturation (channel utilization `rho` small), so the backlog a stall
-//! of `W` cycles accumulates drains at roughly `1 - rho` service slots
-//! per cycle: the completion rate should recover within about
+//! This drives the resilience subsystem's idle-wave experiment
+//! ([`run_idle_wave`]): two deterministic copies of the 64-node machine
+//! run in lockstep, one suffering a transient router stall at the victim
+//! node, and their per-node completion counts are differenced per time
+//! bucket and grouped by torus distance from the victim — the printed
+//! deficits *are* the disturbance. The wave analyzers then summarize it:
+//! propagation speed, decay distance, ring-to-ring damping, and the
+//! per-component absorption attribution from the latency breakdown. The
+//! analytical model says the network operates well below saturation
+//! (channel utilization `rho` small), so the backlog a stall of `W`
+//! cycles accumulates drains at roughly `1 - rho` service slots per
+//! cycle: the completion rate should recover within about
 //! `W * rho / (1 - rho)` cycles of the stall clearing, and the spatial
 //! footprint should collapse within a few hops of the victim.
 //!
 //! Run with: `cargo run --release --example delay_propagation`
 
-use commloc::sim::{run_disturbance, run_experiment, DisturbanceConfig, Mapping, SimConfig};
+use commloc::sim::{run_experiment, run_idle_wave, DisturbanceConfig, Mapping, SimConfig};
 
 fn main() {
     // `COMMLOC_SMOKE` shrinks the horizon and windows so CI can exercise
@@ -55,7 +59,8 @@ fn main() {
         horizon,
         bucket: 1_000,
     };
-    let curve = run_disturbance(&config, &mapping).expect("disturbance experiment");
+    let wave = run_idle_wave(&config, &mapping).expect("idle-wave experiment");
+    let curve = &wave.curve;
 
     println!("spatial profile — peak per-node completion deficit by distance:");
     println!("{:>10} {:>8} {:>14}", "distance", "nodes", "peak deficit");
@@ -79,6 +84,25 @@ fn main() {
         };
         println!("{start:>12} {d:>10}{marker}");
     }
+
+    println!("\nwave analyzers:");
+    match wave.propagation_speed() {
+        Some(speed) => println!("  propagation speed: {speed:.0} cycles/hop (bucket-limited)"),
+        None => println!("  propagation speed: not measurable (wave too localized)"),
+    }
+    println!(
+        "  decay distance: {} hop(s) at the 0.5 completions/node threshold",
+        wave.decay_distance(0.5)
+    );
+    println!("  ring-to-ring damping: {:.2}", wave.damping());
+    println!("  where the delay was absorbed (latency-breakdown deltas, network cycles):");
+    for (component, delta) in &wave.absorption {
+        println!("    {component:<14} {delta:>+10}");
+    }
+    println!(
+        "  total absorbed in the fabric: {} cycles across positive components",
+        wave.absorbed_total()
+    );
 
     let stall_end = inject_cycle + stall_window;
     let predicted_lag = stall_window as f64 * rho / (1.0 - rho);
