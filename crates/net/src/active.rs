@@ -49,6 +49,11 @@ impl ActiveSet {
         self.words.iter().all(|&w| w == 0)
     }
 
+    /// Number of members (one popcount per bitmap word).
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
     /// Removes every member.
     pub fn clear(&mut self) {
         self.words.fill(0);

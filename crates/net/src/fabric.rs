@@ -50,13 +50,13 @@
 
 use crate::active::ActiveSet;
 use crate::fault::{FaultLog, FaultPlan};
-use crate::message::{Delivery, Flit, Message, MessageId};
-use crate::router::{InputRef, OutputRef, Router, INFINITE_CREDITS};
+use crate::message::{Delivery, Flit, FlitKind, Message, MessageId};
+use crate::router::{InputRef, OutputRef, INFINITE_CREDITS};
 use crate::routing::{route_step, RouteStep, VcIndex, DATELINE_VCS};
 use crate::stats::{FabricStats, LatencyBreakdown};
 use crate::topology::{Direction, NodeId, Torus};
 use crate::trace::{TraceBuffer, TraceEvent};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::mem;
 
@@ -165,8 +165,11 @@ struct Pending<P> {
 #[derive(Debug, Default)]
 struct NetworkInterface {
     queue: VecDeque<(u32, MessageId)>,
-    /// Message currently being flitized: slot, id, and next flit index.
-    streaming: Option<(u32, MessageId, u32)>,
+    /// Message currently being flitized: slot, id, next flit index, and
+    /// total length. The length is cached at streaming start because a
+    /// shard fabric's slab entry can migrate to another shard (with the
+    /// head flit) while later flits are still streaming here.
+    streaming: Option<(u32, MessageId, u32, u32)>,
 }
 
 /// A cycle-level k-ary n-cube torus fabric carrying messages with payload
@@ -190,7 +193,33 @@ struct NetworkInterface {
 pub struct Fabric<P> {
     torus: Torus,
     config: FabricConfig,
-    routers: Vec<Router>,
+    /// Global id of the first node this fabric owns (`0` for a
+    /// whole-torus fabric). A shard fabric owns the contiguous global
+    /// range `base .. base + owned`; every per-node array below is
+    /// indexed by `global - base`.
+    base: usize,
+    /// Number of nodes this fabric owns.
+    owned: usize,
+    /// Router state, struct-of-arrays. Input and output virtual channels
+    /// share the index function `node * vc_stride + port * link_vcs + vc`
+    /// with `vc_stride = link_ports * link_vcs + 1`: the single-VC
+    /// injection input / ejection output (`port == link_ports`, `vc == 0`)
+    /// lands on the trailing slot of each node's block.
+    in_fifo: Vec<VecDeque<Flit>>,
+    /// Route of the message at each input VC's front, assigned when its
+    /// head reaches the front and cleared when its tail departs.
+    in_route: Vec<Option<OutputRef>>,
+    /// Cycle each input VC's front route was assigned (hop-block trace).
+    in_routed_at: Vec<u64>,
+    /// Wormhole lock owner of each output VC.
+    out_locked: Vec<Option<InputRef>>,
+    /// Free downstream buffer slots of each output VC.
+    out_credits: Vec<usize>,
+    /// Round-robin input pointer of each output VC.
+    out_rr_input: Vec<usize>,
+    /// Round-robin VC pointer of each output physical channel, indexed
+    /// `node * (link_ports + 1) + port`.
+    out_rr_vc: Vec<usize>,
     /// Inter-router links, indexed `node * link_ports + port`; each holds
     /// at most one in-transit flit tagged with its virtual channel.
     links: Vec<Option<(Flit, VcIndex)>>,
@@ -219,8 +248,9 @@ pub struct Fabric<P> {
     /// Flattened (port, vc) enumeration shared by all routers, used for
     /// round-robin allocation.
     input_vc_list: Vec<(usize, usize)>,
-    /// Downstream node of each output link, `node * link_ports + port` —
-    /// precomputed so the hot path never re-derives torus coordinates.
+    /// Downstream **global** node of each output link, indexed
+    /// `node * link_ports + port` — precomputed so the hot path never
+    /// re-derives torus coordinates.
     neighbors: Vec<u32>,
     /// Flits buffered in each router's input VCs, maintained
     /// incrementally on every push/pop.
@@ -257,6 +287,26 @@ pub struct Fabric<P> {
     /// ejection, loopback) since construction — never reset, so watchdogs
     /// can detect global stalls by watching it stop advancing.
     activity: u64,
+    /// Flits buffered across all owned routers — the incrementally
+    /// maintained sum of `occupancy`, kept for O(1) quiescence checks.
+    buffered: u64,
+    /// Messages ever injected here (monolithic fabrics: equals `next_id`;
+    /// shard fabrics count only their own nodes' injections).
+    injected_total: u64,
+    /// Flits and credits that crossed out of this shard this cycle,
+    /// drained by the shard driver. Always empty for a whole-torus
+    /// fabric.
+    boundary_out: Vec<BoundaryItem<P>>,
+    /// `(message id, entry node, entry port, entry vc)` -> local slab
+    /// slot for messages whose bookkeeping was transferred in from
+    /// another shard while trailing flits still arrive carrying the
+    /// sender's slot index. Keyed per boundary crossing, not per
+    /// message: a wrapping route can leave and re-enter the same shard,
+    /// so one worm may stream across two crossings concurrently, and
+    /// the tail passing the first crossing must not tear down the entry
+    /// the second still needs. Each entry dies with the tail flit at
+    /// its own crossing.
+    remap: HashMap<(u64, u32, u16, u16), u32>,
 }
 
 impl<P> Fabric<P> {
@@ -267,6 +317,23 @@ impl<P> Fabric<P> {
     /// Panics if the configuration requests fewer than
     /// [`DATELINE_VCS`] virtual channels or zero-capacity buffers.
     pub fn new(torus: Torus, config: FabricConfig) -> Self {
+        let nodes = torus.nodes();
+        Self::new_shard(torus, config, 0, nodes)
+    }
+
+    /// Builds a fabric owning only the contiguous global node range
+    /// `base .. base + owned` of `torus` — one shard of a partitioned
+    /// simulation. Flits and credits crossing the range boundary are
+    /// emitted as [`BoundaryItem`]s ([`Fabric::take_boundary`]) instead
+    /// of traversing local links; the shard driver delivers them into the
+    /// owning shard ([`Fabric::ingest_boundary`]) between cycles, which
+    /// reproduces the one-cycle link latency exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a bad VC/buffer configuration (see [`Fabric::new`]) or
+    /// an empty/out-of-range node range.
+    pub fn new_shard(torus: Torus, config: FabricConfig, base: usize, owned: usize) -> Self {
         assert!(
             config.link_vcs >= DATELINE_VCS,
             "tori require at least {DATELINE_VCS} virtual channels for deadlock freedom"
@@ -280,11 +347,20 @@ impl<P> Fabric<P> {
             config.injection_buffer_capacity > 0,
             "buffers must hold flits"
         );
-        let nodes = torus.nodes();
+        assert!(owned > 0, "a shard must own at least one node");
+        assert!(
+            base + owned <= torus.nodes(),
+            "shard range exceeds the torus"
+        );
         let link_ports = 2 * torus.dims() as usize;
-        let routers = (0..nodes)
-            .map(|_| Router::new(torus.dims(), config.link_vcs, config.vc_buffer_capacity))
-            .collect();
+        let vc_stride = link_ports * config.link_vcs + 1;
+        let mut out_credits = Vec::with_capacity(owned * vc_stride);
+        for _ in 0..owned {
+            for _ in 0..link_ports * config.link_vcs {
+                out_credits.push(config.vc_buffer_capacity);
+            }
+            out_credits.push(INFINITE_CREDITS); // ejection pseudo-channel
+        }
         let mut input_vc_list = Vec::new();
         for port in 0..link_ports {
             for vc in 0..config.link_vcs {
@@ -292,35 +368,43 @@ impl<P> Fabric<P> {
             }
         }
         input_vc_list.push((link_ports, 0)); // injection input
-        let mut neighbors = Vec::with_capacity(nodes * link_ports);
-        for node in 0..nodes {
+        let mut neighbors = Vec::with_capacity(owned * link_ports);
+        for node in base..base + owned {
             for port in 0..link_ports {
                 let (dim, dir) = port_to_link(port);
                 neighbors.push(torus.neighbor(NodeId(node), dim, dir).0 as u32);
             }
         }
-        let stats = FabricStats::new(nodes, link_ports);
+        let stats = FabricStats::new(owned, link_ports);
         Self {
             torus,
             config,
-            routers,
-            links: vec![None; nodes * link_ports],
+            base,
+            owned,
+            in_fifo: (0..owned * vc_stride).map(|_| VecDeque::new()).collect(),
+            in_route: vec![None; owned * vc_stride],
+            in_routed_at: vec![0; owned * vc_stride],
+            out_locked: vec![None; owned * vc_stride],
+            out_credits,
+            out_rr_input: vec![0; owned * vc_stride],
+            out_rr_vc: vec![0; owned * (link_ports + 1)],
+            links: vec![None; owned * link_ports],
             link_occupied: Vec::new(),
-            inj_links: vec![None; nodes],
+            inj_links: vec![None; owned],
             inj_occupied: Vec::new(),
-            inj_credits: vec![config.injection_buffer_capacity; nodes],
-            nis: (0..nodes).map(|_| NetworkInterface::default()).collect(),
+            inj_credits: vec![config.injection_buffer_capacity; owned],
+            nis: (0..owned).map(|_| NetworkInterface::default()).collect(),
             slots: Vec::new(),
             free_slots: Vec::new(),
             live: 0,
-            deliveries: (0..nodes).map(|_| VecDeque::new()).collect(),
-            delivery_events: ActiveSet::new(nodes),
+            deliveries: (0..owned).map(|_| VecDeque::new()).collect(),
+            delivery_events: ActiveSet::new(owned),
             input_vc_list,
             neighbors,
-            occupancy: vec![0; nodes],
-            active_routers: ActiveSet::new(nodes),
-            active_nis: ActiveSet::new(nodes),
-            requests: vec![0; nodes * (link_ports + 1) * DATELINE_VCS],
+            occupancy: vec![0; owned],
+            active_routers: ActiveSet::new(owned),
+            active_nis: ActiveSet::new(owned),
+            requests: vec![0; owned * (link_ports + 1) * DATELINE_VCS],
             node_scratch: Vec::new(),
             link_scratch: Vec::new(),
             inj_scratch: Vec::new(),
@@ -332,6 +416,10 @@ impl<P> Fabric<P> {
             trace: (config.trace_capacity > 0).then(|| TraceBuffer::new(config.trace_capacity)),
             fault: None,
             activity: 0,
+            buffered: 0,
+            injected_total: 0,
+            boundary_out: Vec::new(),
+            remap: HashMap::new(),
         }
     }
 
@@ -342,6 +430,33 @@ impl<P> Fabric<P> {
         let mut fabric = Self::new(torus, config);
         fabric.fault = Some(plan);
         fabric
+    }
+
+    /// Shard form of [`Fabric::with_fault_plan`]: the plan should be the
+    /// global plan restricted to this shard's nodes
+    /// ([`FaultPlan::restrict`]); the stateless per-site rolls then
+    /// replay exactly as in the monolithic fabric.
+    pub fn with_fault_plan_shard(
+        torus: Torus,
+        config: FabricConfig,
+        base: usize,
+        owned: usize,
+        plan: FaultPlan,
+    ) -> Self {
+        let mut fabric = Self::new_shard(torus, config, base, owned);
+        fabric.fault = Some(plan);
+        fabric
+    }
+
+    /// Global id of the first node this fabric owns (`0` unless built by
+    /// [`Fabric::new_shard`]).
+    pub fn shard_base(&self) -> usize {
+        self.base
+    }
+
+    /// Number of nodes this fabric owns.
+    pub fn shard_owned(&self) -> usize {
+        self.owned
     }
 
     /// The attached fault plan, if any.
@@ -407,17 +522,37 @@ impl<P> Fabric<P> {
     ///
     /// Panics if the source or destination node is out of range.
     pub fn inject(&mut self, message: Message<P>) -> MessageId {
+        let id = MessageId(self.next_id);
+        self.next_id += 1;
+        self.inject_with_id(id, message);
+        id
+    }
+
+    /// Enqueues a message under a caller-assigned id — the shard driver's
+    /// injection path. Fault rolls hash over message ids, so a sharded
+    /// run must assign the same globally sequential ids the monolithic
+    /// fabric would; the driver owns that counter and routes each
+    /// injection to the shard owning its source node. Monolithic callers
+    /// use [`Fabric::inject`], which assigns ids itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node is out of range or the source is not owned by
+    /// this fabric.
+    pub fn inject_with_id(&mut self, id: MessageId, message: Message<P>) {
         assert!(message.src.0 < self.torus.nodes(), "source out of range");
         assert!(
             message.dst.0 < self.torus.nodes(),
             "destination out of range"
         );
-        let id = MessageId(self.next_id);
-        self.next_id += 1;
-        let src = message.src;
+        assert!(
+            self.in_shard(message.src.0),
+            "source not owned by this shard"
+        );
+        let src = message.src.0 - self.base;
+        self.injected_total += 1;
         // Depth the new message finds ahead of it: queued plus streaming.
-        let depth =
-            self.nis[src.0].queue.len() as u64 + u64::from(self.nis[src.0].streaming.is_some());
+        let depth = self.nis[src].queue.len() as u64 + u64::from(self.nis[src].streaming.is_some());
         self.breakdown.queue_depth.record(depth);
         let pending = Pending {
             id: id.0,
@@ -440,9 +575,8 @@ impl<P> Fabric<P> {
             }
         };
         self.live += 1;
-        self.nis[src.0].queue.push_back((slot, id));
-        self.active_nis.insert(src.0);
-        id
+        self.nis[src].queue.push_back((slot, id));
+        self.active_nis.insert(src);
     }
 
     /// Number of messages injected but not yet delivered (queued,
@@ -454,16 +588,18 @@ impl<P> Fabric<P> {
     /// Messages waiting in a node's injection queue (including the one
     /// currently streaming).
     pub fn injection_backlog(&self, node: NodeId) -> usize {
-        self.nis[node.0].queue.len() + usize::from(self.nis[node.0].streaming.is_some())
+        let n = node.0 - self.base;
+        self.nis[n].queue.len() + usize::from(self.nis[n].streaming.is_some())
     }
 
     /// Takes the next completed delivery at `node`, if any.
     pub fn poll_delivery(&mut self, node: NodeId) -> Option<Delivery<P>> {
-        self.deliveries[node.0].pop_front()
+        self.deliveries[node.0 - self.base].pop_front()
     }
 
-    /// Clears `out` and fills it (ascending) with the nodes that received
-    /// a delivery since the previous drain, then resets the event set.
+    /// Clears `out` and fills it (ascending) with the **global** ids of
+    /// nodes that received a delivery since the previous drain, then
+    /// resets the event set.
     ///
     /// This is the fabric-to-machine wake-up channel of the active-node
     /// engine: a drained event only says "a delivery was pushed for this
@@ -472,11 +608,17 @@ impl<P> Fabric<P> {
     pub fn take_delivery_events(&mut self, out: &mut Vec<u32>) {
         self.delivery_events.collect_into(out);
         self.delivery_events.clear();
+        if self.base != 0 {
+            let base = self.base as u32;
+            for node in out.iter_mut() {
+                *node += base;
+            }
+        }
     }
 
     /// Total flits currently buffered across all routers (diagnostic).
     pub fn buffered_flits(&self) -> usize {
-        self.occupancy.iter().map(|&c| c as usize).sum()
+        self.buffered as usize
     }
 
     /// Flits currently buffered in each router, indexed by node
@@ -495,9 +637,11 @@ impl<P> Fabric<P> {
     /// Total messages ever injected (not windowed, unlike
     /// [`FabricStats::injected_messages`]). With windowless stats,
     /// `delivered + dropped + in_flight == total_injected` always holds —
-    /// the message-conservation invariant the fault tests assert.
+    /// the message-conservation invariant the fault tests assert. Shard
+    /// fabrics count only injections at their own nodes; the driver sums
+    /// across shards for the global invariant.
     pub fn total_injected(&self) -> u64 {
-        self.next_id
+        self.injected_total
     }
 
     /// Advances the fabric by one network cycle.
@@ -557,7 +701,7 @@ impl<P> Fabric<P> {
     /// fault log, stall windows — is identical to having stepped
     /// cycle by cycle (asserted by the equivalence tests).
     pub fn fast_forward(&mut self, cycles: u64) -> u64 {
-        if self.live != 0 {
+        if !self.is_quiescent() {
             return 0;
         }
         let target = self.cycle + cycles;
@@ -594,15 +738,63 @@ impl<P> Fabric<P> {
         self.fast_forward(target - self.cycle)
     }
 
+    /// Whether nothing at all is in motion here: no live messages, no
+    /// buffered flits, nothing on links or injection channels, no
+    /// undrained boundary traffic, and no partially transferred messages.
+    /// For a whole-torus fabric this is equivalent to
+    /// `in_flight() == 0`; a shard can hold trailing flits of messages
+    /// whose slab bookkeeping already moved to another shard, which the
+    /// extra terms account for. All O(1).
+    pub fn is_quiescent(&self) -> bool {
+        self.live == 0
+            && self.buffered == 0
+            && self.link_occupied.is_empty()
+            && self.inj_occupied.is_empty()
+            && self.boundary_out.is_empty()
+            && self.remap.is_empty()
+    }
+
     fn link_ports(&self) -> usize {
         2 * self.torus.dims() as usize
     }
 
+    /// Index of the injection input / ejection output port.
     fn local_port(&self) -> usize {
-        Router::local_port(self.torus.dims())
+        2 * self.torus.dims() as usize
     }
 
-    /// Index into `requests` for `(node, output port, dateline class)`.
+    /// Virtual channels per node in the flattened VC arrays.
+    fn vc_stride(&self) -> usize {
+        self.link_ports() * self.config.link_vcs + 1
+    }
+
+    /// Index of `(local node, port, vc)` in the flattened VC arrays.
+    /// The injection/ejection port (`port == link_ports`, `vc == 0`)
+    /// lands on the trailing slot of the node's block.
+    #[inline]
+    fn vc_idx(&self, node: usize, port: usize, vc: usize) -> usize {
+        node * self.vc_stride() + port * self.config.link_vcs + vc
+    }
+
+    /// Virtual channels on a port: `link_vcs` for link ports, one for the
+    /// injection/ejection port.
+    #[inline]
+    fn port_vcs(&self, port: usize) -> usize {
+        if port == self.link_ports() {
+            1
+        } else {
+            self.config.link_vcs
+        }
+    }
+
+    /// Whether a global node id falls in this fabric's owned range.
+    #[inline]
+    fn in_shard(&self, global: usize) -> bool {
+        global >= self.base && global < self.base + self.owned
+    }
+
+    /// Index into `requests` for `(local node, output port, dateline
+    /// class)`.
     fn req_index(&self, node: usize, output: usize, class: usize) -> usize {
         (node * (self.link_ports() + 1) + output) * DATELINE_VCS + class
     }
@@ -618,14 +810,17 @@ impl<P> Fabric<P> {
             let Some((flit, vc)) = self.links[li].take() else {
                 continue;
             };
+            // Cross-shard flits never enter `links`, so the downstream
+            // node of a locally occupied link is always owned.
             let down = self.neighbors[li] as usize;
+            let node = down - self.base;
             let port = li % link_ports;
-            let buf = &mut self.routers[down].inputs[port].vcs[vc];
+            let idx = self.vc_idx(node, port, vc);
             debug_assert!(
-                buf.fifo.len() < self.config.vc_buffer_capacity,
+                self.in_fifo[idx].len() < self.config.vc_buffer_capacity,
                 "credit protocol violated"
             );
-            buf.fifo.push_back(flit);
+            self.in_fifo[idx].push_back(flit);
             // Stamp the head's arrival at its destination router — the
             // boundary between in-network (hop) time and ejection wait in
             // the latency breakdown. One slab lookup per head per hop.
@@ -636,8 +831,9 @@ impl<P> Fabric<P> {
                     }
                 }
             }
-            self.occupancy[down] += 1;
-            self.active_routers.insert(down);
+            self.occupancy[node] += 1;
+            self.buffered += 1;
+            self.active_routers.insert(node);
         }
         self.link_scratch.clear();
         mem::swap(&mut self.inj_occupied, &mut self.inj_scratch);
@@ -646,13 +842,14 @@ impl<P> Fabric<P> {
             let Some(flit) = self.inj_links[node].take() else {
                 continue;
             };
-            let buf = &mut self.routers[node].inputs[local].vcs[0];
+            let idx = self.vc_idx(node, local, 0);
             debug_assert!(
-                buf.fifo.len() < self.config.injection_buffer_capacity,
+                self.in_fifo[idx].len() < self.config.injection_buffer_capacity,
                 "injection credit protocol violated"
             );
-            buf.fifo.push_back(flit);
+            self.in_fifo[idx].push_back(flit);
             self.occupancy[node] += 1;
+            self.buffered += 1;
             self.active_routers.insert(node);
         }
         self.inj_scratch.clear();
@@ -662,49 +859,49 @@ impl<P> Fabric<P> {
     /// count each new assignment as a pending switch request.
     fn compute_routes(&mut self, active: &[u32]) -> Result<(), FabricError> {
         let local = self.local_port();
+        let stride = self.vc_stride();
         for &n in active {
             let node = n as usize;
-            for port in 0..self.routers[node].inputs.len() {
-                for vc in 0..self.routers[node].inputs[port].vcs.len() {
-                    let buf = &self.routers[node].inputs[port].vcs[vc];
-                    if buf.route.is_some() {
-                        continue;
-                    }
-                    let Some(front) = buf.fifo.front() else {
-                        continue;
-                    };
-                    if !front.kind.is_head() {
-                        continue;
-                    }
-                    let message = front.message;
-                    let slot = front.slot as usize;
-                    let pending = self
-                        .slots
-                        .get(slot)
-                        .and_then(Option::as_ref)
-                        .filter(|p| p.id == message.0)
-                        .ok_or(FabricError::UnknownMessage {
-                            message,
-                            context: "route computation",
-                            cycle: self.cycle,
-                        })?;
-                    let (src, dst) = (pending.message.src, pending.message.dst);
-                    let step = route_step(&self.torus, src, dst, NodeId(node));
-                    let output = match step {
-                        RouteStep::Eject => OutputRef { port: local, vc: 0 },
-                        RouteStep::Forward { dim, direction, vc } => OutputRef {
-                            port: link_to_port(dim, direction),
-                            vc,
-                        },
-                    };
-                    let buf = &mut self.routers[node].inputs[port].vcs[vc];
-                    buf.route = Some(output);
-                    buf.routed_at = self.cycle;
-                    // `output.vc` is the dateline class here, matching the
-                    // decrement when this head is forwarded.
-                    let idx = self.req_index(node, output.port, output.vc);
-                    self.requests[idx] += 1;
+            let global = NodeId(self.base + node);
+            // Walking the node's flattened VC block visits (port, vc) in
+            // exactly the old port-major, injection-last order.
+            for idx in node * stride..(node + 1) * stride {
+                if self.in_route[idx].is_some() {
+                    continue;
                 }
+                let Some(front) = self.in_fifo[idx].front() else {
+                    continue;
+                };
+                if !front.kind.is_head() {
+                    continue;
+                }
+                let message = front.message;
+                let slot = front.slot as usize;
+                let pending = self
+                    .slots
+                    .get(slot)
+                    .and_then(Option::as_ref)
+                    .filter(|p| p.id == message.0)
+                    .ok_or(FabricError::UnknownMessage {
+                        message,
+                        context: "route computation",
+                        cycle: self.cycle,
+                    })?;
+                let (src, dst) = (pending.message.src, pending.message.dst);
+                let step = route_step(&self.torus, src, dst, global);
+                let output = match step {
+                    RouteStep::Eject => OutputRef { port: local, vc: 0 },
+                    RouteStep::Forward { dim, direction, vc } => OutputRef {
+                        port: link_to_port(dim, direction),
+                        vc,
+                    },
+                };
+                self.in_route[idx] = Some(output);
+                self.in_routed_at[idx] = self.cycle;
+                // `output.vc` is the dateline class here, matching the
+                // decrement when this head is forwarded.
+                let ridx = self.req_index(node, output.port, output.vc);
+                self.requests[ridx] += 1;
             }
         }
         Ok(())
@@ -724,15 +921,18 @@ impl<P> Fabric<P> {
         let output_count = link_ports + 1;
         for &n in active {
             let node = n as usize;
+            // Faults are keyed by global node id: a restricted shard plan
+            // replays the monolithic plan's decisions exactly.
+            let global = self.base + node;
             if let Some(plan) = self.fault.as_ref() {
-                if plan.router_stalled(self.cycle, node) {
+                if plan.router_stalled(self.cycle, global) {
                     continue;
                 }
             }
             for output in 0..output_count {
                 if output < link_ports {
                     if let Some(plan) = self.fault.as_ref() {
-                        if plan.link_blocked(self.cycle, node, output) {
+                        if plan.link_blocked(self.cycle, global, output) {
                             continue;
                         }
                     }
@@ -749,21 +949,19 @@ impl<P> Fabric<P> {
     /// `node` this cycle, allocating the output VC to a new message when
     /// unlocked. Returns the chosen input and output VC.
     fn pick_sender(&mut self, node: usize, output: usize) -> Option<(InputRef, VcIndex)> {
-        let vc_count = self.routers[node].outputs[output].vcs.len();
+        let vc_count = self.port_vcs(output);
+        let rr = node * (self.link_ports() + 1) + output;
         for i in 0..vc_count {
-            let w = (self.routers[node].outputs[output].rr_vc + i) % vc_count;
-            let (locked_by, credits) = {
-                let ovc = &self.routers[node].outputs[output].vcs[w];
-                (ovc.locked_by, ovc.credits)
-            };
-            if credits == 0 {
+            let w = (self.out_rr_vc[rr] + i) % vc_count;
+            let ovc = self.vc_idx(node, output, w);
+            if self.out_credits[ovc] == 0 {
                 continue;
             }
-            if let Some(input) = locked_by {
+            if let Some(input) = self.out_locked[ovc] {
                 // Continue the wormhole if the next flit has arrived.
-                let buf = &self.routers[node].inputs[input.port].vcs[input.vc];
-                if buf.fifo.front().is_some() {
-                    self.routers[node].outputs[output].rr_vc = (w + 1) % vc_count;
+                let buf = self.vc_idx(node, input.port, input.vc);
+                if self.in_fifo[buf].front().is_some() {
+                    self.out_rr_vc[rr] = (w + 1) % vc_count;
                     return Some((input, w));
                 }
             } else {
@@ -777,9 +975,8 @@ impl<P> Fabric<P> {
                 if let Some(input) = self.find_requester(node, output, w) {
                     // Allocate this output VC to a new message and forward
                     // its head immediately.
-                    let ovc = &mut self.routers[node].outputs[output].vcs[w];
-                    ovc.locked_by = Some(input);
-                    self.routers[node].outputs[output].rr_vc = (w + 1) % vc_count;
+                    self.out_locked[ovc] = Some(input);
+                    self.out_rr_vc[rr] = (w + 1) % vc_count;
                     return Some((input, w));
                 }
             }
@@ -791,23 +988,22 @@ impl<P> Fabric<P> {
     /// output VC `(output, w)` and whose head flit is at the front.
     fn find_requester(&mut self, node: usize, output: usize, w: VcIndex) -> Option<InputRef> {
         let list_len = self.input_vc_list.len();
-        let start = self.routers[node].outputs[output].vcs[w].rr_input;
+        let ovc = self.vc_idx(node, output, w);
+        let start = self.out_rr_input[ovc];
+        // `route.vc` is the dateline class; output VC `w` serves it if it
+        // falls in that class's half of the channel set.
+        let class = self.vc_class(output, w);
         for i in 0..list_len {
             let idx = (start + i) % list_len;
             let (port, vc) = self.input_vc_list[idx];
-            if self.routers[node].inputs.len() <= port
-                || self.routers[node].inputs[port].vcs.len() <= vc
-            {
+            let buf = self.vc_idx(node, port, vc);
+            let Some(route) = self.in_route[buf] else {
+                continue;
+            };
+            if route.port != output || class != route.vc {
                 continue;
             }
-            let buf = &self.routers[node].inputs[port].vcs[vc];
-            let Some(route) = buf.route else { continue };
-            // `route.vc` is the dateline class; output VC `w` serves it if
-            // it falls in that class's half of the channel set.
-            if route.port != output || self.vc_class(output, w) != route.vc {
-                continue;
-            }
-            let Some(front) = buf.fifo.front() else {
+            let Some(front) = self.in_fifo[buf].front() else {
                 continue;
             };
             if !front.kind.is_head() {
@@ -815,7 +1011,7 @@ impl<P> Fabric<P> {
                 // already locked somewhere; not a new request.
                 continue;
             }
-            self.routers[node].outputs[output].vcs[w].rr_input = (idx + 1) % list_len;
+            self.out_rr_input[ovc] = (idx + 1) % list_len;
             return Some(InputRef { port, vc });
         }
         None
@@ -843,20 +1039,24 @@ impl<P> Fabric<P> {
         input: InputRef,
     ) -> Result<(), FabricError> {
         let local = self.local_port();
+        let global = self.base + node;
         let (flit, route_class, routed_at) = {
-            let buf = &mut self.routers[node].inputs[input.port].vcs[input.vc];
-            let route_class = buf.route.map_or(0, |r| r.vc);
-            let routed_at = buf.routed_at;
-            let flit = buf.fifo.pop_front().ok_or(FabricError::MissingFlit {
-                node: NodeId(node),
-                cycle: self.cycle,
-            })?;
+            let buf = self.vc_idx(node, input.port, input.vc);
+            let route_class = self.in_route[buf].map_or(0, |r| r.vc);
+            let routed_at = self.in_routed_at[buf];
+            let flit = self.in_fifo[buf]
+                .pop_front()
+                .ok_or(FabricError::MissingFlit {
+                    node: NodeId(global),
+                    cycle: self.cycle,
+                })?;
             if flit.kind.is_tail() {
-                buf.route = None;
+                self.in_route[buf] = None;
             }
             (flit, route_class, routed_at)
         };
         self.occupancy[node] -= 1;
+        self.buffered -= 1;
         if self.occupancy[node] == 0 {
             self.active_routers.remove(node);
         }
@@ -873,7 +1073,7 @@ impl<P> Fabric<P> {
                     trace.push(TraceEvent::HopBlock {
                         cycle: self.cycle,
                         message: flit.message,
-                        node: NodeId(node),
+                        node: NodeId(global),
                         waited,
                     });
                 }
@@ -886,25 +1086,41 @@ impl<P> Fabric<P> {
             // The upstream router for input port `p` sits behind the
             // opposite-direction port `p ^ 1` (Plus=0 / Minus=1 pairing).
             let upstream = self.neighbors[node * self.link_ports() + (input.port ^ 1)] as usize;
-            self.credit_scratch.push(CreditReturn::Link {
-                node: upstream,
-                port: input.port,
-                vc: input.vc,
-            });
+            if self.in_shard(upstream) {
+                self.credit_scratch.push(CreditReturn::Link {
+                    node: upstream - self.base,
+                    port: input.port,
+                    vc: input.vc,
+                });
+            } else {
+                // The freed slot belongs to an output VC in another
+                // shard: hand the credit across the boundary. The
+                // exchange applies it before the next cycle's allocation
+                // reads it — the same visibility the monolithic phase-4
+                // return provides.
+                self.boundary_out
+                    .push(BoundaryItem(BoundaryPayload::Credit {
+                        node: upstream as u32,
+                        port: input.port as u16,
+                        vc: input.vc as u16,
+                    }));
+            }
         }
         // Release the wormhole lock on a tail.
         if flit.kind.is_tail() {
-            self.routers[node].outputs[output].vcs[out_vc].locked_by = None;
+            let ovc = self.vc_idx(node, output, out_vc);
+            self.out_locked[ovc] = None;
         }
         // Fault rolls happen once per message per link crossing, on the
-        // head flit, in a fixed order so a given seed replays exactly.
+        // head flit, keyed by global node id so a given seed replays
+        // exactly — sharded or not.
         let slot = flit.slot as usize;
         let mut doomed_here = self.slots[slot].as_ref().is_some_and(|p| {
-            p.id == flit.message.0 && p.doomed == Some((node as u32, output as u32))
+            p.id == flit.message.0 && p.doomed == Some((global as u32, output as u32))
         });
         if !doomed_here && output != local && flit.kind.is_head() {
             if let Some(plan) = self.fault.as_mut() {
-                if let Some(mask) = plan.roll_corrupt(self.cycle, node, output, flit.message) {
+                if let Some(mask) = plan.roll_corrupt(self.cycle, global, output, flit.message) {
                     if let Some(pending) =
                         self.slots[slot].as_mut().filter(|p| p.id == flit.message.0)
                     {
@@ -916,15 +1132,15 @@ impl<P> Fabric<P> {
                         pending.message.checksum ^= mask;
                     }
                 }
-                if plan.roll_drop(self.cycle, node, output, flit.message) {
+                if plan.roll_drop(self.cycle, global, output, flit.message) {
                     if let Some(pending) =
                         self.slots[slot].as_mut().filter(|p| p.id == flit.message.0)
                     {
-                        pending.doomed = Some((node as u32, output as u32));
+                        pending.doomed = Some((global as u32, output as u32));
                     }
                     doomed_here = true;
                 }
-                plan.roll_stall(self.cycle, node, output);
+                plan.roll_stall(self.cycle, global, output);
             }
         }
         if doomed_here {
@@ -932,6 +1148,8 @@ impl<P> Fabric<P> {
             // flit is consumed (its upstream slot was credited normally,
             // keeping flow control consistent) but never reaches the link,
             // so no downstream credits are spent and nothing is delivered.
+            // A doomed head never crosses a shard boundary, so the whole
+            // worm evaporates in the shard that rolled the drop.
             self.stats.dropped_flits += 1;
             self.activity += 1;
             if flit.kind.is_tail()
@@ -947,23 +1165,51 @@ impl<P> Fabric<P> {
                     trace.push(TraceEvent::Drop {
                         cycle: self.cycle,
                         message: flit.message,
-                        node: NodeId(node),
+                        node: NodeId(global),
                     });
                 }
             }
         } else if output == local {
             self.eject_flit(node, flit)?;
         } else {
-            let ovc = &mut self.routers[node].outputs[output].vcs[out_vc];
-            debug_assert!(ovc.credits > 0 && ovc.credits != INFINITE_CREDITS);
-            ovc.credits -= 1;
+            let ovc = self.vc_idx(node, output, out_vc);
+            debug_assert!(self.out_credits[ovc] > 0 && self.out_credits[ovc] != INFINITE_CREDITS);
+            self.out_credits[ovc] -= 1;
             let li = node * self.link_ports() + output;
-            debug_assert!(self.links[li].is_none(), "one flit per link per cycle");
-            self.links[li] = Some((flit, out_vc));
-            self.link_occupied.push(li as u32);
             self.stats.link_busy[li] += 1;
             self.stats.link_flits += 1;
             self.activity += 1;
+            let down = self.neighbors[li] as usize;
+            if self.in_shard(down) {
+                debug_assert!(self.links[li].is_none(), "one flit per link per cycle");
+                self.links[li] = Some((flit, out_vc));
+                self.link_occupied.push(li as u32);
+            } else {
+                // Crossing a shard boundary: the flit leaves on this link
+                // but lands in another shard's fabric next cycle. A head
+                // carries the message's slab bookkeeping with it; trailing
+                // flits are re-pointed at the receiver's slab through its
+                // per-crossing remap.
+                let mut transfer = None;
+                if flit.kind.is_head()
+                    && self.slots[slot]
+                        .as_ref()
+                        .is_some_and(|p| p.id == flit.message.0)
+                {
+                    if let Some(pending) = self.slots[slot].take() {
+                        self.free_slots.push(slot as u32);
+                        self.live -= 1;
+                        transfer = Some(Box::new(pending));
+                    }
+                }
+                self.boundary_out.push(BoundaryItem(BoundaryPayload::Flit {
+                    down: down as u32,
+                    port: output as u16,
+                    vc: out_vc as u16,
+                    flit,
+                    transfer,
+                }));
+            }
         }
         Ok(())
     }
@@ -1017,7 +1263,7 @@ impl<P> Fabric<P> {
                 trace.push(TraceEvent::Deliver {
                     cycle: self.cycle,
                     message: flit.message,
-                    dst: NodeId(node),
+                    dst: NodeId(self.base + node),
                     total_latency: delivery.total_latency(),
                     hops: delivery.hops,
                 });
@@ -1040,9 +1286,9 @@ impl<P> Fabric<P> {
                 }
                 CreditReturn::Link { node, port, vc } => {
                     debug_assert!(port < link_ports);
-                    let ovc = &mut self.routers[node].outputs[port].vcs[vc];
-                    ovc.credits += 1;
-                    debug_assert!(ovc.credits <= self.config.vc_buffer_capacity);
+                    let ovc = self.vc_idx(node, port, vc);
+                    self.out_credits[ovc] += 1;
+                    debug_assert!(self.out_credits[ovc] <= self.config.vc_buffer_capacity);
                 }
             }
         }
@@ -1094,6 +1340,7 @@ impl<P> Fabric<P> {
                         .ok_or(unknown("loopback delivery"))?;
                     self.free_slots.push(slot);
                     self.live -= 1;
+                    let base = self.base;
                     let delivery = Delivery {
                         enqueued_at: pending.enqueued_at,
                         injected_at: cycle,
@@ -1120,16 +1367,17 @@ impl<P> Fabric<P> {
                             hops: 0,
                         });
                     }
-                    let dst = delivery.message.dst.0;
+                    let dst = delivery.message.dst.0 - base;
                     self.deliveries[dst].push_back(delivery);
                     self.delivery_events.insert(dst);
                     self.activity += 1;
                     // Loopback consumes this cycle's injection slot.
                     break;
                 }
-                self.nis[node].streaming = Some((slot, id, 0));
+                let length = pending.message.length;
+                self.nis[node].streaming = Some((slot, id, 0, length));
             }
-            let Some((slot, id, index)) = self.nis[node].streaming else {
+            let Some((slot, id, index, length)) = self.nis[node].streaming else {
                 if self.nis[node].queue.is_empty() {
                     self.active_nis.remove(node);
                 }
@@ -1138,18 +1386,33 @@ impl<P> Fabric<P> {
             if self.inj_credits[node] == 0 {
                 continue;
             }
-            let Some(pending) = self.slots[slot as usize].as_mut().filter(|p| p.id == id.0) else {
-                return Err(FabricError::UnknownMessage {
-                    message: id,
-                    context: "injection streaming",
-                    cycle: self.cycle,
-                });
+            // The flit kind comes from the cached length: the slab entry
+            // is only guaranteed local until the head enters the network
+            // (in a sharded run it can migrate away mid-stream).
+            let kind = if length == 1 {
+                FlitKind::HeadTail
+            } else if index == 0 {
+                FlitKind::Head
+            } else if index + 1 == length {
+                FlitKind::Tail
+            } else {
+                FlitKind::Body
             };
-            let kind = pending.message.flit_kind(index);
-            let length = pending.message.length;
-            let (src, dst) = (pending.message.src, pending.message.dst);
             if index == 0 {
-                pending.injected_at = self.cycle;
+                let (src, dst);
+                {
+                    let Some(pending) = self.slots[slot as usize].as_mut().filter(|p| p.id == id.0)
+                    else {
+                        return Err(FabricError::UnknownMessage {
+                            message: id,
+                            context: "injection streaming",
+                            cycle: self.cycle,
+                        });
+                    };
+                    pending.injected_at = self.cycle;
+                    src = pending.message.src;
+                    dst = pending.message.dst;
+                }
                 self.stats.injected_messages += 1;
                 if let Some(trace) = self.trace.as_mut() {
                     trace.push(TraceEvent::Inject {
@@ -1177,10 +1440,141 @@ impl<P> Fabric<P> {
                     self.active_nis.remove(node);
                 }
             } else {
-                self.nis[node].streaming = Some((slot, id, index + 1));
+                self.nis[node].streaming = Some((slot, id, index + 1, length));
             }
         }
         Ok(())
+    }
+
+    /// Drains the flits and credits that crossed out of this shard during
+    /// the last [`Fabric::step`], appending them to `out` in the
+    /// deterministic order switch traversal produced them (ascending
+    /// node, then output port). Always empty for a whole-torus fabric.
+    pub fn take_boundary(&mut self, out: &mut Vec<BoundaryItem<P>>) {
+        out.append(&mut self.boundary_out);
+    }
+
+    /// Whether the last step produced boundary traffic (cheap peek for
+    /// the shard driver).
+    pub fn has_boundary(&self) -> bool {
+        !self.boundary_out.is_empty()
+    }
+
+    /// Ingests one boundary item produced by another shard's
+    /// [`Fabric::take_boundary`]. Must be called between steps, after
+    /// every shard has finished the cycle that produced the item; the
+    /// flit then becomes visible to routing exactly one cycle after it
+    /// left the sender — the monolithic link latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via indexing) if the item's target node is not owned by
+    /// this fabric.
+    pub fn ingest_boundary(&mut self, item: BoundaryItem<P>) {
+        match item.0 {
+            BoundaryPayload::Flit {
+                down,
+                port,
+                vc,
+                mut flit,
+                transfer,
+            } => {
+                let node = down as usize - self.base;
+                let crossing = (flit.message.0, down, port, vc);
+                if let Some(pending) = transfer {
+                    debug_assert_eq!(pending.id, flit.message.0);
+                    let pending = *pending;
+                    let slot = match self.free_slots.pop() {
+                        Some(slot) => {
+                            self.slots[slot as usize] = Some(pending);
+                            slot
+                        }
+                        None => {
+                            self.slots.push(Some(pending));
+                            (self.slots.len() - 1) as u32
+                        }
+                    };
+                    self.live += 1;
+                    self.remap.insert(crossing, slot);
+                }
+                // Re-point the flit at the local slab: the slot it
+                // carries indexes the sender's slab. Worm flits cross
+                // each boundary link in order, so the head's transfer
+                // above seeds this crossing's remap entry before any
+                // trailing flit needs it. (At a crossing the message
+                // has since left through, the entry's slot is stale —
+                // harmless, because every consumer of `flit.slot`
+                // checks the slab entry's id first, and such flits
+                // always exit the shard and get re-mapped downstream.)
+                if let Some(&slot) = self.remap.get(&crossing) {
+                    flit.slot = slot;
+                }
+                if flit.kind.is_tail() {
+                    self.remap.remove(&crossing);
+                }
+                // Stamp the head's destination arrival. The receiver's
+                // clock still reads the cycle that produced the flit; it
+                // enters the input buffer at what is phase 1 of the next
+                // cycle, which is when the monolithic engine stamps it.
+                if flit.kind.is_head() {
+                    if let Some(pending) = self.slots[flit.slot as usize].as_mut() {
+                        if pending.id == flit.message.0 && pending.message.dst.0 == down as usize {
+                            pending.dst_arrived_at = self.cycle + 1;
+                        }
+                    }
+                }
+                let idx = self.vc_idx(node, port as usize, vc as usize);
+                debug_assert!(
+                    self.in_fifo[idx].len() < self.config.vc_buffer_capacity,
+                    "boundary credit protocol violated"
+                );
+                self.in_fifo[idx].push_back(flit);
+                self.occupancy[node] += 1;
+                self.buffered += 1;
+                self.active_routers.insert(node);
+            }
+            BoundaryPayload::Credit { node, port, vc } => {
+                let local = node as usize - self.base;
+                let ovc = self.vc_idx(local, port as usize, vc as usize);
+                self.out_credits[ovc] += 1;
+                debug_assert!(self.out_credits[ovc] <= self.config.vc_buffer_capacity);
+            }
+        }
+    }
+}
+
+/// A flit or credit leaving one shard for another, produced by a shard
+/// fabric's switch traversal ([`Fabric::take_boundary`]) and delivered by
+/// the shard driver into the owning fabric
+/// ([`Fabric::ingest_boundary`]) before the next cycle. Opaque to the
+/// driver, which only needs [`BoundaryItem::dst_node`] for routing.
+#[derive(Debug)]
+pub struct BoundaryItem<P>(BoundaryPayload<P>);
+
+#[derive(Debug)]
+enum BoundaryPayload<P> {
+    /// A flit crossing from an owned node's output `port` onto global
+    /// node `down`'s matching input port. Heads carry the message's slab
+    /// entry to the receiving shard.
+    Flit {
+        down: u32,
+        port: u16,
+        vc: u16,
+        flit: Flit,
+        transfer: Option<Box<Pending<P>>>,
+    },
+    /// A buffer slot freed in the producing shard whose upstream output
+    /// VC lives on global node `node` in another shard.
+    Credit { node: u32, port: u16, vc: u16 },
+}
+
+impl<P> BoundaryItem<P> {
+    /// The global node in whose shard this item must land.
+    pub fn dst_node(&self) -> usize {
+        match &self.0 {
+            BoundaryPayload::Flit { down, .. } => *down as usize,
+            BoundaryPayload::Credit { node, .. } => *node as usize,
+        }
     }
 }
 
@@ -1525,6 +1919,240 @@ mod multi_vc_tests {
             }
         }
         assert!(f.run_until_idle(300_000).unwrap(), "4-VC ring deadlocked");
+    }
+}
+
+#[cfg(test)]
+mod shard_tests {
+    use super::*;
+
+    /// Contiguous near-equal split of `nodes` into `k` ranges.
+    fn split(nodes: usize, k: usize) -> Vec<(usize, usize)> {
+        let size = nodes / k;
+        let rem = nodes % k;
+        let mut out = Vec::new();
+        let mut base = 0;
+        for i in 0..k {
+            let owned = size + usize::from(i < rem);
+            out.push((base, owned));
+            base += owned;
+        }
+        out
+    }
+
+    fn owner(shards: &[Fabric<u32>], node: usize) -> usize {
+        shards
+            .iter()
+            .position(|f| node >= f.shard_base() && node < f.shard_base() + f.shard_owned())
+            .expect("node not owned by any shard")
+    }
+
+    /// Runs the same injection schedule through a monolithic fabric and a
+    /// `k`-shard lockstep ensemble, then asserts bit-exact equivalence of
+    /// merged stats, per-node delivery streams, latency breakdowns,
+    /// merged fault logs, and message conservation.
+    fn compare_sharded(
+        torus: Torus,
+        config: FabricConfig,
+        plan: Option<FaultPlan>,
+        k: usize,
+        schedule: &[(u64, NodeId, NodeId, u32)],
+    ) {
+        let mut mono = match plan.clone() {
+            Some(p) => Fabric::with_fault_plan(torus.clone(), config, p),
+            None => Fabric::new(torus.clone(), config),
+        };
+        let mut shards: Vec<Fabric<u32>> = split(torus.nodes(), k)
+            .into_iter()
+            .map(|(base, owned)| match plan.clone() {
+                Some(p) => Fabric::with_fault_plan_shard(
+                    torus.clone(),
+                    config,
+                    base,
+                    owned,
+                    p.restrict(base, owned),
+                ),
+                None => Fabric::new_shard(torus.clone(), config, base, owned),
+            })
+            .collect();
+        let mut next = 0usize;
+        let mut next_id = 0u64;
+        let mut payload = 0u32;
+        let mut items: Vec<BoundaryItem<u32>> = Vec::new();
+        loop {
+            while next < schedule.len() && schedule[next].0 == mono.cycle() {
+                let (_, src, dst, len) = schedule[next];
+                mono.inject(Message::new(src, dst, len, payload));
+                let s = owner(&shards, src.0);
+                shards[s].inject_with_id(MessageId(next_id), Message::new(src, dst, len, payload));
+                next_id += 1;
+                payload += 1;
+                next += 1;
+            }
+            if next >= schedule.len()
+                && mono.in_flight() == 0
+                && shards.iter().all(Fabric::is_quiescent)
+            {
+                break;
+            }
+            mono.step().unwrap();
+            for f in shards.iter_mut() {
+                f.step().unwrap();
+            }
+            for f in shards.iter_mut() {
+                f.take_boundary(&mut items);
+            }
+            for item in items.drain(..) {
+                let s = owner(&shards, item.dst_node());
+                shards[s].ingest_boundary(item);
+            }
+            assert!(mono.cycle() < 500_000, "traffic did not drain");
+        }
+        assert_eq!(mono.cycle(), shards[0].cycle());
+        let merged = FabricStats::merged(shards.iter().map(Fabric::stats));
+        assert_eq!(&merged, mono.stats(), "merged shard stats diverged");
+        let mut breakdown = LatencyBreakdown::default();
+        for f in &shards {
+            breakdown.absorb(f.breakdown());
+        }
+        assert_eq!(&breakdown, mono.breakdown(), "merged breakdown diverged");
+        for node in 0..torus.nodes() {
+            let s = owner(&shards, node);
+            loop {
+                let m = mono.poll_delivery(NodeId(node));
+                let sh = shards[s].poll_delivery(NodeId(node));
+                assert_eq!(m, sh, "delivery stream diverged at node {node}");
+                if m.is_none() {
+                    break;
+                }
+            }
+        }
+        if mono.fault_log().is_some() {
+            let merged_log = FaultLog::merge(shards.iter().map(|f| f.fault_log().unwrap()));
+            assert_eq!(Some(&merged_log), mono.fault_log(), "fault logs diverged");
+        }
+        let total: u64 = shards.iter().map(Fabric::total_injected).sum();
+        assert_eq!(total, mono.total_injected());
+        let s = mono.stats();
+        assert_eq!(s.delivered_messages + s.dropped_messages, total);
+    }
+
+    /// Scattered many-to-many traffic injected in waves, plus a couple of
+    /// loopbacks; lengths vary so heads, bodies, and head-tails all cross
+    /// shard boundaries at some point.
+    fn scatter_schedule(nodes: usize, rounds: u64) -> Vec<(u64, NodeId, NodeId, u32)> {
+        let mut schedule = Vec::new();
+        for round in 0..rounds {
+            for node in 0..nodes {
+                let dst = (node * 13 + 5 + round as usize) % nodes;
+                let len = 1 + ((node + round as usize) % 9) as u32;
+                schedule.push((round * 7, NodeId(node), NodeId(dst), len));
+            }
+            schedule.push((
+                round * 7,
+                NodeId(round as usize % nodes),
+                NodeId(round as usize % nodes),
+                4,
+            ));
+        }
+        schedule
+    }
+
+    #[test]
+    fn two_shard_lockstep_matches_monolithic() {
+        let torus = Torus::new(2, 8);
+        let schedule = scatter_schedule(torus.nodes(), 6);
+        compare_sharded(torus, FabricConfig::default(), None, 2, &schedule);
+    }
+
+    #[test]
+    fn odd_shard_counts_match_monolithic() {
+        let torus = Torus::new(2, 8);
+        let schedule = scatter_schedule(torus.nodes(), 4);
+        for k in [3, 7] {
+            compare_sharded(torus.clone(), FabricConfig::default(), None, k, &schedule);
+        }
+    }
+
+    #[test]
+    fn wraparound_ring_two_shards() {
+        // Halfway-around traffic on a 1D ring saturates the wrap links,
+        // so worms cross both shard boundaries in both directions.
+        let torus = Torus::new(1, 8);
+        let mut schedule = Vec::new();
+        for round in 0..10u64 {
+            for node in 0..8usize {
+                schedule.push((round * 3, NodeId(node), NodeId((node + 4) % 8), 12));
+            }
+        }
+        let config = FabricConfig {
+            vc_buffer_capacity: 2,
+            injection_buffer_capacity: 2,
+            ..FabricConfig::default()
+        };
+        compare_sharded(torus, config, None, 2, &schedule);
+    }
+
+    #[test]
+    fn four_vc_three_d_torus_four_shards() {
+        let torus = Torus::new(3, 4);
+        let schedule = scatter_schedule(torus.nodes(), 3);
+        let config = FabricConfig {
+            link_vcs: 4,
+            vc_buffer_capacity: 4,
+            ..FabricConfig::default()
+        };
+        compare_sharded(torus, config, None, 4, &schedule);
+    }
+
+    /// A wrapping e-cube route can leave a shard and re-enter it at a
+    /// different link: on a 5x5 torus cut into three 8-or-9-node ranges,
+    /// 8 -> 10 routes 8 -> 9 -> 5 -> 10, crossing shard 0 -> shard 1
+    /// twice. A worm long enough to span the whole path streams across
+    /// both crossings concurrently, so the tail passing the first must
+    /// not tear down the remap entry the second still needs (found by
+    /// the machine-level fuzzer; message-id-keyed remap broke here).
+    #[test]
+    fn worm_reentering_shard_through_second_crossing() {
+        let torus = Torus::new(2, 5);
+        let mut schedule = vec![(0, NodeId(8), NodeId(10), 24)];
+        // Pile on neighbours so freed slab slots get reused, which is
+        // what turns a stale remap into a visible wrong-slot ejection.
+        for n in 0..torus.nodes() {
+            schedule.push((1, NodeId(n), NodeId((n + 7) % torus.nodes()), 16));
+        }
+        for k in [2, 3, 4] {
+            compare_sharded(torus.clone(), FabricConfig::default(), None, k, &schedule);
+        }
+    }
+
+    #[test]
+    fn sharded_fault_rolls_replay_bit_exact() {
+        let torus = Torus::new(2, 8);
+        let schedule = scatter_schedule(torus.nodes(), 5);
+        let plan = FaultPlan::new(77)
+            .with_drop_rate(0.08)
+            .with_corrupt_rate(0.08)
+            .with_stall_rate(0.02, 40);
+        for k in [2, 3] {
+            compare_sharded(
+                torus.clone(),
+                FabricConfig::default(),
+                Some(plan.clone()),
+                k,
+                &schedule,
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_scheduled_stalls_replay_bit_exact() {
+        let torus = Torus::new(2, 8);
+        let schedule = scatter_schedule(torus.nodes(), 4);
+        let plan = FaultPlan::new(9)
+            .stall_router_at(5, 27, 120)
+            .stall_router_at(40, 9, 60);
+        compare_sharded(torus, FabricConfig::default(), Some(plan), 3, &schedule);
     }
 }
 

@@ -16,7 +16,12 @@
 //! * **permanent link kills** — a link stops forwarding forever; traffic
 //!   routed across it wedges and must be caught by a watchdog upstream.
 //!
-//! Everything is driven by a seeded [`DetRng`], so a given seed, plan,
+//! Every probabilistic roll is a **stateless** draw: the decision is a
+//! pure function of `(seed, kind, cycle, node, port, message)`, hashed
+//! into a one-shot [`DetRng`]. No shared generator state means the rolls
+//! are independent of the order the fabric visits nodes in — which is
+//! what lets the shard-parallel engine roll faults locally per shard and
+//! still reproduce the single-shard run bit for bit. A given seed, plan,
 //! and workload reproduce the exact same [`FaultLog`] cycle for cycle.
 //! Every injected fault is recorded in the log; tests use it to assert
 //! *message conservation*: no message disappears without a logged cause.
@@ -196,7 +201,20 @@ impl FaultEvent {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultLog {
     events: Vec<FaultEvent>,
+    /// Per-event ordering class, parallel to `events`: scheduled
+    /// activations sort before probabilistic rolls within a cycle. Both
+    /// engines fill this identically; it exists so [`FaultLog::merge`]
+    /// can interleave per-shard logs back into the exact single-shard
+    /// order.
+    classes: Vec<u8>,
 }
+
+/// Ordering class of a scheduled activation (fires at the top of the
+/// cycle, before any switch traversal).
+const CLASS_SCHEDULED: u8 = 0;
+/// Ordering class of a probabilistic roll (fires during switch
+/// traversal, in ascending node/port order).
+const CLASS_ROLL: u8 = 1;
 
 impl FaultLog {
     /// All events, oldest first.
@@ -233,8 +251,53 @@ impl FaultLog {
         self.events.iter().filter(|e| pred(e)).count() as u64
     }
 
-    fn push(&mut self, event: FaultEvent) {
+    fn push(&mut self, event: FaultEvent, class: u8) {
         self.events.push(event);
+        self.classes.push(class);
+    }
+
+    /// The deterministic global ordering key of event `i`: within a
+    /// cycle, scheduled activations come first, then rolls, both in
+    /// ascending `(node, port, kind)` order — exactly the order a
+    /// single-shard run logs them in.
+    fn sort_key(&self, i: usize) -> (u64, u8, usize, usize, u8) {
+        let (node, port, kind) = event_site(&self.events[i]);
+        (self.events[i].cycle(), self.classes[i], node, port, kind)
+    }
+
+    /// Merges per-shard logs back into the order a single-shard run
+    /// would have produced.
+    ///
+    /// Each shard rolls faults only for links it owns, so any two events
+    /// with the same ordering key come from the same shard and their
+    /// relative order is already correct; a stable k-way merge on the
+    /// key therefore reconstructs the global log exactly (asserted by
+    /// the sharded-equivalence tests).
+    pub fn merge<'a>(logs: impl IntoIterator<Item = &'a FaultLog>) -> FaultLog {
+        let logs: Vec<&FaultLog> = logs.into_iter().collect();
+        let mut order: Vec<(usize, usize)> = Vec::new();
+        for (li, log) in logs.iter().enumerate() {
+            order.extend((0..log.events.len()).map(|i| (li, i)));
+        }
+        order.sort_by_key(|&(li, i)| logs[li].sort_key(i));
+        let mut merged = FaultLog::default();
+        for (li, i) in order {
+            merged.push(logs[li].events[i], logs[li].classes[i]);
+        }
+        merged
+    }
+}
+
+/// The `(node, port, kind-rank)` an event is keyed on for deterministic
+/// ordering. Router-wide events use `usize::MAX` as their port so they
+/// sort after that node's per-link events.
+fn event_site(event: &FaultEvent) -> (usize, usize, u8) {
+    match *event {
+        FaultEvent::PayloadCorrupted { node, port, .. } => (node.0, port, 0),
+        FaultEvent::MessageDropped { node, port, .. } => (node.0, port, 1),
+        FaultEvent::LinkStalled { node, port, .. } => (node.0, port, 2),
+        FaultEvent::LinkKilled { node, port, .. } => (node.0, port, 3),
+        FaultEvent::RouterStalled { node, .. } => (node.0, usize::MAX, 4),
     }
 }
 
@@ -260,7 +323,6 @@ impl FaultLog {
 pub struct FaultPlan {
     seed: u64,
     config: FaultConfig,
-    rng: DetRng,
     schedule: Vec<(u64, ScheduledFault)>,
     killed: BTreeSet<(usize, usize)>,
     /// Stalled links, mapped to the first cycle they forward again.
@@ -276,7 +338,6 @@ impl FaultPlan {
         Self {
             seed,
             config: FaultConfig::default(),
-            rng: DetRng::new(seed ^ 0xFA17_FA17_FA17_FA17),
             schedule: Vec::new(),
             killed: BTreeSet::new(),
             link_stalls: HashMap::new(),
@@ -426,42 +487,58 @@ impl FaultPlan {
     // ---- Fabric-facing hooks -----------------------------------------
 
     /// Applies scheduled faults due at `cycle` and expires finished
-    /// stalls.
+    /// stalls. Same-cycle events fire in ascending `(node, port, kind)`
+    /// order — a canonical order independent of how the schedule was
+    /// built or previously filtered, so per-shard plans activate their
+    /// subsets in the same relative order the whole plan would.
     pub(crate) fn activate(&mut self, cycle: u64) {
-        let mut i = 0;
-        while i < self.schedule.len() {
-            if self.schedule[i].0 != cycle {
-                i += 1;
-                continue;
+        let mut due: Vec<ScheduledFault> = Vec::new();
+        self.schedule.retain(|&(at, fault)| {
+            if at == cycle {
+                due.push(fault);
+                false
+            } else {
+                true
             }
-            let (_, fault) = self.schedule.swap_remove(i);
+        });
+        due.sort_by_key(scheduled_key);
+        for fault in due {
             match fault {
                 ScheduledFault::KillLink { node, port } => {
                     self.killed.insert((node, port));
-                    self.log.push(FaultEvent::LinkKilled {
-                        cycle,
-                        node: NodeId(node),
-                        port,
-                    });
+                    self.log.push(
+                        FaultEvent::LinkKilled {
+                            cycle,
+                            node: NodeId(node),
+                            port,
+                        },
+                        CLASS_SCHEDULED,
+                    );
                 }
                 ScheduledFault::StallLink { node, port, window } => {
                     let until = cycle + window;
                     self.link_stalls.insert((node, port), until);
-                    self.log.push(FaultEvent::LinkStalled {
-                        cycle,
-                        node: NodeId(node),
-                        port,
-                        until,
-                    });
+                    self.log.push(
+                        FaultEvent::LinkStalled {
+                            cycle,
+                            node: NodeId(node),
+                            port,
+                            until,
+                        },
+                        CLASS_SCHEDULED,
+                    );
                 }
                 ScheduledFault::StallRouter { node, window } => {
                     let until = cycle + window;
                     self.router_stalls.insert(node, until);
-                    self.log.push(FaultEvent::RouterStalled {
-                        cycle,
-                        node: NodeId(node),
-                        until,
-                    });
+                    self.log.push(
+                        FaultEvent::RouterStalled {
+                            cycle,
+                            node: NodeId(node),
+                            until,
+                        },
+                        CLASS_SCHEDULED,
+                    );
                 }
             }
         }
@@ -486,6 +563,19 @@ impl FaultPlan {
             .is_some_and(|&until| cycle < until)
     }
 
+    /// One-shot generator for a probabilistic roll: a pure function of
+    /// the plan seed and the roll's coordinates, so the outcome does not
+    /// depend on how many rolls happened before it (or on which shard
+    /// performs it).
+    fn roll_rng(&self, kind: u64, cycle: u64, node: usize, port: usize, message: u64) -> DetRng {
+        let mut h = self.seed ^ 0xFA17_FA17_FA17_FA17;
+        for word in [kind, cycle, node as u64, port as u64, message] {
+            h = (h ^ word).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            h ^= h >> 29;
+        }
+        DetRng::new(h)
+    }
+
     /// Rolls the drop die for a head-flit crossing; logs and returns
     /// `true` when the message is to be destroyed.
     pub(crate) fn roll_drop(
@@ -495,15 +585,22 @@ impl FaultPlan {
         port: usize,
         message: MessageId,
     ) -> bool {
-        if self.config.drop_rate <= 0.0 || !self.rng.chance(self.config.drop_rate) {
+        if self.config.drop_rate <= 0.0
+            || !self
+                .roll_rng(1, cycle, node, port, message.0)
+                .chance(self.config.drop_rate)
+        {
             return false;
         }
-        self.log.push(FaultEvent::MessageDropped {
-            cycle,
-            message,
-            node: NodeId(node),
-            port,
-        });
+        self.log.push(
+            FaultEvent::MessageDropped {
+                cycle,
+                message,
+                node: NodeId(node),
+                port,
+            },
+            CLASS_ROLL,
+        );
         true
     }
 
@@ -516,32 +613,103 @@ impl FaultPlan {
         port: usize,
         message: MessageId,
     ) -> Option<u64> {
-        if self.config.corrupt_rate <= 0.0 || !self.rng.chance(self.config.corrupt_rate) {
+        if self.config.corrupt_rate <= 0.0 {
             return None;
         }
-        self.log.push(FaultEvent::PayloadCorrupted {
-            cycle,
-            message,
-            node: NodeId(node),
-            port,
-        });
-        Some(self.rng.next_u64() | 1)
+        let mut rng = self.roll_rng(2, cycle, node, port, message.0);
+        if !rng.chance(self.config.corrupt_rate) {
+            return None;
+        }
+        self.log.push(
+            FaultEvent::PayloadCorrupted {
+                cycle,
+                message,
+                node: NodeId(node),
+                port,
+            },
+            CLASS_ROLL,
+        );
+        Some(rng.next_u64() | 1)
     }
 
     /// Rolls the transient-stall die for a head-flit crossing; the link
     /// stops forwarding from the next cycle when it hits.
     pub(crate) fn roll_stall(&mut self, cycle: u64, node: usize, port: usize) {
-        if self.config.stall_rate <= 0.0 || !self.rng.chance(self.config.stall_rate) {
+        if self.config.stall_rate <= 0.0
+            || !self
+                .roll_rng(3, cycle, node, port, 0)
+                .chance(self.config.stall_rate)
+        {
             return;
         }
         let until = cycle + 1 + self.config.stall_window;
         self.link_stalls.insert((node, port), until);
-        self.log.push(FaultEvent::LinkStalled {
-            cycle,
-            node: NodeId(node),
-            port,
-            until,
-        });
+        self.log.push(
+            FaultEvent::LinkStalled {
+                cycle,
+                node: NodeId(node),
+                port,
+                until,
+            },
+            CLASS_ROLL,
+        );
+    }
+
+    /// The sub-plan a shard owning nodes `[base, base + owned)` should
+    /// run with: scheduled faults and standing state restricted to links
+    /// the shard arbitrates. Probabilistic rolls need no restriction —
+    /// they are stateless and each shard only rolls for its own links —
+    /// so the rates carry over unchanged. The log starts empty; merge
+    /// shard logs back with [`FaultLog::merge`].
+    pub fn restrict(&self, base: usize, owned: usize) -> FaultPlan {
+        let mine = |node: usize| node >= base && node < base + owned;
+        FaultPlan {
+            seed: self.seed,
+            config: self.config,
+            schedule: self
+                .schedule
+                .iter()
+                .filter(|&&(_, f)| {
+                    mine(match f {
+                        ScheduledFault::KillLink { node, .. }
+                        | ScheduledFault::StallLink { node, .. }
+                        | ScheduledFault::StallRouter { node, .. } => node,
+                    })
+                })
+                .copied()
+                .collect(),
+            killed: self
+                .killed
+                .iter()
+                .filter(|&&(node, _)| mine(node))
+                .copied()
+                .collect(),
+            link_stalls: self
+                .link_stalls
+                .iter()
+                .filter(|&(&(node, _), _)| mine(node))
+                .map(|(&k, &v)| (k, v))
+                .collect(),
+            router_stalls: self
+                .router_stalls
+                .iter()
+                .filter(|&(&node, _)| mine(node))
+                .map(|(&k, &v)| (k, v))
+                .collect(),
+            log: FaultLog::default(),
+        }
+    }
+}
+
+/// The canonical firing order of same-cycle scheduled faults:
+/// ascending `(node, port, kind)`, router-wide events after that node's
+/// per-link events — matching [`event_site`] so merged logs sort
+/// identically.
+fn scheduled_key(fault: &ScheduledFault) -> (usize, usize, u8) {
+    match *fault {
+        ScheduledFault::StallLink { node, port, .. } => (node, port, 2),
+        ScheduledFault::KillLink { node, port } => (node, port, 3),
+        ScheduledFault::StallRouter { node, .. } => (node, usize::MAX, 4),
     }
 }
 

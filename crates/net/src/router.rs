@@ -39,11 +39,6 @@ pub(crate) struct VcBuffer {
     /// Route of the message at the front, assigned when its head flit
     /// reaches the front and cleared when its tail departs.
     pub route: Option<OutputRef>,
-    /// Cycle the front head's route was assigned — the hop-block trace
-    /// compares it against the departure cycle to measure blocked time.
-    /// Maintained by the optimized engine only (the reference engine never
-    /// reads it, and routers are not part of the equivalence comparison).
-    pub routed_at: u64,
 }
 
 /// One input port: a set of virtual-channel buffers fed by one physical

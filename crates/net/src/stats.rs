@@ -186,6 +186,46 @@ impl FabricStats {
     pub fn residual_message_size(&self) -> f64 {
         ratio(self.delivered_flits_sq, self.delivered_flits)
     }
+
+    /// Merges per-shard statistics into the whole-machine view, given the
+    /// shards' stats **in shard (ascending node-range) order**. Counters
+    /// sum; per-node/per-link busy vectors concatenate, which reproduces
+    /// the monolithic global-node indexing; the clock fields come from
+    /// the first shard (lockstep shards share one clock). The result is
+    /// bit-identical to the stats a monolithic fabric would have
+    /// accumulated — the property the sharded-equivalence tests assert.
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a FabricStats>) -> FabricStats {
+        let mut merged = FabricStats::new(0, 0);
+        let mut first = true;
+        for s in parts {
+            if first {
+                merged.cycles = s.cycles;
+                merged.window_start = s.window_start;
+                first = false;
+            } else {
+                debug_assert_eq!(merged.cycles, s.cycles, "shards out of lockstep");
+                debug_assert_eq!(merged.window_start, s.window_start);
+            }
+            merged.link_busy.extend_from_slice(&s.link_busy);
+            merged.injection_busy.extend_from_slice(&s.injection_busy);
+            merged.ejection_busy.extend_from_slice(&s.ejection_busy);
+            merged.link_flits += s.link_flits;
+            merged.injected_messages += s.injected_messages;
+            merged.injected_flits += s.injected_flits;
+            merged.delivered_messages += s.delivered_messages;
+            merged.delivered_flits += s.delivered_flits;
+            merged.delivered_flits_sq += s.delivered_flits_sq;
+            merged.sum_total_latency += s.sum_total_latency;
+            merged.sum_head_latency += s.sum_head_latency;
+            merged.sum_hops += s.sum_hops;
+            merged.network_deliveries += s.network_deliveries;
+            merged.sum_queue_wait += s.sum_queue_wait;
+            merged.dropped_messages += s.dropped_messages;
+            merged.dropped_flits += s.dropped_flits;
+            merged.corrupted_messages += s.corrupted_messages;
+        }
+        merged
+    }
 }
 
 fn ratio(num: u64, den: u64) -> f64 {
@@ -310,6 +350,17 @@ impl Histogram {
     pub fn reset(&mut self) {
         *self = Self::new();
     }
+
+    /// Adds every sample of `other` into this histogram — the shard-merge
+    /// operation. Bucket counts and sums add; the max is the larger max.
+    pub fn absorb(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
 }
 
 /// Per-component latency accounting accumulated over delivered messages,
@@ -399,6 +450,22 @@ impl LatencyBreakdown {
     /// Clears all sums and histograms.
     pub fn reset(&mut self) {
         *self = Self::default();
+    }
+
+    /// Adds another breakdown's sums and histograms into this one — the
+    /// shard-merge operation. Every field is an order-independent sum (or
+    /// histogram absorb), so merging per-shard breakdowns in any order
+    /// yields exactly the monolithic accumulation.
+    pub fn absorb(&mut self, other: &LatencyBreakdown) {
+        self.deliveries += other.deliveries;
+        self.queue += other.queue;
+        self.injection += other.injection;
+        self.free_hop += other.free_hop;
+        self.contended_hop += other.contended_hop;
+        self.ejection += other.ejection;
+        self.drain += other.drain;
+        self.latency.absorb(&other.latency);
+        self.queue_depth.absorb(&other.queue_depth);
     }
 }
 

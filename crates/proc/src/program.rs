@@ -26,7 +26,10 @@ pub enum ThreadOp {
 /// [`ThreadOp::Read`], if the previous operation was a read — programs
 /// that compute on loaded data (like the paper's synthetic application)
 /// consume it; others may ignore it.
-pub trait ThreadProgram: fmt::Debug {
+///
+/// Programs must be `Send` so whole machines (which own them through
+/// their processors) can be stepped by shard worker threads.
+pub trait ThreadProgram: fmt::Debug + Send {
     /// Produces the thread's next operation.
     fn next(&mut self, last_read: Option<u64>) -> ThreadOp;
 }

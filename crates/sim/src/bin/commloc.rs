@@ -25,8 +25,9 @@ use commloc_sim::conformance::figures::{
 };
 use commloc_sim::conformance::{rel_err, suite_jobs, GoldenTable, Violation};
 use commloc_sim::{
-    default_jobs, mapping_suite, parallel_map, run_experiment, run_sweep, Machine, Mapping,
-    SimConfig, BREAKDOWN_CSV_HEADER, MEASUREMENTS_CSV_HEADER,
+    default_jobs, mapping_suite, parallel_map, run_experiment, run_sharded_experiment, run_sweep,
+    set_job_budget, Machine, Mapping, ShardedMachine, SimConfig, SweepPoint, BREAKDOWN_CSV_HEADER,
+    MEASUREMENTS_CSV_HEADER,
 };
 use std::collections::HashMap;
 use std::io::Write;
@@ -52,10 +53,16 @@ COMMANDS:
     report  run one simulation and print the latency-component breakdown
             (measured vs model, per component)
             --mapping M --seed S --contexts P --warmup W --window C
-            [--trace FILE] [--csv]
+            [--trace FILE] [--csv] [--shards K --jobs J]
+            (--shards runs the shard-parallel engine, bit-exact with the
+            monolithic one; --jobs sets its worker threads and requires
+            --shards; tracing requires the monolithic engine)
     suite   run the full validation mapping suite
-            --contexts P --seed S --jobs J [--csv]
-            (--jobs defaults to the machine's available parallelism)
+            --contexts P --seed S --jobs J [--shards K] [--csv]
+            (--jobs defaults to the machine's available parallelism;
+            with --shards every mapping runs on the shard-parallel
+            engine, and sweep workers and shard workers share one job
+            budget so --jobs is never oversubscribed)
     conformance
             run the paper-figure conformance gates (Figs. 3-9): reduced
             deterministic scenarios checked against the golden tables in
@@ -89,9 +96,11 @@ fn allowed_keys(command: &str) -> Option<&'static [&'static str]> {
         "scale" => Some(&["nodes", "contexts", "grain", "ratio"]),
         "sim" => Some(&["mapping", "seed", "contexts", "warmup", "window", "csv"]),
         "report" => Some(&[
-            "mapping", "seed", "contexts", "warmup", "window", "trace", "csv",
+            "mapping", "seed", "contexts", "warmup", "window", "trace", "csv", "shards", "jobs",
         ]),
-        "suite" => Some(&["contexts", "seed", "warmup", "window", "jobs", "csv"]),
+        "suite" => Some(&[
+            "contexts", "seed", "warmup", "window", "jobs", "shards", "csv",
+        ]),
         "conformance" => Some(&["figure", "jobs", "csv", "update-golden", "golden-dir"]),
         "resilience" => Some(&["study", "csv", "update-golden", "golden-dir"]),
         "fuzz" => Some(&["seeds", "start", "jobs", "machine"]),
@@ -219,18 +228,51 @@ fn get_u64(options: &HashMap<String, String>, key: &str, default: u64) -> Result
 /// machine's available parallelism. `--jobs 0` and non-numeric values
 /// are rejected outright (previously zero was silently clamped to 1).
 fn get_jobs(options: &HashMap<String, String>) -> Result<usize, String> {
-    match options.get("jobs") {
-        None => suite_jobs(),
+    let jobs = match options.get("jobs") {
+        None => suite_jobs()?,
         Some(v) => match v.parse::<usize>() {
-            Ok(jobs) if jobs >= 1 => Ok(jobs),
-            Ok(_) => Err(format!(
-                "--jobs: must be at least 1 (did you mean `--jobs {}`, the machine's \
-                 available parallelism?)",
-                default_jobs()
+            Ok(jobs) if jobs >= 1 => jobs,
+            Ok(_) => {
+                return Err(format!(
+                    "--jobs: must be at least 1 (did you mean `--jobs {}`, the machine's \
+                     available parallelism?)",
+                    default_jobs()
+                ))
+            }
+            Err(_) => {
+                return Err(format!(
+                    "--jobs: `{v}` is not an integer (omit --jobs to use the machine's \
+                     available parallelism)"
+                ))
+            }
+        },
+    };
+    // An explicit worker request is the process budget: sweep-level
+    // fan-out and intra-simulation shard workers share it, so `--jobs N`
+    // (or COMMLOC_JOBS=N) caps live worker threads at N combined.
+    set_job_budget(jobs);
+    Ok(jobs)
+}
+
+/// Shard count for the shard-parallel engine: `--shards` if given, else
+/// 1 (the monolithic engine). Zero, non-numeric, and more-shards-than-
+/// nodes values are rejected outright.
+fn get_shards(options: &HashMap<String, String>, nodes: usize) -> Result<usize, String> {
+    match options.get("shards") {
+        None => Ok(1),
+        Some(v) => match v.parse::<usize>() {
+            Ok(shards) if (1..=nodes).contains(&shards) => Ok(shards),
+            Ok(0) => Err(
+                "--shards: must be at least 1 (did you mean `--shards 1`, the monolithic \
+                 engine?)"
+                    .into(),
+            ),
+            Ok(shards) => Err(format!(
+                "--shards: {shards} exceeds the {nodes}-node torus (did you mean \
+                 `--shards {nodes}`, one node per shard?)"
             )),
             Err(_) => Err(format!(
-                "--jobs: `{v}` is not an integer (omit --jobs to use the machine's \
-                 available parallelism)"
+                "--shards: `{v}` is not an integer (omit --shards for the monolithic engine)"
             )),
         },
     }
@@ -399,20 +441,61 @@ fn cmd_report(options: &HashMap<String, String>) -> Result<(), String> {
         config.fabric.trace_capacity = TRACE_CAPACITY;
     }
     let torus = Torus::new(config.dims, config.radix);
+    let shards = get_shards(options, torus.nodes())?;
+    if options.contains_key("jobs") && !options.contains_key("shards") {
+        return Err(
+            "--jobs on `report` sets the shard-parallel engine's worker threads, but no \
+             --shards was given (did you mean to add `--shards N`, or `--jobs` on `suite`?)"
+                .into(),
+        );
+    }
+    let jobs = if options.contains_key("jobs") {
+        let jobs = get_jobs(options)?;
+        if jobs > shards {
+            return Err(format!(
+                "--jobs: {jobs} workers cannot outnumber the {shards} shard(s) (did you \
+                 mean `--jobs {shards}`?)"
+            ));
+        }
+        jobs
+    } else {
+        shards
+    };
+    if shards > 1 && trace_path.is_some() {
+        return Err(
+            "--trace requires the monolithic engine (did you mean `--shards 1`, or to drop \
+             --trace?)"
+                .into(),
+        );
+    }
     let mapping = mapping_from(options, &torus)?;
     let warmup = get_u64(options, "warmup", 20_000)?;
     let window = get_u64(options, "window", 60_000)?;
-    let mut machine = Machine::new(&config, &mapping);
-    machine
-        .run_network_cycles(warmup)
-        .map_err(|e| e.to_string())?;
-    machine.reset_measurements();
-    machine
-        .run_network_cycles(window)
-        .map_err(|e| e.to_string())?;
-    let m = machine.measure();
     let c = MachineConfig::alewife().critical_path_messages();
-    let b = machine.breakdown(c);
+    let (m, b, mut machine) = if shards > 1 {
+        let mut sharded = ShardedMachine::new(&config, &mapping, shards);
+        sharded.set_jobs(jobs);
+        sharded
+            .run_network_cycles(warmup)
+            .map_err(|e| e.to_string())?;
+        sharded.reset_measurements();
+        sharded
+            .run_network_cycles(window)
+            .map_err(|e| e.to_string())?;
+        (sharded.measure(), sharded.breakdown(c), None)
+    } else {
+        let mut machine = Machine::new(&config, &mapping);
+        machine
+            .run_network_cycles(warmup)
+            .map_err(|e| e.to_string())?;
+        machine.reset_measurements();
+        machine
+            .run_network_cycles(window)
+            .map_err(|e| e.to_string())?;
+        let m = machine.measure();
+        let b = machine.breakdown(c);
+        (m, b, Some(machine))
+    };
 
     // The model's prediction at the measured distance and context count.
     let model = MachineConfig::alewife()
@@ -459,7 +542,7 @@ fn cmd_report(options: &HashMap<String, String>) -> Result<(), String> {
         println!("  T_f   = {:>9.2}  fixed overhead", b.fixed_overhead);
     }
 
-    if let Some(path) = trace_path {
+    if let (Some(path), Some(machine)) = (trace_path, machine.as_mut()) {
         let file = std::fs::File::create(&path).map_err(|e| format!("--trace {path}: {e}"))?;
         let mut out = std::io::BufWriter::new(file);
         let mut lines = 0u64;
@@ -488,6 +571,7 @@ fn cmd_suite(options: &HashMap<String, String>) -> Result<(), String> {
     let warmup = get_u64(options, "warmup", 15_000)?;
     let window = get_u64(options, "window", 45_000)?;
     let jobs = get_jobs(options)?;
+    let shards = get_shards(options, torus.nodes())?;
     let csv = options.contains_key("csv");
     if csv {
         println!("mapping,{MEASUREMENTS_CSV_HEADER}");
@@ -498,7 +582,25 @@ fn cmd_suite(options: &HashMap<String, String>) -> Result<(), String> {
         );
     }
     let suite = mapping_suite(&torus, seed);
-    let points = run_sweep(&config, &suite, warmup, window, jobs).map_err(|e| e.to_string())?;
+    let points = if shards > 1 {
+        // Sweep of sharded simulations: the sweep fan-out and each
+        // machine's shard workers draw from the same job budget, so live
+        // threads never exceed `jobs` combined.
+        parallel_map(&suite, jobs, |named| {
+            run_sharded_experiment(&config, &named.mapping, shards, jobs, warmup, window).map(
+                |measured| SweepPoint {
+                    name: named.name.clone(),
+                    distance: named.distance,
+                    measured,
+                },
+            )
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| e.to_string())?
+    } else {
+        run_sweep(&config, &suite, warmup, window, jobs).map_err(|e| e.to_string())?
+    };
     for point in points {
         let m = point.measured;
         if csv {
@@ -941,7 +1043,9 @@ mod tests {
         assert!(parse(&["--ratio", "0.5"], "scale").is_ok());
         assert!(parse(&["--mapping", "random", "--csv"], "sim").is_ok());
         assert!(parse(&["--trace", "out.jsonl"], "report").is_ok());
+        assert!(parse(&["--shards", "4", "--jobs", "2"], "report").is_ok());
         assert!(parse(&["--jobs", "2", "--csv"], "suite").is_ok());
+        assert!(parse(&["--shards", "8", "--jobs", "2"], "suite").is_ok());
         assert!(parse(
             &["--figure", "fig6", "--update-golden", "--jobs", "2"],
             "conformance"
@@ -983,6 +1087,31 @@ mod tests {
         let err = get_jobs(&opts(&["--jobs", "-2"])).unwrap_err();
         assert!(err.contains("not an integer"), "{err}");
         assert!(get_jobs(&opts(&["--jobs", "4"])).unwrap() == 4);
+    }
+
+    #[test]
+    fn shards_validation_rejects_zero_overflow_and_words() {
+        let err = get_shards(&opts(&["--shards", "0"]), 64).unwrap_err();
+        assert!(err.contains("did you mean `--shards 1`"), "{err}");
+        let err = get_shards(&opts(&["--shards", "100"]), 64).unwrap_err();
+        assert!(err.contains("did you mean `--shards 64`"), "{err}");
+        let err = get_shards(&opts(&["--shards", "few"]), 64).unwrap_err();
+        assert!(err.contains("not an integer"), "{err}");
+        assert_eq!(get_shards(&opts(&[]), 64).unwrap(), 1);
+        assert_eq!(get_shards(&opts(&["--shards", "8"]), 64).unwrap(), 8);
+    }
+
+    #[test]
+    fn report_rejects_conflicting_jobs_and_shards() {
+        // `--jobs` without `--shards` has nothing to control on report.
+        let err = cmd_report(&opts(&["--jobs", "4"])).unwrap_err();
+        assert!(err.contains("did you mean to add `--shards N`"), "{err}");
+        // More workers than shards cannot run.
+        let err = cmd_report(&opts(&["--shards", "2", "--jobs", "4"])).unwrap_err();
+        assert!(err.contains("did you mean `--jobs 2`"), "{err}");
+        // Flit tracing needs the monolithic engine.
+        let err = cmd_report(&opts(&["--shards", "2", "--trace", "/tmp/t.jsonl"])).unwrap_err();
+        assert!(err.contains("monolithic"), "{err}");
     }
 
     #[test]

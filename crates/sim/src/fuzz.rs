@@ -20,6 +20,7 @@
 use crate::machine::{Machine, SimConfig};
 use crate::mapping::Mapping;
 use crate::resilience::MigrationSpec;
+use crate::shard::ShardedMachine;
 use commloc_mem::MemConfig;
 use commloc_net::fuzz::{shrink_with, Divergence, FaultSpec};
 use commloc_net::{DetRng, Direction, FabricConfig};
@@ -82,6 +83,11 @@ pub struct MachineScenario {
     /// for each engine from the same spec — the resilience layer's
     /// park/adopt/abandon machinery must stay bit-exact across engines.
     pub migration: Option<MigrationSpec>,
+    /// Shard count for a third, shard-parallel engine checked against
+    /// the active one (`1` = no sharded engine). Forced to 1 when a
+    /// migration policy is drawn — sharded machines do not support
+    /// migration, and the checker skips the third engine in that case.
+    pub shards: usize,
 }
 
 impl MachineScenario {
@@ -219,6 +225,14 @@ impl MachineScenario {
         } else {
             None
         };
+        // The shard-parallel engine rides along on half the
+        // migration-free seeds: the scenario then runs a three-way
+        // lockstep, active vs reference vs sharded.
+        let shards = if migration.is_some() {
+            1
+        } else {
+            [1, 1, 1, 2, 3, 4][rng.index(6)].min(nodes)
+        };
         Self {
             seed,
             dims,
@@ -236,6 +250,7 @@ impl MachineScenario {
             window,
             fault,
             migration,
+            shards,
         }
     }
 
@@ -314,6 +329,19 @@ macro_rules! check_eq {
     };
 }
 
+/// Like [`check_eq`] but for the third, shard-parallel engine, compared
+/// against the active one.
+macro_rules! check_shard {
+    ($cycle:expr, $a:expr, $b:expr, $what:expr) => {
+        if $a != $b {
+            return Err(Divergence {
+                cycle: $cycle,
+                what: format!("{}: active {:?} != sharded {:?}", $what, $a, $b),
+            });
+        }
+    };
+}
+
 /// Runs one seed's lockstep differential check.
 ///
 /// # Errors
@@ -358,6 +386,19 @@ pub fn run_scenario_mutated(
         Some(spec) => Machine::new_reference_with_policy(&ref_config, &mapping, spec.build()),
         None => Machine::new_reference(&ref_config, &mapping),
     };
+    // The shard-parallel engine joins as a third lockstep participant on
+    // sharded draws (untraced config — sharded machines reject tracing;
+    // serial driver — worker counts never change results and the sweep
+    // itself already fans out across seeds).
+    let mut sharded = if scenario.shards > 1 && scenario.migration.is_none() {
+        Some(ShardedMachine::new(
+            &scenario.sim_config(false),
+            &mapping,
+            scenario.shards,
+        ))
+    } else {
+        None
+    };
 
     let mut stalled = false;
     'phases: for (name, cycles) in [("warmup", scenario.warmup), ("window", scenario.window)] {
@@ -374,9 +415,14 @@ pub fn run_scenario_mutated(
                 reference.net_cycle(),
                 "network clock"
             );
+            if let Some(shard) = sharded.as_mut() {
+                let rs = shard.run_network_cycles(chunk);
+                check_shard!(now, ra, rs, format!("{name} step result"));
+                check_shard!(now, active.net_cycle(), shard.net_cycle(), "network clock");
+            }
             if ra.is_err() {
-                // Both stalled with the identical report: the run ends
-                // here on both sides, already proven equal.
+                // All engines stalled with the identical report: the run
+                // ends here on every side, already proven equal.
                 stalled = true;
                 break 'phases;
             }
@@ -399,11 +445,29 @@ pub fn run_scenario_mutated(
                 reference.migrations(),
                 "migrations"
             );
+            if let Some(shard) = sharded.as_ref() {
+                check_shard!(
+                    now,
+                    active.completions(),
+                    shard.completions(),
+                    "completions"
+                );
+                check_shard!(
+                    now,
+                    active.completions_per_node().to_vec(),
+                    shard.completions_per_node(),
+                    "per-node completions"
+                );
+                check_shard!(now, active.measure(), shard.measure(), "measurements");
+            }
             left -= chunk;
         }
         if name == "warmup" {
             active.reset_measurements();
             reference.reset_measurements();
+            if let Some(shard) = sharded.as_mut() {
+                shard.reset_measurements();
+            }
         }
     }
 
@@ -433,6 +497,26 @@ pub fn run_scenario_mutated(
         reference.migrated_from_nodes(),
         "migrated-from nodes"
     );
+    if let Some(shard) = sharded.as_ref() {
+        check_shard!(
+            end,
+            active.latency_breakdown(),
+            &shard.latency_breakdown(),
+            "latency breakdown"
+        );
+        check_shard!(
+            end,
+            active.fault_log().cloned(),
+            shard.fault_log(),
+            "fault log"
+        );
+        check_shard!(
+            end,
+            active.total_iterations(),
+            shard.total_iterations(),
+            "workload iterations"
+        );
+    }
     Ok(MachineFuzzReport {
         completions: active.completions(),
         net_cycles: active.net_cycle(),
@@ -493,7 +577,7 @@ impl MachineShrinkOutcome {
              max_retries: {retries},\n        watchdog_cycles: {watchdog},\n        \
              mapping: MappingKind::{mapping:?},\n        trace_capacity: {tcap},\n        \
              warmup: {warmup},\n        window: {window},\n        fault: {fault},\n        \
-             migration: {migration},\n    }};\n    \
+             migration: {migration},\n        shards: {shards},\n    }};\n    \
              run_scenario(&scenario).expect(\"active and reference machines must agree\");\n}}\n",
             seed = s.seed,
             dims = s.dims,
@@ -510,6 +594,7 @@ impl MachineShrinkOutcome {
             warmup = s.warmup,
             window = s.window,
             fault = fault,
+            shards = s.shards,
         )
     }
 }
@@ -567,6 +652,18 @@ fn reductions(s: &MachineScenario) -> Vec<MachineScenario> {
                 stealing: false,
                 ..spec
             });
+            out.push(c);
+        }
+    }
+    if s.shards > 1 {
+        // Drop the sharded engine entirely, then try fewer shards — a
+        // boundary-protocol bug often needs only two.
+        let mut c = s.clone();
+        c.shards = 1;
+        out.push(c);
+        if s.shards > 2 {
+            let mut c = s.clone();
+            c.shards = s.shards - 1;
             out.push(c);
         }
     }
@@ -633,9 +730,44 @@ mod tests {
             assert!(a.contexts == 1 || a.contexts == 2 || a.contexts == 4);
             assert!(a.clock_ratio == 1 || a.clock_ratio == 2);
             assert!(a.window >= 800);
+            assert!(
+                a.shards >= 1 && a.shards <= a.nodes(),
+                "seed {seed}: shards {} out of range",
+                a.shards
+            );
             if let Some(m) = a.migration {
                 assert!(m.wedge_threshold >= 200, "seed {seed}");
                 assert!(m.max_migrations < 5, "seed {seed}");
+                assert_eq!(a.shards, 1, "seed {seed}: migration forces one shard");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_scenarios_appear_and_run_clean() {
+        // The scenario space must actually contain sharded draws across
+        // several shard counts, and a few such seeds must hold the
+        // three-way lockstep.
+        let drawn: Vec<(u64, usize)> = (0..60u64)
+            .map(|s| (s, MachineScenario::from_seed(s).shards))
+            .filter(|&(_, k)| k > 1)
+            .collect();
+        assert!(
+            drawn.len() >= 5,
+            "expected sharded draws in 60 seeds: {drawn:?}"
+        );
+        assert!(
+            drawn
+                .iter()
+                .map(|&(_, k)| k)
+                .collect::<std::collections::BTreeSet<_>>()
+                .len()
+                >= 2,
+            "expected multiple shard counts: {drawn:?}"
+        );
+        for &(seed, _) in drawn.iter().take(4) {
+            if let Err(d) = run_seed(seed) {
+                panic!("seed {seed}: {d}");
             }
         }
     }
@@ -667,6 +799,34 @@ mod tests {
                 panic!("seed {seed}: {d}");
             }
         }
+    }
+
+    #[test]
+    fn machine_fuzz_repro_seed_5() {
+        // Shrunk from sweep seed 5: a 5x5 torus under three shards whose
+        // boundaries cut rows mid-way, dense work=1 traffic, and a
+        // swapped mapping. Caught the sharded engine losing slab
+        // bookkeeping for worms that cross a shard boundary and return.
+        let scenario = MachineScenario {
+            seed: 5,
+            dims: 2,
+            radix: 5,
+            contexts: 1,
+            clock_ratio: 2,
+            switch_cycles: 0,
+            work: 1,
+            timeout_cycles: 0,
+            max_retries: 8,
+            watchdog_cycles: 0,
+            mapping: MappingKind::Swaps(2555218086),
+            trace_capacity: 0,
+            warmup: 0,
+            window: 400,
+            fault: None,
+            migration: None,
+            shards: 3,
+        };
+        run_scenario(&scenario).expect("active and sharded machines must agree");
     }
 
     #[test]

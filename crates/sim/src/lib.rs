@@ -41,6 +41,7 @@ mod machine;
 mod mapping;
 mod parallel;
 mod resilience;
+mod shard;
 mod workload;
 
 pub use breakdown::{SpanEvent, SpanLog, TransactionBreakdown, BREAKDOWN_CSV_HEADER};
@@ -50,7 +51,9 @@ pub use error::{SimError, StallKind, StallReport};
 pub use fit::{fit_line, FitError, LineFit};
 pub use machine::{run_experiment, Machine, Measurements, SimConfig};
 pub use mapping::{mapping_suite, Mapping, NamedMapping};
-pub use parallel::{default_jobs, parallel_map, run_sweep, SweepPoint};
+pub use parallel::{default_jobs, parallel_map, run_sweep, set_job_budget, SweepPoint};
+pub use shard::{run_sharded_experiment, ShardedMachine};
+
 pub use resilience::{
     run_degradation, run_idle_wave, DegradationConfig, DegradationPoint, IdleWave, MigrationPolicy,
     MigrationRecord, MigrationSpec, MigrationView, NullPolicy, WorkStealingPolicy,

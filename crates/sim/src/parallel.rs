@@ -18,19 +18,142 @@ pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, usize::from)
 }
 
+/// A budget of worker threads shared by every parallel layer in the
+/// process: sweep-level [`parallel_map`] fan-out and the intra-simulation
+/// shard workers of [`crate::ShardedMachine`] draw extra-thread slots
+/// from the same pool, so a sweep of sharded simulations never
+/// oversubscribes the configured job count (`COMMLOC_JOBS=N` caps live
+/// worker threads at `N` across both layers combined).
+///
+/// The calling thread always counts as one worker; the budget tracks the
+/// *extra* threads that may be spawned beyond it. Claims are best-effort:
+/// a layer asks for the workers it wants and runs with whatever it is
+/// granted (possibly serial), which never changes results — every
+/// consumer is bit-deterministic across worker counts.
+#[derive(Debug)]
+struct JobBudget {
+    /// `(total worker budget, extra slots currently available)`;
+    /// `None` until first use.
+    state: Mutex<Option<(usize, usize)>>,
+}
+
+/// The process-wide budget instance.
+static BUDGET: JobBudget = JobBudget {
+    state: Mutex::new(None),
+};
+
+impl JobBudget {
+    /// Initializes on first use: `COMMLOC_JOBS` if set to a valid count,
+    /// else the machine's available parallelism. (Entry points that
+    /// validate `COMMLOC_JOBS` strictly reject bad values before any
+    /// claim happens; the budget itself just falls back.)
+    fn init(slot: &mut Option<(usize, usize)>) -> &mut (usize, usize) {
+        slot.get_or_insert_with(|| {
+            let total = std::env::var("COMMLOC_JOBS")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(default_jobs);
+            (total, total - 1)
+        })
+    }
+
+    /// Raises the total budget to at least `total` workers. Never lowers
+    /// it — outstanding claims cannot be retracted.
+    fn raise(&self, total: usize) {
+        let mut slot = self.state.lock().expect("job budget poisoned");
+        let state = Self::init(&mut slot);
+        if total > state.0 {
+            state.1 += total - state.0;
+            state.0 = total;
+        }
+    }
+
+    /// Claims up to `desired` extra worker slots, returning a guard that
+    /// releases them on drop. The grant may be anything in
+    /// `0..=desired`.
+    fn claim(&self, desired: usize) -> WorkerClaim<'_> {
+        let mut slot = self.state.lock().expect("job budget poisoned");
+        let state = Self::init(&mut slot);
+        let granted = desired.min(state.1);
+        state.1 -= granted;
+        WorkerClaim {
+            granted,
+            pool: self,
+        }
+    }
+
+    fn release(&self, n: usize) {
+        if n > 0 {
+            let mut slot = self.state.lock().expect("job budget poisoned");
+            let state = Self::init(&mut slot);
+            state.1 += n;
+        }
+    }
+}
+
+/// A grant of extra worker slots from a job budget; slots return to the
+/// pool when dropped (including on unwind).
+#[derive(Debug)]
+pub(crate) struct WorkerClaim<'a> {
+    granted: usize,
+    pool: &'a JobBudget,
+}
+
+impl WorkerClaim<'_> {
+    /// Extra worker threads this claim allows beyond the calling thread.
+    pub(crate) fn granted(&self) -> usize {
+        self.granted
+    }
+}
+
+impl Drop for WorkerClaim<'_> {
+    fn drop(&mut self) {
+        self.pool.release(self.granted);
+    }
+}
+
+/// Raises the process-wide worker budget to at least `total` threads.
+///
+/// Entry points that take an explicit job count (the `commloc` CLI's
+/// `--jobs`, test harnesses) call this so the request is honoured even on
+/// machines with less available parallelism; nested layers then share the
+/// raised budget instead of multiplying it. Never lowers the budget.
+pub fn set_job_budget(total: usize) {
+    BUDGET.raise(total.max(1));
+}
+
+/// Claims up to `desired` extra worker slots from the process budget.
+pub(crate) fn claim_extra_workers(desired: usize) -> WorkerClaim<'static> {
+    BUDGET.claim(desired)
+}
+
 /// Applies `f` to every item on up to `jobs` worker threads, returning
 /// results in input order.
 ///
 /// Work is distributed dynamically (an atomic cursor), so uneven item
 /// costs balance across threads. With `jobs <= 1` the items run inline on
 /// the calling thread. A panic in `f` propagates to the caller.
+///
+/// The worker count is additionally capped by the process-wide job
+/// budget (see [`set_job_budget`]): extra threads beyond the caller's own
+/// slot are claimed from the shared pool, so nesting — e.g. a sweep whose
+/// items each run a sharded simulation — never oversubscribes the
+/// configured total. Results are identical for every grant.
 pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let jobs = jobs.min(items.len());
+    let desired = jobs.min(items.len());
+    if desired <= 1 {
+        return items.iter().map(f).collect();
+    }
+    // The caller's thread transfers its slot to one spawned worker (it
+    // only blocks on the scope join below), so `1 + granted` threads run.
+    let claim = claim_extra_workers(desired - 1);
+    let jobs = 1 + claim.granted();
     if jobs <= 1 {
         return items.iter().map(f).collect();
     }
@@ -102,9 +225,44 @@ mod tests {
 
     #[test]
     fn parallel_map_preserves_input_order() {
+        set_job_budget(4);
         let items: Vec<usize> = (0..40).collect();
         let doubled = parallel_map(&items, 4, |&x| x * 2);
         assert_eq!(doubled, (0..40).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn job_budget_grants_and_releases_extra_slots() {
+        // A local pool, independent of the process-global one: 4 workers
+        // total, 3 extra beyond the caller.
+        let pool = JobBudget {
+            state: Mutex::new(Some((4, 3))),
+        };
+        let first = pool.claim(2);
+        assert_eq!(first.granted(), 2);
+        // Nested layer sees only what is left.
+        let nested = pool.claim(10);
+        assert_eq!(nested.granted(), 1);
+        let starved = pool.claim(5);
+        assert_eq!(starved.granted(), 0);
+        drop(nested);
+        drop(starved);
+        drop(first);
+        // Everything returned on drop.
+        let all = pool.claim(10);
+        assert_eq!(all.granted(), 3);
+    }
+
+    #[test]
+    fn job_budget_raise_never_lowers() {
+        let pool = JobBudget {
+            state: Mutex::new(Some((4, 3))),
+        };
+        pool.raise(2);
+        assert_eq!(pool.claim(10).granted(), 3, "raise must not shrink");
+        pool.raise(6);
+        let claim = pool.claim(10);
+        assert_eq!(claim.granted(), 5, "raise adds the difference");
     }
 
     #[test]

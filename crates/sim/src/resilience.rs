@@ -85,7 +85,10 @@ pub struct MigrationView<'a> {
 /// null policy is bit-exact with a policy-free machine.
 ///
 /// [`wedge_threshold`]: MigrationPolicy::wedge_threshold
-pub trait MigrationPolicy: fmt::Debug {
+///
+/// Policies must be `Send` so policy-carrying machines can run on
+/// worker threads (e.g. under [`crate::parallel_map`]).
+pub trait MigrationPolicy: fmt::Debug + Send {
     /// Short policy name for reports.
     fn name(&self) -> &'static str;
     /// Age (network cycles) at which an outstanding transaction counts
