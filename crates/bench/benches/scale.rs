@@ -31,6 +31,7 @@
 //! leave `BENCH_scale.json` untouched, so CI can exercise the harness
 //! without committing a small-torus baseline.
 
+use commloc_bench::{render_scale_json, ScalePoint};
 use commloc_sim::{set_job_budget, Mapping, ShardedMachine, SimConfig};
 use std::path::PathBuf;
 
@@ -38,15 +39,6 @@ const DEFAULT_RADIX: usize = 256;
 const DEFAULT_CYCLES: u64 = 400;
 const SHARDS: usize = 16;
 const WORKERS: [usize; 4] = [1, 2, 4, 8];
-
-struct Point {
-    workers: usize,
-    cycles: u64,
-    wall_secs: f64,
-    cycles_per_sec: f64,
-    completions: u64,
-    speedup: f64,
-}
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -90,38 +82,6 @@ fn repo_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
 }
 
-fn render_json(
-    radix: usize,
-    shards: usize,
-    host_cores: usize,
-    rss_per_node: f64,
-    points: &[Point],
-) -> String {
-    let mut out = format!(
-        "{{\n  \"bench\": \"scale\",\n  \"unit\": \"simulated_network_cycles_per_sec\",\n  \
-         \"torus\": \"{radix}x{radix}\",\n  \"nodes\": {},\n  \"shards\": {shards},\n  \
-         \"host_cores\": {host_cores},\n  \"peak_rss_bytes_per_node\": {rss_per_node:.0},\n  \
-         \"note\": \"speedup_vs_1_worker is bounded above by host_cores; a flat curve beyond \
-         host_cores workers reflects the recording host, not the engine\",\n  \"points\": [\n",
-        radix * radix,
-    );
-    for (i, p) in points.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"workers\": {}, \"cycles\": {}, \"wall_secs\": {:.3}, \
-             \"cycles_per_sec\": {:.1}, \"completions\": {}, \"speedup_vs_1_worker\": {:.2}}}{}\n",
-            p.workers,
-            p.cycles,
-            p.wall_secs,
-            p.cycles_per_sec,
-            p.completions,
-            p.speedup,
-            if i + 1 < points.len() { "," } else { "" },
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    out
-}
-
 /// Pulls `"cycles_per_sec": <value>` for a worker point out of a
 /// committed baseline without a JSON dependency: point objects are one
 /// per line in the format this harness writes.
@@ -157,7 +117,7 @@ fn main() {
         "=== Shard-parallel scale-out: {radix}x{radix} torus ({nodes} nodes, {SHARDS} shards, \
          {cycles} net cycles, host has {host_cores} core(s)) ===\n"
     );
-    let mut points: Vec<Point> = Vec::new();
+    let mut points: Vec<ScalePoint> = Vec::new();
     for &workers in &WORKERS {
         let (secs, net_cycles, completions) = run_point(&config, &mapping, cycles, workers);
         assert_eq!(net_cycles, cycles, "engine must run the requested cycles");
@@ -175,7 +135,7 @@ fn main() {
             "{workers} worker(s): {cycles_per_sec:>10.1} cyc/s  ({secs:.2}s wall, \
              {completions} completions, speedup {speedup:.2}x)"
         );
-        points.push(Point {
+        points.push(ScalePoint {
             workers,
             cycles: net_cycles,
             wall_secs: secs,
@@ -185,8 +145,11 @@ fn main() {
         });
     }
 
-    let rss_per_node = peak_rss_bytes().map_or(0.0, |b| b as f64 / nodes as f64);
-    println!("\npeak RSS: {rss_per_node:.0} bytes per simulated node");
+    let rss_per_node = peak_rss_bytes().map(|b| b as f64 / nodes as f64);
+    match rss_per_node {
+        Some(rss) => println!("\npeak RSS: {rss:.0} bytes per simulated node"),
+        None => println!("\npeak RSS: VmHWM unavailable on this host"),
+    }
 
     if smoke {
         println!("\nsmoke run (radix {radix} != {DEFAULT_RADIX}): BENCH_scale.json left untouched");
@@ -222,7 +185,7 @@ fn main() {
 
     std::fs::write(
         &baseline_path,
-        render_json(radix, SHARDS, host_cores, rss_per_node, &points),
+        render_scale_json(radix, SHARDS, host_cores, rss_per_node, &points),
     )
     .expect("write BENCH_scale.json");
     println!("\nwrote {}", baseline_path.display());

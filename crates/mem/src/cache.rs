@@ -37,7 +37,7 @@ pub struct Eviction {
 }
 
 /// A fully associative, LRU-replaced coherent cache.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Cache {
     lines: HashMap<LineAddr, CacheLine>,
     capacity: usize,

@@ -123,7 +123,7 @@ pub struct MemStats {
 
 /// Outstanding-transaction record for one line: the head of `pending` is
 /// in flight; the rest wait for the fill.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Mshr {
     pending: VecDeque<(TxnId, MemOp)>,
     /// Retransmissions already performed for the in-flight request.
@@ -149,7 +149,7 @@ fn initial_deadline(config: &MemConfig, now: u64) -> Option<u64> {
 }
 
 /// Work accepted by the controller, processed one per idle cycle.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum WorkItem {
     Proc { txn: TxnId, op: MemOp },
     Msg(ProtocolMsg),
@@ -174,7 +174,7 @@ enum WorkItem {
 /// let done = ctrl.poll_completion().expect("write completed");
 /// assert_eq!(done.value, 99);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Controller {
     node: NodeId,
     config: MemConfig,

@@ -63,7 +63,7 @@ pub struct QueuedRequest {
 }
 
 /// Directory entry: state plus the FIFO of requests the home has deferred.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DirEntry {
     /// Current protocol state.
     pub state: DirState,
@@ -81,7 +81,7 @@ impl Default for DirEntry {
 }
 
 /// The full-map directory of one home node.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Directory {
     entries: HashMap<LineAddr, DirEntry>,
 }

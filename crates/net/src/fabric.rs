@@ -144,7 +144,7 @@ impl Default for FabricConfig {
 /// Per-message bookkeeping while in flight, stored in the slab. The `id`
 /// field is the generation check: a flit referencing this slot is valid
 /// only while its message id matches.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Pending<P> {
     id: u64,
     message: Message<P>,
@@ -162,7 +162,7 @@ struct Pending<P> {
 
 /// Network-interface injection state for one node. Queue entries carry
 /// `(slab slot, message id)`.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct NetworkInterface {
     queue: VecDeque<(u32, MessageId)>,
     /// Message currently being flitized: slot, id, next flit index, and
@@ -189,7 +189,7 @@ struct NetworkInterface {
 /// assert_eq!(delivery.message.payload, "hello");
 /// assert_eq!(delivery.hops, 2);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Fabric<P> {
     torus: Torus,
     config: FabricConfig,
@@ -1548,10 +1548,10 @@ impl<P> Fabric<P> {
 /// the shard driver into the owning fabric
 /// ([`Fabric::ingest_boundary`]) before the next cycle. Opaque to the
 /// driver, which only needs [`BoundaryItem::dst_node`] for routing.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BoundaryItem<P>(BoundaryPayload<P>);
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum BoundaryPayload<P> {
     /// A flit crossing from an owned node's output `port` onto global
     /// node `down`'s matching input port. Heads carry the message's slab

@@ -439,6 +439,40 @@ impl FaultPlan {
         Err(FaultPlanError { horizon, events })
     }
 
+    /// A canonical, collision-resistant rendering of everything that
+    /// determines this plan's behaviour: seed, probabilistic rates (as
+    /// exact `f64` bit patterns, so `0.1` and `0.1 + 1e-18` never alias),
+    /// and the scheduled events in insertion order. Two plans with equal
+    /// descriptions inject bit-identical fault sequences; the `commloc
+    /// serve` result cache keys on this. Runtime state (already-fired
+    /// stalls, the log) is deliberately excluded — plans are canonicalized
+    /// before installation.
+    pub fn canonical_description(&self) -> String {
+        let mut out = format!(
+            "seed={};drop={:016x};corrupt={:016x};stall={:016x};stall_window={}",
+            self.seed,
+            self.config.drop_rate.to_bits(),
+            self.config.corrupt_rate.to_bits(),
+            self.config.stall_rate.to_bits(),
+            self.config.stall_window,
+        );
+        for &(cycle, fault) in &self.schedule {
+            out.push(';');
+            out.push_str(&match fault {
+                ScheduledFault::KillLink { node, port } => {
+                    format!("kill@{cycle}:n{node}p{port}")
+                }
+                ScheduledFault::StallLink { node, port, window } => {
+                    format!("stall-link@{cycle}:n{node}p{port}w{window}")
+                }
+                ScheduledFault::StallRouter { node, window } => {
+                    format!("stall-router@{cycle}:n{node}w{window}")
+                }
+            });
+        }
+        out
+    }
+
     /// The record of faults injected so far.
     pub fn log(&self) -> &FaultLog {
         &self.log

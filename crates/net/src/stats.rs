@@ -308,10 +308,16 @@ impl Histogram {
 
     /// The value at quantile `q` in `[0, 1]`, reported as the upper edge
     /// of the first bucket whose cumulative count reaches `q * count`,
-    /// clamped to the recorded maximum. Returns 0 for an empty histogram.
-    pub fn quantile(&self, q: f64) -> u64 {
+    /// clamped to the recorded maximum.
+    ///
+    /// Returns `None` for an empty histogram: a zero-delivery window has
+    /// no latency distribution, and reporting a fabricated `0` would
+    /// corrupt served results and aggregated reports (a daemon answers
+    /// many degenerate windows over its lifetime). Callers render the
+    /// `None` explicitly (e.g. `n/a`) or omit the field.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
-            return 0;
+            return None;
         }
         let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0;
@@ -325,24 +331,24 @@ impl Histogram {
                 } else {
                     (1u64 << bucket) - 1
                 };
-                return edge.min(self.max);
+                return Some(edge.min(self.max));
             }
         }
-        self.max
+        Some(self.max)
     }
 
-    /// Median (see [`Histogram::quantile`] for bucket resolution).
-    pub fn p50(&self) -> u64 {
+    /// Median, `None` when empty (see [`Histogram::quantile`]).
+    pub fn p50(&self) -> Option<u64> {
         self.quantile(0.50)
     }
 
-    /// 90th percentile.
-    pub fn p90(&self) -> u64 {
+    /// 90th percentile, `None` when empty.
+    pub fn p90(&self) -> Option<u64> {
         self.quantile(0.90)
     }
 
-    /// 99th percentile.
-    pub fn p99(&self) -> u64 {
+    /// 99th percentile, `None` when empty.
+    pub fn p99(&self) -> Option<u64> {
         self.quantile(0.99)
     }
 
@@ -452,6 +458,32 @@ impl LatencyBreakdown {
         *self = Self::default();
     }
 
+    /// Renders the breakdown as a JSON object for streamed results: the
+    /// delivery count, the six per-delivery average components (same
+    /// labels as [`LatencyBreakdown::components`]), and the
+    /// latency-histogram percentiles. Percentile fields are *omitted* —
+    /// not emitted as `null` or a fabricated `0` — when the window had no
+    /// deliveries, so consumers asserting every present field is numeric
+    /// stay sound on degenerate windows.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"deliveries\":{}", self.deliveries));
+        for (name, avg) in self.average_components() {
+            out.push_str(&format!(",\"{name}\":{avg:.6}"));
+        }
+        for (label, q) in [
+            ("p50", self.latency.p50()),
+            ("p90", self.latency.p90()),
+            ("p99", self.latency.p99()),
+        ] {
+            if let Some(v) = q {
+                out.push_str(&format!(",\"{label}\":{v}"));
+            }
+        }
+        out.push('}');
+        out
+    }
+
     /// Adds another breakdown's sums and histograms into this one — the
     /// shard-merge operation. Every field is an order-independent sum (or
     /// histogram absorb), so merging per-shard breakdowns in any order
@@ -514,7 +546,7 @@ mod tests {
     #[test]
     fn histogram_buckets_and_quantiles() {
         let mut h = Histogram::new();
-        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(0.5), None);
         for v in [0u64, 1, 1, 2, 3, 4, 7, 8, 100] {
             h.record(v);
         }
@@ -528,12 +560,50 @@ mod tests {
         assert_eq!(h.bucket_counts()[4], 1); // 8..15
         assert_eq!(h.bucket_counts()[7], 1); // 64..127
                                              // p50 of 9 samples = rank 5, lands in bucket [2,3] -> edge 3.
-        assert_eq!(h.p50(), 3);
+        assert_eq!(h.p50(), Some(3));
         // p99 = rank 9, last bucket's edge 127 clamped to the max.
-        assert_eq!(h.p99(), 100);
+        assert_eq!(h.p99(), Some(100));
         h.reset();
         assert_eq!(h.count(), 0);
-        assert_eq!(h.p90(), 0);
+        assert_eq!(h.p90(), None);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        // A zero-delivery window must not fabricate a latency of 0; the
+        // daemon omits the fields instead (see LatencyBreakdown::to_json).
+        let h = Histogram::new();
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p90(), None);
+        assert_eq!(h.p99(), None);
+        let mut h = Histogram::new();
+        h.record(5);
+        assert_eq!(h.p50(), Some(5));
+        h.reset();
+        assert_eq!(h.p50(), None, "reset must clear the distribution");
+    }
+
+    #[test]
+    fn breakdown_json_omits_percentiles_when_empty() {
+        let b = LatencyBreakdown::default();
+        let json = b.to_json();
+        assert!(json.contains("\"deliveries\":0"));
+        assert!(!json.contains("p50") && !json.contains("null"));
+
+        use crate::message::MessageBreakdown;
+        let mut b = LatencyBreakdown::default();
+        b.record(&MessageBreakdown {
+            queue: 4,
+            injection: 1,
+            free_hop: 3,
+            contended_hop: 2,
+            ejection: 1,
+            drain: 11,
+        });
+        let json = b.to_json();
+        assert!(json.contains("\"deliveries\":1"));
+        assert!(json.contains("\"p50\":22"));
+        assert!(json.contains("\"p99\":22"));
     }
 
     #[test]

@@ -27,7 +27,7 @@ enum ContextState {
     WaitingMem,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Context {
     program: Box<dyn ThreadProgram>,
     state: ContextState,
@@ -116,7 +116,7 @@ impl ProcStats {
 /// // One issue every T_r + 1 cycles of useful work (plus issue cycles).
 /// assert!(issues >= 9);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Processor {
     contexts: Vec<Context>,
     active: usize,
@@ -662,12 +662,16 @@ mod tests {
     #[test]
     fn read_values_reach_the_program() {
         // A program that reads and then writes what it read plus one.
-        #[derive(Debug)]
+        #[derive(Debug, Clone)]
         struct Echo {
             issued_read: bool,
             pub seen: Vec<u64>,
         }
         impl ThreadProgram for Echo {
+            fn clone_box(&self) -> Box<dyn ThreadProgram> {
+                Box::new(self.clone())
+            }
+
             fn next(&mut self, last_read: Option<u64>) -> ThreadOp {
                 if let Some(v) = last_read {
                     self.seen.push(v);

@@ -32,6 +32,17 @@ pub enum ThreadOp {
 pub trait ThreadProgram: fmt::Debug + Send {
     /// Produces the thread's next operation.
     fn next(&mut self, last_read: Option<u64>) -> ThreadOp;
+
+    /// Clones the program behind the trait object. Machine snapshots
+    /// (warm-start) deep-copy whole processors, so every program must be
+    /// cloneable; implementations are invariably `Box::new(self.clone())`.
+    fn clone_box(&self) -> Box<dyn ThreadProgram>;
+}
+
+impl Clone for Box<dyn ThreadProgram> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// A program that cycles through a fixed sequence of operations forever.
@@ -71,6 +82,10 @@ impl LoopProgram {
 }
 
 impl ThreadProgram for LoopProgram {
+    fn clone_box(&self) -> Box<dyn ThreadProgram> {
+        Box::new(self.clone())
+    }
+
     fn next(&mut self, _last_read: Option<u64>) -> ThreadOp {
         let op = self.ops[self.index];
         self.index += 1;
@@ -90,6 +105,10 @@ impl ThreadProgram for LoopProgram {
 pub struct ParkedProgram;
 
 impl ThreadProgram for ParkedProgram {
+    fn clone_box(&self) -> Box<dyn ThreadProgram> {
+        Box::new(*self)
+    }
+
     fn next(&mut self, _last_read: Option<u64>) -> ThreadOp {
         panic!("parked context fetched after its thread migrated away");
     }
@@ -102,7 +121,7 @@ impl ThreadProgram for ParkedProgram {
 /// it must first re-issue that operation, then continue exactly where the
 /// inner program left off (the completion value feeds the inner program's
 /// `last_read` just as the original completion would have).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ReissueProgram {
     pending: Option<ThreadOp>,
     inner: Box<dyn ThreadProgram>,
@@ -119,6 +138,10 @@ impl ReissueProgram {
 }
 
 impl ThreadProgram for ReissueProgram {
+    fn clone_box(&self) -> Box<dyn ThreadProgram> {
+        Box::new(self.clone())
+    }
+
     fn next(&mut self, last_read: Option<u64>) -> ThreadOp {
         match self.pending.take() {
             Some(op) => op,

@@ -25,9 +25,9 @@ use commloc_sim::conformance::figures::{
 };
 use commloc_sim::conformance::{rel_err, suite_jobs, GoldenTable, Violation};
 use commloc_sim::{
-    default_jobs, mapping_suite, parallel_map, run_experiment, run_sharded_experiment, run_sweep,
-    set_job_budget, Machine, Mapping, ShardedMachine, SimConfig, SweepPoint, BREAKDOWN_CSV_HEADER,
-    MEASUREMENTS_CSV_HEADER,
+    default_jobs, mapping_suite, parallel_map, run_cached_sweep, run_experiment,
+    run_sharded_experiment, set_job_budget, Machine, Mapping, ServeOptions, ShardedMachine,
+    SimConfig, SweepPoint, BREAKDOWN_CSV_HEADER, MEASUREMENTS_CSV_HEADER,
 };
 use std::collections::HashMap;
 use std::io::Write;
@@ -78,6 +78,12 @@ COMMANDS:
             paper figures
             --study wave|degradation (omit for both) [--csv]
             [--update-golden] [--golden-dir DIR]
+    serve   long-running scenario service: JSON-lines requests in,
+            streamed accepted/progress/result/done events out, backed by
+            the canonical result cache and warm-start snapshots (repeated
+            scenarios are served bit-identically without re-simulating)
+            [--socket PATH | --tcp ADDR] (default: stdin/stdout)
+            [--cache-cap N] [--warm-cap N] [--jobs J]
     fuzz    differential-fuzz the optimized Fabric against the retained
             ReferenceFabric over a seed range; on divergence, shrinks to
             a minimal scenario and prints a ready-to-paste repro test
@@ -103,6 +109,7 @@ fn allowed_keys(command: &str) -> Option<&'static [&'static str]> {
         ]),
         "conformance" => Some(&["figure", "jobs", "csv", "update-golden", "golden-dir"]),
         "resilience" => Some(&["study", "csv", "update-golden", "golden-dir"]),
+        "serve" => Some(&["socket", "tcp", "cache-cap", "warm-cap", "jobs"]),
         "fuzz" => Some(&["seeds", "start", "jobs", "machine"]),
         _ => None,
     }
@@ -139,6 +146,7 @@ fn main() -> ExitCode {
         "suite" => cmd_suite(&options),
         "conformance" => cmd_conformance(&options),
         "resilience" => cmd_resilience(&options),
+        "serve" => cmd_serve(&options),
         "fuzz" => cmd_fuzz(&options),
         _ => unreachable!("filtered by allowed_keys"),
     };
@@ -472,7 +480,7 @@ fn cmd_report(options: &HashMap<String, String>) -> Result<(), String> {
     let warmup = get_u64(options, "warmup", 20_000)?;
     let window = get_u64(options, "window", 60_000)?;
     let c = MachineConfig::alewife().critical_path_messages();
-    let (m, b, mut machine) = if shards > 1 {
+    let (m, b, lb, mut machine) = if shards > 1 {
         let mut sharded = ShardedMachine::new(&config, &mapping, shards);
         sharded.set_jobs(jobs);
         sharded
@@ -482,7 +490,12 @@ fn cmd_report(options: &HashMap<String, String>) -> Result<(), String> {
         sharded
             .run_network_cycles(window)
             .map_err(|e| e.to_string())?;
-        (sharded.measure(), sharded.breakdown(c), None)
+        (
+            sharded.measure(),
+            sharded.breakdown(c),
+            sharded.latency_breakdown(),
+            None,
+        )
     } else {
         let mut machine = Machine::new(&config, &mapping);
         machine
@@ -494,7 +507,8 @@ fn cmd_report(options: &HashMap<String, String>) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
         let m = machine.measure();
         let b = machine.breakdown(c);
-        (m, b, Some(machine))
+        let lb = machine.latency_breakdown().clone();
+        (m, b, lb, Some(machine))
     };
 
     // The model's prediction at the measured distance and context count.
@@ -540,6 +554,16 @@ fn cmd_report(options: &HashMap<String, String>) -> Result<(), String> {
         );
         println!("  c*T_m = {:>9.2}  network path", b.message_path);
         println!("  T_f   = {:>9.2}  fixed overhead", b.fixed_overhead);
+        // Percentiles are undefined on a window with no deliveries;
+        // render that honestly rather than printing a fabricated 0.
+        let pct = |q: Option<u64>| q.map_or_else(|| "n/a".to_owned(), |v| v.to_string());
+        println!();
+        println!(
+            "message-latency percentiles (cycles): p50 {}  p90 {}  p99 {}",
+            pct(lb.latency.p50()),
+            pct(lb.latency.p90()),
+            pct(lb.latency.p99()),
+        );
     }
 
     if let (Some(path), Some(machine)) = (trace_path, machine.as_mut()) {
@@ -599,7 +623,18 @@ fn cmd_suite(options: &HashMap<String, String>) -> Result<(), String> {
         .collect::<Result<Vec<_>, _>>()
         .map_err(|e| e.to_string())?
     } else {
-        run_sweep(&config, &suite, warmup, window, jobs).map_err(|e| e.to_string())?
+        // Monolithic sweeps route through the process-wide scenario
+        // cache: repeated suite invocations in one process (and the
+        // conformance gates) share results and warm-start snapshots.
+        run_cached_sweep(&config, &suite, warmup, window, jobs)
+            .map_err(|e| e.to_string())?
+            .into_iter()
+            .map(|r| SweepPoint {
+                name: r.name,
+                distance: r.distance,
+                measured: r.measured,
+            })
+            .collect()
     };
     for point in points {
         let m = point.measured;
@@ -618,6 +653,29 @@ fn cmd_suite(options: &HashMap<String, String>) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+fn cmd_serve(options: &HashMap<String, String>) -> Result<(), String> {
+    let defaults = ServeOptions::default();
+    let cache_capacity = get_u64(options, "cache-cap", defaults.cache_capacity as u64)? as usize;
+    let warm_capacity = get_u64(options, "warm-cap", defaults.warm_capacity as u64)? as usize;
+    if cache_capacity == 0 || warm_capacity == 0 {
+        return Err("--cache-cap/--warm-cap: must be at least 1".into());
+    }
+    let serve_options = ServeOptions {
+        socket: options.get("socket").cloned(),
+        tcp: options.get("tcp").cloned(),
+        cache_capacity,
+        warm_capacity,
+        jobs: get_jobs(options)?,
+    };
+    match (&serve_options.socket, &serve_options.tcp) {
+        (Some(path), None) => eprintln!("serving on unix socket {path}"),
+        (None, Some(addr)) => eprintln!("serving on tcp {addr}"),
+        (None, None) => eprintln!("serving on stdin/stdout (one JSON request per line)"),
+        (Some(_), Some(_)) => {}
+    }
+    commloc_sim::serve::serve(&serve_options)
 }
 
 fn cmd_conformance(options: &HashMap<String, String>) -> Result<(), String> {

@@ -1,10 +1,11 @@
 //! Golden result tables: the machine-readable per-figure output of the
-//! conformance harness, their JSON serialization (hand-rolled — the
-//! workspace builds without registry access, so there is no serde), and
-//! the per-point comparison that gates a run against a checked-in
-//! golden file.
+//! conformance harness, their JSON serialization (via the shared
+//! hand-rolled [`crate::json`] module — the workspace builds without
+//! registry access, so there is no serde), and the per-point comparison
+//! that gates a run against a checked-in golden file.
 
 use super::tolerances::golden_tolerance;
+use crate::json::{json_string, Json};
 use std::fmt;
 
 /// One labeled row of a result table: a point on a figure with its named
@@ -219,7 +220,7 @@ impl GoldenTable {
     ///
     /// Returns a description of the first syntax or schema problem.
     pub fn from_json(text: &str) -> Result<Self, String> {
-        let value = Parser::new(text).parse_document()?;
+        let value = Json::parse(text)?;
         let Json::Object(fields) = value else {
             return Err("top level must be an object".into());
         };
@@ -263,215 +264,6 @@ impl GoldenTable {
             tolerance,
             rows,
         })
-    }
-}
-
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// Parsed JSON value (the subset the golden format uses).
-enum Json {
-    Object(Vec<(String, Json)>),
-    Array(Vec<Json>),
-    String(String),
-    Number(f64),
-}
-
-impl Json {
-    fn as_string(&self) -> Result<String, String> {
-        match self {
-            Json::String(s) => Ok(s.clone()),
-            _ => Err("expected a string".into()),
-        }
-    }
-
-    fn as_number(&self) -> Result<f64, String> {
-        match self {
-            Json::Number(n) => Ok(*n),
-            _ => Err("expected a number".into()),
-        }
-    }
-}
-
-/// Minimal recursive-descent parser for the golden JSON subset.
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Self {
-        Self {
-            bytes: text.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn parse_document(&mut self) -> Result<Json, String> {
-        let value = self.parse_value()?;
-        self.skip_ws();
-        if self.pos != self.bytes.len() {
-            return Err(format!("trailing garbage at byte {}", self.pos));
-        }
-        Ok(value)
-    }
-
-    fn skip_ws(&mut self) {
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_whitespace())
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Result<u8, String> {
-        self.skip_ws();
-        self.bytes
-            .get(self.pos)
-            .copied()
-            .ok_or_else(|| "unexpected end of input".into())
-    }
-
-    fn expect(&mut self, byte: u8) -> Result<(), String> {
-        if self.peek()? != byte {
-            return Err(format!("expected `{}` at byte {}", byte as char, self.pos));
-        }
-        self.pos += 1;
-        Ok(())
-    }
-
-    fn parse_value(&mut self) -> Result<Json, String> {
-        match self.peek()? {
-            b'{' => self.parse_object(),
-            b'[' => self.parse_array(),
-            b'"' => Ok(Json::String(self.parse_string()?)),
-            _ => self.parse_number(),
-        }
-    }
-
-    fn parse_object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        if self.peek()? == b'}' {
-            self.pos += 1;
-            return Ok(Json::Object(fields));
-        }
-        loop {
-            let key = self.parse_string()?;
-            self.expect(b':')?;
-            let value = self.parse_value()?;
-            fields.push((key, value));
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b'}' => {
-                    self.pos += 1;
-                    return Ok(Json::Object(fields));
-                }
-                other => return Err(format!("expected `,` or `}}`, found `{}`", other as char)),
-            }
-        }
-    }
-
-    fn parse_array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek()? == b']' {
-            self.pos += 1;
-            return Ok(Json::Array(items));
-        }
-        loop {
-            items.push(self.parse_value()?);
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b']' => {
-                    self.pos += 1;
-                    return Ok(Json::Array(items));
-                }
-                other => return Err(format!("expected `,` or `]`, found `{}`", other as char)),
-            }
-        }
-    }
-
-    fn parse_string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.bytes.get(self.pos).copied() {
-                None => return Err("unterminated string".into()),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.bytes.get(self.pos).copied() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b't') => out.push('\t'),
-                        other => {
-                            return Err(format!("unsupported escape {other:?}"));
-                        }
-                    }
-                    self.pos += 1;
-                }
-                Some(byte) => {
-                    // Multi-byte UTF-8 passes through untouched.
-                    let start = self.pos;
-                    let len = utf8_len(byte);
-                    let chunk = self
-                        .bytes
-                        .get(start..start + len)
-                        .ok_or("truncated UTF-8 sequence")?;
-                    out.push_str(
-                        std::str::from_utf8(chunk).map_err(|_| "invalid UTF-8 in string")?,
-                    );
-                    self.pos += len;
-                }
-            }
-        }
-    }
-
-    fn parse_number(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        let start = self.pos;
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
-        {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| "invalid number bytes")?;
-        text.parse::<f64>()
-            .map(Json::Number)
-            .map_err(|_| format!("`{text}` is not a number (byte {start})"))
-    }
-}
-
-fn utf8_len(first: u8) -> usize {
-    match first {
-        b if b < 0x80 => 1,
-        b if b >= 0xF0 => 4,
-        b if b >= 0xE0 => 3,
-        _ => 2,
     }
 }
 

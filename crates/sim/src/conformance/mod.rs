@@ -30,7 +30,9 @@ pub mod tolerances;
 pub use golden::{rel_err, GoldenRow, GoldenTable, Violation};
 
 use crate::NamedMapping;
-use crate::{fit_line, mapping_suite, run_sweep, FitError, LineFit, Measurements, SimConfig};
+use crate::{
+    fit_line, mapping_suite, run_cached_sweep, FitError, LineFit, Measurements, SimConfig,
+};
 use commloc_model::{
     ApplicationModel, CombinedModel, EndpointContention, NetworkModel, NodeModel, TorusGeometry,
     TransactionModel,
@@ -94,7 +96,9 @@ pub fn suite_jobs() -> Result<usize, String> {
 
 /// Runs the full validation suite (all mappings, full windows) at one
 /// context count, fanning the independent simulations across
-/// [`suite_jobs`] threads.
+/// [`suite_jobs`] threads. Routes through the process-wide scenario
+/// cache ([`crate::run_cached_sweep`]), so repeated calls in one process
+/// are served bit-identically without re-simulating.
 pub fn validation_runs(contexts: usize) -> Vec<ValidationRun> {
     let config = SimConfig {
         contexts,
@@ -103,7 +107,7 @@ pub fn validation_runs(contexts: usize) -> Vec<ValidationRun> {
     let torus = Torus::new(config.dims, config.radix);
     let suite = mapping_suite(&torus, SUITE_SEED);
     let jobs = suite_jobs().expect("invalid COMMLOC_JOBS");
-    run_sweep(&config, &suite, WARMUP, WINDOW, jobs)
+    run_cached_sweep(&config, &suite, WARMUP, WINDOW, jobs)
         .expect("fault-free validation run")
         .into_iter()
         .map(|p| ValidationRun {
@@ -135,7 +139,7 @@ pub fn reduced_runs(contexts: usize, jobs: usize) -> Vec<ValidationRun> {
     };
     let torus = Torus::new(config.dims, config.radix);
     let suite = reduced_suite(&torus, SUITE_SEED);
-    run_sweep(&config, &suite, REDUCED_WARMUP, REDUCED_WINDOW, jobs)
+    run_cached_sweep(&config, &suite, REDUCED_WARMUP, REDUCED_WINDOW, jobs)
         .expect("fault-free conformance run")
         .into_iter()
         .map(|p| ValidationRun {

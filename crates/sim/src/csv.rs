@@ -9,29 +9,44 @@ message_interval,message_latency,per_hop_latency,channel_utilization,\
 injection_utilization,transaction_rate,issue_interval,transaction_latency,\
 messages_per_transaction,avg_message_size,residual_message_size,run_length,hit_fraction";
 
+/// Maps a non-finite ratio to the 0.0 degenerate-window sentinel so no
+/// serialized row or streamed result ever carries `NaN`/`inf`. Divisions
+/// like `run_length` or `hit_fraction` can go non-finite on windows with
+/// no misses or no accesses (e.g. a fully wedged fault scenario measured
+/// anyway); the CI output-sanity gate and the serve cache both require
+/// every field to parse as a finite number.
+fn finite(x: f64) -> f64 {
+    if x.is_finite() {
+        x
+    } else {
+        0.0
+    }
+}
+
 impl Measurements {
     /// One CSV row of this record, column order per
-    /// [`MEASUREMENTS_CSV_HEADER`].
+    /// [`MEASUREMENTS_CSV_HEADER`]. Non-finite ratios serialize as the
+    /// 0.0 degenerate-window sentinel.
     pub fn to_csv_row(&self) -> String {
         format!(
             "{},{},{:.6},{:.8},{:.4},{:.4},{:.4},{:.6},{:.6},{:.8},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.6}",
             self.net_cycles,
             self.nodes,
-            self.distance,
-            self.message_rate,
-            self.message_interval,
-            self.message_latency,
-            self.per_hop_latency,
-            self.channel_utilization,
-            self.injection_utilization,
-            self.transaction_rate,
-            self.issue_interval,
-            self.transaction_latency,
-            self.messages_per_transaction,
-            self.avg_message_size,
-            self.residual_message_size,
-            self.run_length,
-            self.hit_fraction,
+            finite(self.distance),
+            finite(self.message_rate),
+            finite(self.message_interval),
+            finite(self.message_latency),
+            finite(self.per_hop_latency),
+            finite(self.channel_utilization),
+            finite(self.injection_utilization),
+            finite(self.transaction_rate),
+            finite(self.issue_interval),
+            finite(self.transaction_latency),
+            finite(self.messages_per_transaction),
+            finite(self.avg_message_size),
+            finite(self.residual_message_size),
+            finite(self.run_length),
+            finite(self.hit_fraction),
         )
     }
 }
@@ -59,5 +74,29 @@ mod tests {
         for field in m.to_csv_row().split(',') {
             field.parse::<f64>().expect("numeric field");
         }
+    }
+
+    #[test]
+    fn degenerate_window_row_stays_finite() {
+        // A hand-built record with every failure mode a degenerate
+        // window can produce: NaN ratios (0/0), infinities (x/0), and
+        // the 0.0 miss-free run-length sentinel. The row must still be
+        // 17 finite, parseable numbers.
+        let mut m =
+            run_experiment(&SimConfig::default(), &Mapping::identity(64), 2_000, 6_000).unwrap();
+        m.hit_fraction = f64::NAN;
+        m.run_length = f64::INFINITY;
+        m.issue_interval = f64::NEG_INFINITY;
+        m.message_interval = f64::NAN;
+        let row = m.to_csv_row();
+        assert_eq!(row.split(',').count(), 17);
+        for field in row.split(',') {
+            let v: f64 = field.parse().expect("numeric field");
+            assert!(v.is_finite(), "non-finite field leaked: {field}");
+        }
+        // The guard maps all of them to the documented 0.0 sentinel.
+        let cols: Vec<&str> = row.split(',').collect();
+        assert_eq!(cols[16], "0.000000"); // hit_fraction
+        assert_eq!(cols[15], "0.0000"); // run_length
     }
 }

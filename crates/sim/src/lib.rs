@@ -37,10 +37,12 @@ mod error;
 mod fit;
 #[cfg(any(test, feature = "reference-engine"))]
 pub mod fuzz;
+pub mod json;
 mod machine;
 mod mapping;
 mod parallel;
 mod resilience;
+pub mod serve;
 mod shard;
 mod workload;
 
@@ -49,9 +51,10 @@ pub use csv::MEASUREMENTS_CSV_HEADER;
 pub use disturbance::{run_disturbance, DisturbanceConfig, DisturbanceCurve};
 pub use error::{SimError, StallKind, StallReport};
 pub use fit::{fit_line, FitError, LineFit};
-pub use machine::{run_experiment, Machine, Measurements, SimConfig};
+pub use machine::{run_experiment, Machine, MachineSnapshot, Measurements, SimConfig};
 pub use mapping::{mapping_suite, Mapping, NamedMapping};
 pub use parallel::{default_jobs, parallel_map, run_sweep, set_job_budget, SweepPoint};
+pub use serve::{run_cached_sweep, CacheStats, ScenarioKey, ScenarioResult, ServeOptions};
 pub use shard::{run_sharded_experiment, ShardedMachine};
 
 pub use resilience::{

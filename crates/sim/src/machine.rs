@@ -100,7 +100,7 @@ impl Default for SimConfig {
 }
 
 /// One node: processor + controller + transaction bookkeeping.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct NodeSim {
     cpu: Processor,
     ctrl: Controller,
@@ -110,7 +110,7 @@ struct NodeSim {
 }
 
 /// A migrating thread in flight to its destination node.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct StolenThread {
     to: usize,
     program: Box<dyn ThreadProgram>,
@@ -194,7 +194,7 @@ pub struct Measurements {
 /// let m = machine.measure();
 /// assert!(m.distance > 0.9 && m.distance < 1.1);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Machine {
     config: SimConfig,
     fabric: Fabric<ProtocolMsg>,
@@ -1108,6 +1108,18 @@ impl Machine {
         self.fabric.breakdown()
     }
 
+    /// Captures the machine's complete state. Restoring the snapshot
+    /// yields a machine that continues bit-identically to this one —
+    /// every layer (programs, caches, directories, in-flight worms,
+    /// fault-plan state, migration policy) is deep-copied, so a settled
+    /// post-warmup machine can be snapshotted once and re-run over many
+    /// measurement windows (the `commloc serve` warm-start path).
+    pub fn snapshot(&self) -> MachineSnapshot {
+        MachineSnapshot {
+            machine: self.clone(),
+        }
+    }
+
     /// The fabric's flit-level trace ring (`None` when
     /// [`FabricConfig::trace_capacity`](commloc_net::FabricConfig) is 0).
     pub fn trace(&self) -> Option<&TraceBuffer> {
@@ -1302,6 +1314,22 @@ pub(crate) fn build_breakdown(
         drain: lb.drain as f64 / n,
         protocol: lb.ejection as f64 / n,
         deliveries: lb.deliveries,
+    }
+}
+
+/// A frozen copy of a [`Machine`]'s complete state, taken by
+/// [`Machine::snapshot`]. Restoring yields an independent machine that
+/// runs bit-identically to the original from the capture point; one
+/// snapshot can be restored any number of times.
+#[derive(Debug, Clone)]
+pub struct MachineSnapshot {
+    machine: Machine,
+}
+
+impl MachineSnapshot {
+    /// Materializes an independent machine at the captured state.
+    pub fn restore(&self) -> Machine {
+        self.machine.clone()
     }
 }
 

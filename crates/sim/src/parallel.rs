@@ -30,6 +30,13 @@ pub fn default_jobs() -> usize {
 /// a layer asks for the workers it wants and runs with whatever it is
 /// granted (possibly serial), which never changes results — every
 /// consumer is bit-deterministic across worker counts.
+///
+/// All lock sites recover from poisoning rather than panicking: the
+/// budget is plain counters (any observed state is consistent), and a
+/// long-running server must keep claiming and — critically — *releasing*
+/// slots after one batch panics. Panicking in [`WorkerClaim::drop`]
+/// during an unwind would abort the process; refusing to release would
+/// permanently shrink the pool and starve every later batch.
 #[derive(Debug)]
 struct JobBudget {
     /// `(total worker budget, extra slots currently available)`;
@@ -61,7 +68,10 @@ impl JobBudget {
     /// Raises the total budget to at least `total` workers. Never lowers
     /// it — outstanding claims cannot be retracted.
     fn raise(&self, total: usize) {
-        let mut slot = self.state.lock().expect("job budget poisoned");
+        let mut slot = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let state = Self::init(&mut slot);
         if total > state.0 {
             state.1 += total - state.0;
@@ -73,7 +83,10 @@ impl JobBudget {
     /// releases them on drop. The grant may be anything in
     /// `0..=desired`.
     fn claim(&self, desired: usize) -> WorkerClaim<'_> {
-        let mut slot = self.state.lock().expect("job budget poisoned");
+        let mut slot = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let state = Self::init(&mut slot);
         let granted = desired.min(state.1);
         state.1 -= granted;
@@ -85,7 +98,10 @@ impl JobBudget {
 
     fn release(&self, n: usize) {
         if n > 0 {
-            let mut slot = self.state.lock().expect("job budget poisoned");
+            let mut slot = self
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             let state = Self::init(&mut slot);
             state.1 += n;
         }
@@ -263,6 +279,75 @@ mod tests {
         pool.raise(6);
         let claim = pool.claim(10);
         assert_eq!(claim.granted(), 5, "raise adds the difference");
+    }
+
+    #[test]
+    fn panicking_claim_holder_restores_budget() {
+        let pool = JobBudget {
+            state: Mutex::new(Some((4, 3))),
+        };
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let claim = pool.claim(3);
+            assert_eq!(claim.granted(), 3);
+            panic!("worker died mid-batch");
+        }));
+        assert!(unwound.is_err());
+        // The claim's drop guard ran during the unwind: nothing leaked.
+        assert_eq!(
+            pool.claim(10).granted(),
+            3,
+            "a panicked batch must return its slots"
+        );
+    }
+
+    #[test]
+    fn poisoned_budget_lock_still_grants_and_releases() {
+        let pool = JobBudget {
+            state: Mutex::new(Some((4, 3))),
+        };
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = pool.state.lock().unwrap();
+            panic!("poison the budget lock");
+        }));
+        assert!(pool.state.is_poisoned());
+        let claim = pool.claim(2);
+        assert_eq!(claim.granted(), 2, "poisoned lock must not wedge claims");
+        drop(claim);
+        assert_eq!(pool.claim(10).granted(), 3, "release must work too");
+    }
+
+    #[test]
+    fn parallel_map_worker_panic_leaves_budget_whole() {
+        set_job_budget(4);
+        let items: Vec<usize> = (0..32).collect();
+        for _ in 0..8 {
+            let unwound = std::panic::catch_unwind(|| {
+                parallel_map(&items, 4, |&x| {
+                    if x == 5 {
+                        panic!("boom");
+                    }
+                    x
+                })
+            });
+            assert!(unwound.is_err(), "worker panic must propagate");
+        }
+        // Were each panicked batch leaking its claim, eight rounds would
+        // have drained the pool; instead a full-width batch still runs
+        // and the full grant eventually returns (bounded retry because
+        // concurrently running tests legitimately hold slots).
+        assert_eq!(
+            parallel_map(&items, 4, |&x| x + 1),
+            (1..33).collect::<Vec<_>>()
+        );
+        let mut granted = 0;
+        for _ in 0..500 {
+            granted = claim_extra_workers(3).granted();
+            if granted == 3 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert_eq!(granted, 3, "panicked batches leaked worker slots");
     }
 
     #[test]

@@ -100,6 +100,16 @@ pub trait MigrationPolicy: fmt::Debug + Send {
     /// Picks a destination for the wedged thread, or `None` to leave it
     /// in place (it keeps waiting and will be offered again).
     fn choose_destination(&mut self, view: &MigrationView<'_>) -> Option<NodeId>;
+    /// Clones the policy behind the trait object (machine snapshots
+    /// deep-copy policy-carrying machines, including mid-run state such
+    /// as a remaining migration budget).
+    fn clone_box(&self) -> Box<dyn MigrationPolicy>;
+}
+
+impl Clone for Box<dyn MigrationPolicy> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// The do-nothing policy: never migrates. A machine with this policy is
@@ -120,6 +130,9 @@ impl MigrationPolicy for NullPolicy {
     }
     fn choose_destination(&mut self, _view: &MigrationView<'_>) -> Option<NodeId> {
         None
+    }
+    fn clone_box(&self) -> Box<dyn MigrationPolicy> {
+        Box::new(*self)
     }
 }
 
@@ -173,6 +186,9 @@ impl MigrationPolicy for WorkStealingPolicy {
             .min_by_key(|&n| (view.load[n], view.torus.distance(victim, NodeId(n)), n))?;
         self.remaining -= 1;
         Some(NodeId(best))
+    }
+    fn clone_box(&self) -> Box<dyn MigrationPolicy> {
+        Box::new(*self)
     }
 }
 

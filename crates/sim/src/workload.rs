@@ -103,6 +103,10 @@ impl TorusNeighborProgram {
 }
 
 impl ThreadProgram for TorusNeighborProgram {
+    fn clone_box(&self) -> Box<dyn ThreadProgram> {
+        Box::new(self.clone())
+    }
+
     fn next(&mut self, last_read: Option<u64>) -> ThreadOp {
         if let Some(v) = last_read {
             self.checksum = self.checksum.wrapping_add(v);
