@@ -185,7 +185,7 @@ impl CombinedModel {
         let transaction_latency = self.node.transaction().transaction_latency(message_latency);
         let issue_interval = self.node.application().issue_interval(transaction_latency);
         let message_interval = self.node.transaction().message_interval(issue_interval);
-        let k_d = self.network.geometry().per_dimension_distance(distance);
+        let k_d = self.network.per_dimension_distance(distance);
         let channel_utilization = self
             .network
             .channel_utilization(1.0 / message_interval, distance);
@@ -220,7 +220,7 @@ impl CombinedModel {
     /// * [`ModelError::NoOperatingPoint`] if no root lies in the feasible
     ///   interval `0 < rho < 1`.
     pub fn solve_quadratic(&self, distance: f64) -> Result<f64> {
-        let n = f64::from(self.network.geometry().dimension());
+        let n = self.network.effective_dimension();
         let k_d = distance / n;
         if k_d < 1.0 {
             return Err(ModelError::InvalidParameter {

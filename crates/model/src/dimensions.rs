@@ -9,6 +9,7 @@
 use crate::error::Result;
 use crate::gain::{expected_gain, GainPoint};
 use crate::machine::MachineConfig;
+use crate::network::TopologyProfile;
 
 /// Gain analysis of one machine size across network dimensions.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,6 +64,45 @@ pub fn dimension_study(config: &MachineConfig, dimensions: &[u32]) -> Result<Vec
         .collect()
 }
 
+/// Gain analysis of one machine configuration across interconnect
+/// topologies (the cross-topology counterpart of [`dimension_study`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopologyPoint {
+    /// The topology's profile (node count, random distance, `C`).
+    pub profile: TopologyProfile,
+    /// Effective network dimension `n_eff = C/2`.
+    pub effective_dimension: f64,
+    /// Expected gain from exploiting physical locality on this topology.
+    pub gain: f64,
+    /// The full gain analysis behind it.
+    pub point: GainPoint,
+}
+
+/// Evaluates the expected locality gain of `config`'s node and
+/// application parameters on each interconnect in `profiles`, holding
+/// everything but the topology constant.
+///
+/// # Errors
+///
+/// Propagates model-construction or solver failures.
+pub fn topology_study(
+    config: &MachineConfig,
+    profiles: &[TopologyProfile],
+) -> Result<Vec<TopologyPoint>> {
+    profiles
+        .iter()
+        .map(|&profile| {
+            let point = expected_gain(&config.with_topology_profile(profile))?;
+            Ok(TopologyPoint {
+                profile,
+                effective_dimension: profile.effective_dimension(),
+                gain: point.gain,
+                point,
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,6 +150,42 @@ mod tests {
                     pair[1].gain
                 );
             }
+        }
+    }
+
+    #[test]
+    fn torus_profile_reproduces_the_dims_radix_path() {
+        // Feeding the torus's own profile (C = 2n, Eq. 17 distance) must
+        // give bit-identical predictions to the plain dims/radix path.
+        let cfg = MachineConfig::alewife();
+        let plain = expected_gain(&cfg).unwrap();
+        let profile = TopologyProfile::torus(2, 8.0).unwrap();
+        let via_profile = expected_gain(&cfg.with_topology_profile(profile)).unwrap();
+        assert_eq!(plain.gain, via_profile.gain);
+        assert_eq!(plain.random_distance, via_profile.random_distance);
+        assert_eq!(plain.ideal_rate, via_profile.ideal_rate);
+    }
+
+    #[test]
+    fn topology_study_orders_gain_by_distance_and_bandwidth() {
+        // Same node budget, three fabrics: a mesh (longer random
+        // distances than a torus of the same size, same C), a torus, and
+        // a richly connected fabric (shorter distances, more channels).
+        // More distance spread and less bandwidth mean more to gain from
+        // locality.
+        let cfg = MachineConfig::alewife().with_contexts(2);
+        let mesh = TopologyProfile::new(1024.0, 21.3, 4.0).unwrap(); // ~32x32 mesh
+        let torus = TopologyProfile::torus(2, 32.0).unwrap();
+        let rich = TopologyProfile::new(1024.0, 4.0, 12.0).unwrap();
+        let study = topology_study(&cfg, &[mesh, torus, rich]).unwrap();
+        assert!(study[0].gain > study[1].gain, "mesh should out-gain torus");
+        assert!(
+            study[1].gain > study[2].gain,
+            "torus should out-gain the high-bandwidth fabric"
+        );
+        for p in &study {
+            assert!(p.gain >= 1.0 - 1e-9);
+            assert_eq!(p.effective_dimension, p.profile.channels_per_node / 2.0);
         }
     }
 

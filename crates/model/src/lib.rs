@@ -70,13 +70,13 @@ mod transaction;
 pub use application::{ApplicationModel, OperatingMode};
 pub use breakdown::{IssueTimeBreakdown, MessageComponents};
 pub use combined::{CombinedModel, OperatingPoint};
-pub use dimensions::{dimension_study, DimensionPoint};
+pub use dimensions::{dimension_study, topology_study, DimensionPoint, TopologyPoint};
 pub use error::{ModelError, Result};
 pub use figures::{fig6_rows, fig7_rows, fig8_rows, fig9_rows, FigureRow};
 pub use gain::{expected_gain, gain_curve, log_spaced_sizes, GainPoint, IDEAL_MAPPING_DISTANCE};
 pub use machine::MachineConfig;
 pub use metrics::{aggregate_performance, performance_ratio, useful_work_rate};
-pub use network::{EndpointContention, NetworkModel, TorusGeometry};
+pub use network::{EndpointContention, NetworkModel, TopologyProfile, TorusGeometry};
 pub use node::NodeModel;
 pub use scaling::{
     limiting_per_hop_latency, per_hop_latency_curve, size_reaching_fraction_of_limit, ScalingPoint,

@@ -12,7 +12,7 @@
 use crate::application::ApplicationModel;
 use crate::combined::CombinedModel;
 use crate::error::{ensure_positive, Result};
-use crate::network::{EndpointContention, NetworkModel, TorusGeometry};
+use crate::network::{EndpointContention, NetworkModel, TopologyProfile, TorusGeometry};
 use crate::node::NodeModel;
 use crate::transaction::TransactionModel;
 
@@ -62,6 +62,9 @@ pub struct MachineConfig {
     clock_ratio: f64,
     /// Endpoint-contention treatment.
     endpoint_contention: EndpointContention,
+    /// Non-torus topology profile; when set it overrides the machine
+    /// size, random-mapping distance, and effective network dimension.
+    profile: Option<TopologyProfile>,
 }
 
 impl MachineConfig {
@@ -84,6 +87,7 @@ impl MachineConfig {
             radix: 8.0,
             clock_ratio: 2.0,
             endpoint_contention: EndpointContention::MD1,
+            profile: None,
         }
     }
 
@@ -169,6 +173,21 @@ impl MachineConfig {
         self
     }
 
+    /// Pairs the machine with a non-torus interconnect: the profile's
+    /// node count, exhaustive random-mapping distance, and
+    /// channels-per-node `C` replace the torus geometry's in every
+    /// prediction (effective dimension `n_eff = C/2`). A torus profile
+    /// reproduces the `dims`/`radix` behavior exactly.
+    pub fn with_topology_profile(mut self, profile: TopologyProfile) -> Self {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// The topology profile override, if any.
+    pub fn topology_profile(&self) -> Option<TopologyProfile> {
+        self.profile
+    }
+
     /// Computation grain `T_r` (processor cycles).
     pub fn grain(&self) -> f64 {
         self.grain
@@ -214,9 +233,13 @@ impl MachineConfig {
         self.radix
     }
 
-    /// Total machine size `N = k^n`.
+    /// Total machine size: the profile's compute-node count when a
+    /// topology profile is set, `N = k^n` otherwise.
     pub fn nodes(&self) -> f64 {
-        self.radix.powi(self.dimension as i32)
+        match self.profile {
+            Some(p) => p.compute_nodes,
+            None => self.radix.powi(self.dimension as i32),
+        }
     }
 
     /// Network cycles per processor cycle.
@@ -239,13 +262,17 @@ impl MachineConfig {
     }
 
     /// Expected communication distance under random thread-to-processor
-    /// mappings (Eq. 17).
+    /// mappings: the profile's exhaustive mean pairwise distance when a
+    /// topology profile is set, Eq. 17 otherwise.
     ///
     /// # Errors
     ///
     /// Returns an error if the geometry parameters are invalid.
     pub fn random_mapping_distance(&self) -> Result<f64> {
-        Ok(self.geometry()?.random_traffic_distance())
+        match self.profile {
+            Some(p) => Ok(p.random_distance),
+            None => Ok(self.geometry()?.random_traffic_distance()),
+        }
     }
 
     /// Builds the combined model, converting all processor-cycle
@@ -267,8 +294,11 @@ impl MachineConfig {
             self.messages_per_transaction,
             self.fixed_overhead * ratio,
         )?;
-        let network = NetworkModel::new(self.geometry()?, self.message_size)?
+        let mut network = NetworkModel::new(self.geometry()?, self.message_size)?
             .with_endpoint_contention(self.endpoint_contention);
+        if let Some(profile) = self.profile {
+            network = network.with_effective_dimension(profile.effective_dimension());
+        }
         Ok(CombinedModel::new(
             NodeModel::new(application, transaction),
             network,

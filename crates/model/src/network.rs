@@ -120,6 +120,75 @@ impl TorusGeometry {
     }
 }
 
+/// The analytical summary of an arbitrary interconnect topology: the
+/// three numbers the combined model needs to predict gain on it.
+///
+/// A simulator topology reduces to this profile (node count, exhaustive
+/// mean pairwise distance, directed channels per compute node); the model
+/// stays free of any dependency on the simulation crates. The paper's
+/// torus is the special case `channels_per_node = 2n`,
+/// `random_distance =` Eq. 17 — feeding that profile in reproduces the
+/// torus equations exactly (`rho = r·B·d/C` with `C = 2n` is Eq. 10).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopologyProfile {
+    /// Compute nodes `N` (processors; switches excluded).
+    pub compute_nodes: f64,
+    /// Mean hop distance over ordered pairs of distinct compute nodes —
+    /// the random-mapping expected distance on this topology.
+    pub random_distance: f64,
+    /// Total directed inter-router channels divided by compute nodes, the
+    /// `C` of the flux-balance utilization `rho = r·B·d/C`.
+    pub channels_per_node: f64,
+}
+
+impl TopologyProfile {
+    /// Validates and builds a profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] if any field is
+    /// non-positive (distance may be zero on a single-node machine) or
+    /// non-finite.
+    pub fn new(compute_nodes: f64, random_distance: f64, channels_per_node: f64) -> Result<Self> {
+        let compute_nodes = ensure_positive("N", compute_nodes)?;
+        let channels_per_node = ensure_positive("C", channels_per_node)?;
+        if !random_distance.is_finite() || random_distance < 0.0 {
+            return Err(ModelError::InvalidParameter {
+                name: "d",
+                value: random_distance,
+                reason: "random distance must be finite and non-negative",
+            });
+        }
+        Ok(Self {
+            compute_nodes,
+            random_distance,
+            channels_per_node,
+        })
+    }
+
+    /// The profile of the paper's k-ary n-cube torus: `C = 2n`, Eq. 17
+    /// distance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry validation failures.
+    pub fn torus(dimension: u32, radix: f64) -> Result<Self> {
+        let g = TorusGeometry::new(dimension, radix)?;
+        Self::new(
+            g.nodes(),
+            g.random_traffic_distance(),
+            2.0 * f64::from(dimension),
+        )
+    }
+
+    /// The effective network dimension `n_eff = C / 2`: the number of
+    /// dimension-equivalents of channel bandwidth each node contributes.
+    /// On a torus this is exactly `n`.
+    pub fn effective_dimension(&self) -> f64 {
+        self.channels_per_node / 2.0
+    }
+}
+
 /// How the model accounts for contention on the channels connecting each
 /// processing node to its network switch (Section 2.4's second extension).
 ///
@@ -164,6 +233,10 @@ pub struct NetworkModel {
     message_size: f64,
     contention_size: Option<f64>,
     endpoint_contention: EndpointContention,
+    /// Effective dimension `n_eff` used by the flux-balance utilization
+    /// and contention terms; the geometry's `n` unless overridden by a
+    /// [`TopologyProfile`].
+    effective_dimension: f64,
 }
 
 impl NetworkModel {
@@ -182,7 +255,36 @@ impl NetworkModel {
             message_size,
             contention_size: None,
             endpoint_contention: EndpointContention::default(),
+            effective_dimension: f64::from(geometry.dimension()),
         })
+    }
+
+    /// Overrides the effective dimension with `n_eff = C / 2` from a
+    /// non-torus topology profile, generalizing Eq. 10 to the
+    /// flux-balance form `rho = r·B·d/C`. On a torus profile (`C = 2n`)
+    /// this is the identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_eff` is not strictly positive and finite.
+    pub fn with_effective_dimension(mut self, n_eff: f64) -> Self {
+        assert!(
+            n_eff.is_finite() && n_eff > 0.0,
+            "effective dimension must be positive"
+        );
+        self.effective_dimension = n_eff;
+        self
+    }
+
+    /// The effective dimension `n_eff` in use.
+    pub fn effective_dimension(&self) -> f64 {
+        self.effective_dimension
+    }
+
+    /// Per-effective-dimension distance `k_d = d / n_eff` — Eq. 13 on the
+    /// torus, its flux-balance generalization elsewhere.
+    pub fn per_dimension_distance(&self, distance: f64) -> f64 {
+        distance / self.effective_dimension
     }
 
     /// Sets the *effective service size* used in the contention terms.
@@ -237,7 +339,7 @@ impl NetworkModel {
     /// `r_m` is the per-node message injection rate and `distance` the
     /// average communication distance in hops.
     pub fn channel_utilization(&self, injection_rate: f64, distance: f64) -> f64 {
-        let k_d = self.geometry.per_dimension_distance(distance);
+        let k_d = self.per_dimension_distance(distance);
         injection_rate * self.message_size * k_d / 2.0
     }
 
@@ -247,7 +349,7 @@ impl NetworkModel {
     /// Returns infinity when `k_d` is zero (purely local traffic never
     /// saturates mesh channels).
     pub fn saturation_rate(&self, distance: f64) -> f64 {
-        let k_d = self.geometry.per_dimension_distance(distance);
+        let k_d = self.per_dimension_distance(distance);
         if k_d <= 0.0 {
             f64::INFINITY
         } else {
@@ -272,7 +374,7 @@ impl NetworkModel {
             return Err(ModelError::Saturated { utilization });
         }
         let rho = utilization.max(0.0);
-        let n = f64::from(self.geometry.dimension());
+        let n = self.effective_dimension;
         let contention = (rho / (1.0 - rho))
             * self.contention_size()
             * ((k_d - 1.0) / (k_d * k_d))
@@ -289,7 +391,7 @@ impl NetworkModel {
     /// Returns [`ModelError::Saturated`] if the implied channel utilization
     /// (network or endpoint) is at or beyond 1.
     pub fn message_latency(&self, injection_rate: f64, distance: f64) -> Result<f64> {
-        let k_d = self.geometry.per_dimension_distance(distance);
+        let k_d = self.per_dimension_distance(distance);
         let rho = self.channel_utilization(injection_rate, distance);
         let t_h = self.per_hop_latency(rho, k_d)?;
         let base = distance * t_h + self.message_size;
@@ -324,7 +426,7 @@ impl NetworkModel {
     /// one cycle: applications insensitive enough never to saturate the
     /// network (`B * s / (2n) < 1`) simply see `T_h = 1`.
     pub fn limiting_per_hop_latency(&self, latency_sensitivity: f64) -> f64 {
-        let n = f64::from(self.geometry.dimension());
+        let n = self.effective_dimension;
         (self.message_size * latency_sensitivity / (2.0 * n)).max(1.0)
     }
 }

@@ -52,9 +52,9 @@ use crate::active::ActiveSet;
 use crate::fault::{FaultLog, FaultPlan};
 use crate::message::{Delivery, Flit, FlitKind, Message, MessageId};
 use crate::router::{InputRef, OutputRef, INFINITE_CREDITS};
-use crate::routing::{route_step, RouteStep, VcIndex, DATELINE_VCS};
+use crate::routing::{VcIndex, DATELINE_VCS};
 use crate::stats::{FabricStats, LatencyBreakdown};
-use crate::topology::{Direction, NodeId, Torus};
+use crate::topology::{Direction, NodeId, PortStep, Topology, Torus};
 use crate::trace::{TraceBuffer, TraceEvent};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -191,7 +191,7 @@ struct NetworkInterface {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Fabric<P> {
-    torus: Torus,
+    topology: Topology,
     config: FabricConfig,
     /// Global id of the first node this fabric owns (`0` for a
     /// whole-torus fabric). A shard fabric owns the contiguous global
@@ -250,8 +250,20 @@ pub struct Fabric<P> {
     input_vc_list: Vec<(usize, usize)>,
     /// Downstream **global** node of each output link, indexed
     /// `node * link_ports + port` — precomputed so the hot path never
-    /// re-derives torus coordinates.
+    /// re-derives topology coordinates. [`NO_LINK`] marks absent ports
+    /// (mesh edges, fat-tree leaf child ports, the root's parent port).
     neighbors: Vec<u32>,
+    /// Input-port index at the downstream node of each output link,
+    /// indexed like `neighbors` ([`NO_LINK_PORT`] where absent). On a
+    /// torus this always equals the output port — the historical
+    /// convention the tables preserve bit-exactly.
+    link_in_ports: Vec<u16>,
+    /// Upstream **global** node feeding each input port, indexed
+    /// `node * link_ports + in_port` ([`NO_LINK`] where absent).
+    upstream: Vec<u32>,
+    /// Output-port index this input link occupies at its upstream node,
+    /// indexed like `upstream` — where freed-buffer credits must land.
+    upstream_ports: Vec<u16>,
     /// Flits buffered in each router's input VCs, maintained
     /// incrementally on every push/pop.
     occupancy: Vec<u32>,
@@ -310,15 +322,17 @@ pub struct Fabric<P> {
 }
 
 impl<P> Fabric<P> {
-    /// Builds a fabric over the given torus.
+    /// Builds a fabric over the given topology (a bare [`Torus`] converts
+    /// into [`Topology::Cube`]).
     ///
     /// # Panics
     ///
     /// Panics if the configuration requests fewer than
     /// [`DATELINE_VCS`] virtual channels or zero-capacity buffers.
-    pub fn new(torus: Torus, config: FabricConfig) -> Self {
-        let nodes = torus.nodes();
-        Self::new_shard(torus, config, 0, nodes)
+    pub fn new(topology: impl Into<Topology>, config: FabricConfig) -> Self {
+        let topology = topology.into();
+        let nodes = topology.nodes();
+        Self::new_shard(topology, config, 0, nodes)
     }
 
     /// Builds a fabric owning only the contiguous global node range
@@ -333,7 +347,13 @@ impl<P> Fabric<P> {
     ///
     /// Panics on a bad VC/buffer configuration (see [`Fabric::new`]) or
     /// an empty/out-of-range node range.
-    pub fn new_shard(torus: Torus, config: FabricConfig, base: usize, owned: usize) -> Self {
+    pub fn new_shard(
+        topology: impl Into<Topology>,
+        config: FabricConfig,
+        base: usize,
+        owned: usize,
+    ) -> Self {
+        let topology = topology.into();
         assert!(
             config.link_vcs >= DATELINE_VCS,
             "tori require at least {DATELINE_VCS} virtual channels for deadlock freedom"
@@ -349,10 +369,10 @@ impl<P> Fabric<P> {
         );
         assert!(owned > 0, "a shard must own at least one node");
         assert!(
-            base + owned <= torus.nodes(),
-            "shard range exceeds the torus"
+            base + owned <= topology.nodes(),
+            "shard range exceeds the topology"
         );
-        let link_ports = 2 * torus.dims() as usize;
+        let link_ports = topology.ports();
         let vc_stride = link_ports * config.link_vcs + 1;
         let mut out_credits = Vec::with_capacity(owned * vc_stride);
         for _ in 0..owned {
@@ -369,15 +389,37 @@ impl<P> Fabric<P> {
         }
         input_vc_list.push((link_ports, 0)); // injection input
         let mut neighbors = Vec::with_capacity(owned * link_ports);
+        let mut link_in_ports = Vec::with_capacity(owned * link_ports);
+        let mut upstream = Vec::with_capacity(owned * link_ports);
+        let mut upstream_ports = Vec::with_capacity(owned * link_ports);
         for node in base..base + owned {
             for port in 0..link_ports {
-                let (dim, dir) = port_to_link(port);
-                neighbors.push(torus.neighbor(NodeId(node), dim, dir).0 as u32);
+                match topology.link_dest(NodeId(node), port) {
+                    Some(down) => {
+                        neighbors.push(down.0 as u32);
+                        link_in_ports
+                            .push(topology.link_in_port(NodeId(node), port).unwrap() as u16);
+                    }
+                    None => {
+                        neighbors.push(NO_LINK);
+                        link_in_ports.push(NO_LINK_PORT);
+                    }
+                }
+                match topology.upstream(NodeId(node), port) {
+                    Some((up, up_port)) => {
+                        upstream.push(up.0 as u32);
+                        upstream_ports.push(up_port as u16);
+                    }
+                    None => {
+                        upstream.push(NO_LINK);
+                        upstream_ports.push(NO_LINK_PORT);
+                    }
+                }
             }
         }
         let stats = FabricStats::new(owned, link_ports);
         Self {
-            torus,
+            topology,
             config,
             base,
             owned,
@@ -401,6 +443,9 @@ impl<P> Fabric<P> {
             delivery_events: ActiveSet::new(owned),
             input_vc_list,
             neighbors,
+            link_in_ports,
+            upstream,
+            upstream_ports,
             occupancy: vec![0; owned],
             active_routers: ActiveSet::new(owned),
             active_nis: ActiveSet::new(owned),
@@ -426,8 +471,12 @@ impl<P> Fabric<P> {
     /// Builds a fabric with an attached fault-injection plan. The plan's
     /// faults apply as the fabric steps; its log is available through
     /// [`Fabric::fault_log`].
-    pub fn with_fault_plan(torus: Torus, config: FabricConfig, plan: FaultPlan) -> Self {
-        let mut fabric = Self::new(torus, config);
+    pub fn with_fault_plan(
+        topology: impl Into<Topology>,
+        config: FabricConfig,
+        plan: FaultPlan,
+    ) -> Self {
+        let mut fabric = Self::new(topology, config);
         fabric.fault = Some(plan);
         fabric
     }
@@ -437,13 +486,13 @@ impl<P> Fabric<P> {
     /// ([`FaultPlan::restrict`]); the stateless per-site rolls then
     /// replay exactly as in the monolithic fabric.
     pub fn with_fault_plan_shard(
-        torus: Torus,
+        topology: impl Into<Topology>,
         config: FabricConfig,
         base: usize,
         owned: usize,
         plan: FaultPlan,
     ) -> Self {
-        let mut fabric = Self::new_shard(torus, config, base, owned);
+        let mut fabric = Self::new_shard(topology, config, base, owned);
         fabric.fault = Some(plan);
         fabric
     }
@@ -469,9 +518,19 @@ impl<P> Fabric<P> {
         self.fault.as_ref().map(FaultPlan::log)
     }
 
-    /// The underlying torus.
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The underlying torus (cube topologies only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fabric was built over a non-cube topology; callers
+    /// needing cube geometry must gate on [`Topology::family`].
     pub fn torus(&self) -> &Torus {
-        &self.torus
+        self.topology.as_torus()
     }
 
     /// The buffering configuration.
@@ -540,9 +599,14 @@ impl<P> Fabric<P> {
     /// Panics if a node is out of range or the source is not owned by
     /// this fabric.
     pub fn inject_with_id(&mut self, id: MessageId, message: Message<P>) {
-        assert!(message.src.0 < self.torus.nodes(), "source out of range");
+        // Traffic terminates only at compute nodes: switch-only nodes
+        // (fat-tree internal levels) can relay but never source or sink.
         assert!(
-            message.dst.0 < self.torus.nodes(),
+            message.src.0 < self.topology.compute_nodes(),
+            "source out of range"
+        );
+        assert!(
+            message.dst.0 < self.topology.compute_nodes(),
             "destination out of range"
         );
         assert!(
@@ -755,12 +819,12 @@ impl<P> Fabric<P> {
     }
 
     fn link_ports(&self) -> usize {
-        2 * self.torus.dims() as usize
+        self.topology.ports()
     }
 
     /// Index of the injection input / ejection output port.
     fn local_port(&self) -> usize {
-        2 * self.torus.dims() as usize
+        self.topology.ports()
     }
 
     /// Virtual channels per node in the flattened VC arrays.
@@ -802,7 +866,6 @@ impl<P> Fabric<P> {
     /// Phase 1: flits in transit arrive in downstream input buffers.
     /// Visits only the links and injection channels that carry a flit.
     fn deliver_links(&mut self) {
-        let link_ports = self.link_ports();
         let local = self.local_port();
         mem::swap(&mut self.link_occupied, &mut self.link_scratch);
         for i in 0..self.link_scratch.len() {
@@ -814,7 +877,7 @@ impl<P> Fabric<P> {
             // node of a locally occupied link is always owned.
             let down = self.neighbors[li] as usize;
             let node = down - self.base;
-            let port = li % link_ports;
+            let port = self.link_in_ports[li] as usize;
             let idx = self.vc_idx(node, port, vc);
             debug_assert!(
                 self.in_fifo[idx].len() < self.config.vc_buffer_capacity,
@@ -888,13 +951,10 @@ impl<P> Fabric<P> {
                         cycle: self.cycle,
                     })?;
                 let (src, dst) = (pending.message.src, pending.message.dst);
-                let step = route_step(&self.torus, src, dst, global);
+                let step = self.topology.route_hop(src, dst, global);
                 let output = match step {
-                    RouteStep::Eject => OutputRef { port: local, vc: 0 },
-                    RouteStep::Forward { dim, direction, vc } => OutputRef {
-                        port: link_to_port(dim, direction),
-                        vc,
-                    },
+                    PortStep::Eject => OutputRef { port: local, vc: 0 },
+                    PortStep::Forward { port, vc } => OutputRef { port, vc },
                 };
                 self.in_route[idx] = Some(output);
                 self.in_routed_at[idx] = self.cycle;
@@ -1083,13 +1143,18 @@ impl<P> Fabric<P> {
         if input.port == local {
             self.credit_scratch.push(CreditReturn::Injection { node });
         } else {
-            // The upstream router for input port `p` sits behind the
-            // opposite-direction port `p ^ 1` (Plus=0 / Minus=1 pairing).
-            let upstream = self.neighbors[node * self.link_ports() + (input.port ^ 1)] as usize;
+            // The upstream router feeding input port `p`, and the output
+            // port this link occupies there, come from the precomputed
+            // upstream tables (on a torus: the neighbor behind the
+            // opposite-direction port `p ^ 1`, at its own port `p`).
+            let ui = node * self.link_ports() + input.port;
+            let upstream = self.upstream[ui] as usize;
+            let up_port = self.upstream_ports[ui] as usize;
+            debug_assert_ne!(self.upstream[ui], NO_LINK, "flit arrived on absent link");
             if self.in_shard(upstream) {
                 self.credit_scratch.push(CreditReturn::Link {
                     node: upstream - self.base,
-                    port: input.port,
+                    port: up_port,
                     vc: input.vc,
                 });
             } else {
@@ -1101,7 +1166,7 @@ impl<P> Fabric<P> {
                 self.boundary_out
                     .push(BoundaryItem(BoundaryPayload::Credit {
                         node: upstream as u32,
-                        port: input.port as u16,
+                        port: up_port as u16,
                         vc: input.vc as u16,
                     }));
             }
@@ -1204,7 +1269,7 @@ impl<P> Fabric<P> {
                 }
                 self.boundary_out.push(BoundaryItem(BoundaryPayload::Flit {
                     down: down as u32,
-                    port: output as u16,
+                    port: self.link_in_ports[li],
                     vc: out_vc as u16,
                     flit,
                     transfer,
@@ -1235,7 +1300,7 @@ impl<P> Fabric<P> {
         if flit.kind.is_head() {
             pending.head_delivered_at = cycle;
             pending.hops =
-                self.torus
+                self.topology
                     .distance(pending.message.src, pending.message.dst) as u32;
         }
         if flit.kind.is_tail() {
@@ -1592,8 +1657,14 @@ enum CreditReturn {
     },
 }
 
-/// Maps a link port index to its (dimension, direction).
-fn port_to_link(port: usize) -> (u32, Direction) {
+/// Sentinel in the `neighbors`/`upstream` tables for an absent link.
+const NO_LINK: u32 = u32::MAX;
+
+/// Sentinel in the port tables for an absent link.
+const NO_LINK_PORT: u16 = u16::MAX;
+
+/// Maps a torus/mesh link port index to its (dimension, direction).
+pub(crate) fn port_to_link(port: usize) -> (u32, Direction) {
     let dim = (port / 2) as u32;
     let dir = if port.is_multiple_of(2) {
         Direction::Plus
@@ -1603,8 +1674,8 @@ fn port_to_link(port: usize) -> (u32, Direction) {
     (dim, dir)
 }
 
-/// Maps a (dimension, direction) to its link port index.
-fn link_to_port(dim: u32, direction: Direction) -> usize {
+/// Maps a (dimension, direction) to its torus/mesh link port index.
+pub(crate) fn link_to_port(dim: u32, direction: Direction) -> usize {
     dim as usize * 2 + direction.index()
 }
 

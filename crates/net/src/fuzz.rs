@@ -36,7 +36,7 @@ use crate::fault::FaultPlan;
 use crate::message::Message;
 use crate::reference::ReferenceFabric;
 use crate::rng::DetRng;
-use crate::topology::{Direction, NodeId, Torus};
+use crate::topology::{Direction, NodeId, Topology};
 use crate::{Fabric, FabricConfig};
 use std::fmt;
 
@@ -97,16 +97,40 @@ impl FaultSpec {
     }
 }
 
+/// Destination pattern of the fuzz workload stream, drawn alongside the
+/// topology so lockstep coverage spans the full scenario space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FuzzTraffic {
+    /// Uniformly random destinations (self-sends exercise loopback).
+    Uniform,
+    /// A `fraction` of traffic aims at one compute node.
+    Hotspot {
+        /// The congested compute node.
+        target: usize,
+        /// Fraction of messages aimed at it.
+        fraction: f64,
+    },
+    /// Matrix-transpose permutation (index reversal off square counts).
+    Transpose,
+    /// Two-state MMPP burst gating in front of uniform destinations.
+    Bursty {
+        /// Per-cycle ON -> OFF probability.
+        on_off: f64,
+        /// Per-cycle OFF -> ON probability.
+        off_on: f64,
+    },
+}
+
 /// One randomly drawn differential-test case. All fields are public and
 /// plain data so failing cases can be shrunk and replayed literally.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FuzzScenario {
     /// Seed for the workload and fault streams.
     pub seed: u64,
-    /// Torus dimensionality (1–3).
-    pub dims: u32,
-    /// Per-dimension radix.
-    pub radix: usize,
+    /// The interconnect under test (cube, mesh, fat tree, or dragonfly).
+    pub topology: Topology,
+    /// Destination pattern of the workload stream.
+    pub traffic: FuzzTraffic,
     /// Virtual channels per link (even, ≥ 2).
     pub link_vcs: usize,
     /// Flit capacity of each VC buffer.
@@ -134,14 +158,41 @@ impl FuzzScenario {
     /// bug report.
     pub fn from_seed(seed: u64) -> Self {
         let mut rng = DetRng::new(seed ^ SCENARIO_SALT);
-        let dims = 1 + rng.index(3) as u32;
-        // Skinny high-radix rings in 1-D, small squares/cubes otherwise,
-        // keeping the node count low enough that the (intentionally slow)
-        // reference engine stays fast.
-        let radix = match dims {
-            1 => 3 + rng.index(14), // rings of 3..=16 nodes
-            2 => 2 + rng.index(5),  // 4..=36 nodes
-            _ => 2 + rng.index(2),  // 8 or 27 nodes
+        // Half the seeds stay on the paper's torus (the production
+        // geometry); the rest split across the alternative topologies.
+        // Shapes are kept small so the (intentionally slow) reference
+        // engine stays fast.
+        let topology = match rng.index(8) {
+            0..=3 => {
+                let dims = 1 + rng.index(3) as u32;
+                let radix = match dims {
+                    1 => 3 + rng.index(14), // rings of 3..=16 nodes
+                    2 => 2 + rng.index(5),  // 4..=36 nodes
+                    _ => 2 + rng.index(2),  // 8 or 27 nodes
+                };
+                Topology::cube(dims, radix)
+            }
+            4 | 5 => Topology::mesh(2 + rng.index(5), 2 + rng.index(5)),
+            6 => Topology::fat_tree(2 + rng.index(2), 2 + rng.index(2) as u32),
+            _ => Topology::dragonfly(2 + rng.index(2), 1 + rng.index(2)),
+        };
+        let compute = topology.compute_nodes();
+        let traffic = match rng.index(4) {
+            0 | 1 => FuzzTraffic::Uniform,
+            2 => FuzzTraffic::Hotspot {
+                target: rng.index(compute),
+                fraction: rng.range_f64(0.2, 0.9),
+            },
+            _ => {
+                if rng.chance(0.5) {
+                    FuzzTraffic::Transpose
+                } else {
+                    FuzzTraffic::Bursty {
+                        on_off: rng.range_f64(0.01, 0.2),
+                        off_on: rng.range_f64(0.01, 0.2),
+                    }
+                }
+            }
         };
         let link_vcs = if rng.chance(0.5) { 2 } else { 4 };
         let caps = [1usize, 2, 4, 8, 16];
@@ -152,7 +203,11 @@ impl FuzzScenario {
         let min_length = 1 + rng.index(4) as u32;
         let max_length = min_length + rng.index(12) as u32;
         let cycles = rng.range_u64(200, 1_200);
-        let nodes = radix.pow(dims);
+        let nodes = topology.nodes();
+        let cube_dims = match &topology {
+            Topology::Cube(t) => Some(t.dims()),
+            _ => None,
+        };
         let fault = if rng.chance(0.5) {
             let mut spec = FaultSpec {
                 drop_rate: if rng.chance(0.6) {
@@ -175,30 +230,36 @@ impl FuzzScenario {
                 link_stalls: Vec::new(),
                 router_stalls: Vec::new(),
             };
-            if rng.chance(0.25) {
-                spec.kills.push((
-                    rng.range_u64(1, cycles),
-                    rng.index(nodes),
-                    rng.index(dims as usize) as u32,
-                    if rng.chance(0.5) {
-                        Direction::Plus
-                    } else {
-                        Direction::Minus
-                    },
-                ));
-            }
-            if rng.chance(0.25) {
-                spec.link_stalls.push((
-                    rng.range_u64(1, cycles),
-                    rng.index(nodes),
-                    rng.index(dims as usize) as u32,
-                    if rng.chance(0.5) {
-                        Direction::Plus
-                    } else {
-                        Direction::Minus
-                    },
-                    rng.range_u64(20, 200),
-                ));
+            // Scheduled link faults address links as (dim, direction)
+            // pairs, which only exist on the torus; the probabilistic
+            // drop/corrupt/stall faults above are port-generic and cover
+            // every topology.
+            if let Some(dims) = cube_dims {
+                if rng.chance(0.25) {
+                    spec.kills.push((
+                        rng.range_u64(1, cycles),
+                        rng.index(nodes),
+                        rng.index(dims as usize) as u32,
+                        if rng.chance(0.5) {
+                            Direction::Plus
+                        } else {
+                            Direction::Minus
+                        },
+                    ));
+                }
+                if rng.chance(0.25) {
+                    spec.link_stalls.push((
+                        rng.range_u64(1, cycles),
+                        rng.index(nodes),
+                        rng.index(dims as usize) as u32,
+                        if rng.chance(0.5) {
+                            Direction::Plus
+                        } else {
+                            Direction::Minus
+                        },
+                        rng.range_u64(20, 200),
+                    ));
+                }
             }
             if rng.chance(0.25) {
                 spec.router_stalls.push((
@@ -217,8 +278,8 @@ impl FuzzScenario {
         };
         Self {
             seed,
-            dims,
-            radix,
+            topology,
+            traffic,
             link_vcs,
             vc_buffer_capacity,
             injection_buffer_capacity,
@@ -243,9 +304,10 @@ impl FuzzScenario {
         }
     }
 
-    /// Number of nodes in the scenario's torus.
+    /// Number of compute nodes in the scenario's topology — the sources
+    /// and destinations of the workload stream.
     pub fn nodes(&self) -> usize {
-        self.radix.pow(self.dims)
+        self.topology.compute_nodes()
     }
 }
 
@@ -336,23 +398,23 @@ pub fn run_scenario_mutated(
     scenario: &FuzzScenario,
     mutation: Option<FuzzMutation>,
 ) -> Result<FuzzReport, Divergence> {
-    let torus = Torus::new(scenario.dims, scenario.radix);
-    let nodes = torus.nodes();
+    let topology = scenario.topology.clone();
+    let nodes = topology.compute_nodes();
     let mut opt: Fabric<u64> = match &scenario.fault {
         Some(spec) => Fabric::with_fault_plan(
-            torus.clone(),
+            topology.clone(),
             scenario.config(true),
             spec.build(scenario.seed),
         ),
-        None => Fabric::new(torus.clone(), scenario.config(true)),
+        None => Fabric::new(topology.clone(), scenario.config(true)),
     };
     let mut reference: ReferenceFabric<u64> = match &scenario.fault {
         Some(spec) => ReferenceFabric::with_fault_plan(
-            torus.clone(),
+            topology,
             scenario.config(false),
             spec.build(scenario.seed),
         ),
-        None => ReferenceFabric::new(torus, scenario.config(false)),
+        None => ReferenceFabric::new(topology, scenario.config(false)),
     };
 
     // Two mirrored workload streams (same seed) keep the injection
@@ -513,6 +575,8 @@ struct WorkloadStream {
     rate: f64,
     min_length: u32,
     max_length: u32,
+    traffic: FuzzTraffic,
+    burst_on: Vec<bool>,
 }
 
 impl WorkloadStream {
@@ -523,14 +587,28 @@ impl WorkloadStream {
             rate: scenario.rate,
             min_length: scenario.min_length,
             max_length: scenario.max_length,
+            traffic: scenario.traffic,
+            burst_on: vec![false; scenario.nodes()],
         }
     }
 
     fn pulse(&mut self) -> Vec<Message<u64>> {
         let mut out = Vec::new();
         for src in 0..self.nodes {
+            if let FuzzTraffic::Bursty { on_off, off_on } = self.traffic {
+                let on = self.burst_on[src];
+                let next = if on {
+                    !self.rng.chance(on_off)
+                } else {
+                    self.rng.chance(off_on)
+                };
+                self.burst_on[src] = next;
+                if !next {
+                    continue;
+                }
+            }
             if self.rng.chance(self.rate) {
-                let dst = self.rng.index(self.nodes);
+                let dst = self.destination(src);
                 let length = self
                     .rng
                     .range_u64(u64::from(self.min_length), u64::from(self.max_length) + 1)
@@ -540,6 +618,27 @@ impl WorkloadStream {
             }
         }
         out
+    }
+
+    fn destination(&mut self, src: usize) -> usize {
+        match self.traffic {
+            FuzzTraffic::Uniform | FuzzTraffic::Bursty { .. } => self.rng.index(self.nodes),
+            FuzzTraffic::Hotspot { target, fraction } => {
+                if self.rng.chance(fraction) {
+                    target
+                } else {
+                    self.rng.index(self.nodes)
+                }
+            }
+            FuzzTraffic::Transpose => {
+                let k = (self.nodes as f64).sqrt() as usize;
+                if k * k == self.nodes {
+                    (src % k) * k + src / k
+                } else {
+                    self.nodes - 1 - src
+                }
+            }
+        }
     }
 }
 
@@ -576,16 +675,16 @@ impl ShrinkOutcome {
             ),
         };
         format!(
-            "#[test]\nfn fuzz_repro_seed_{seed}() {{\n    use commloc_net::fuzz::{{run_scenario, FaultSpec, FuzzScenario}};\n    \
-             use commloc_net::Direction;\n    let _ = &Direction::Plus; // used by fault literals\n    \
-             let scenario = FuzzScenario {{\n        seed: {seed},\n        dims: {dims},\n        radix: {radix},\n        \
+            "#[test]\nfn fuzz_repro_seed_{seed}() {{\n    use commloc_net::fuzz::{{run_scenario, FaultSpec, FuzzScenario, FuzzTraffic}};\n    \
+             use commloc_net::{{Direction, Topology}};\n    let _ = &Direction::Plus; // used by fault literals\n    \
+             let scenario = FuzzScenario {{\n        seed: {seed},\n        topology: {topo},\n        traffic: {traffic},\n        \
              link_vcs: {vcs},\n        vc_buffer_capacity: {vcap},\n        injection_buffer_capacity: {icap},\n        \
              trace_capacity: {tcap},\n        rate: {rate:?},\n        min_length: {minl},\n        max_length: {maxl},\n        \
              cycles: {cycles},\n        fault: {fault},\n    }};\n    \
              run_scenario(&scenario).expect(\"Fabric and ReferenceFabric must agree\");\n}}\n",
             seed = s.seed,
-            dims = s.dims,
-            radix = s.radix,
+            topo = topology_expr(&s.topology),
+            traffic = traffic_expr(&s.traffic),
             vcs = s.link_vcs,
             vcap = s.vc_buffer_capacity,
             icap = s.injection_buffer_capacity,
@@ -596,6 +695,38 @@ impl ShrinkOutcome {
             cycles = s.cycles,
             fault = fault,
         )
+    }
+}
+
+/// Renders a topology as the constructor expression that recreates it,
+/// for ready-to-paste repro tests.
+fn topology_expr(t: &Topology) -> String {
+    match t {
+        Topology::Cube(c) => format!("Topology::cube({}, {})", c.dims(), c.radix()),
+        Topology::Mesh(m) => {
+            let (x, y) = m.shape();
+            format!("Topology::mesh({x}, {y})")
+        }
+        Topology::FatTree(f) => format!("Topology::fat_tree({}, {})", f.arity(), f.levels()),
+        Topology::Dragonfly(d) => format!(
+            "Topology::dragonfly({}, {})",
+            d.routers_per_group(),
+            d.globals_per_router()
+        ),
+    }
+}
+
+/// Renders a traffic pattern as a literal expression.
+fn traffic_expr(t: &FuzzTraffic) -> String {
+    match t {
+        FuzzTraffic::Uniform => "FuzzTraffic::Uniform".to_owned(),
+        FuzzTraffic::Hotspot { target, fraction } => {
+            format!("FuzzTraffic::Hotspot {{ target: {target}, fraction: {fraction:?} }}")
+        }
+        FuzzTraffic::Transpose => "FuzzTraffic::Transpose".to_owned(),
+        FuzzTraffic::Bursty { on_off, off_on } => {
+            format!("FuzzTraffic::Bursty {{ on_off: {on_off:?}, off_on: {off_on:?} }}")
+        }
     }
 }
 
@@ -663,6 +794,54 @@ pub fn shrink_with<S: Clone, D>(
     Some((best, divergence, attempts))
 }
 
+/// Family-preserving single-step shrinks of a topology (a smaller shape
+/// of the same kind; cross-family jumps rarely reproduce a failure).
+fn shrink_topology(t: &Topology) -> Vec<Topology> {
+    let mut out = Vec::new();
+    match t {
+        Topology::Cube(torus) => {
+            if torus.dims() > 1 {
+                out.push(Topology::cube(torus.dims() - 1, torus.radix()));
+            }
+            if torus.radix() > 2 {
+                out.push(Topology::cube(torus.dims(), torus.radix() - 1));
+            }
+        }
+        Topology::Mesh(m) => {
+            let (x, y) = m.shape();
+            if x > 2 {
+                out.push(Topology::mesh(x - 1, y));
+            }
+            if y > 2 {
+                out.push(Topology::mesh(x, y - 1));
+            }
+        }
+        Topology::FatTree(f) => {
+            if f.levels() > 1 {
+                out.push(Topology::fat_tree(f.arity(), f.levels() - 1));
+            }
+            if f.arity() > 2 {
+                out.push(Topology::fat_tree(f.arity() - 1, f.levels()));
+            }
+        }
+        Topology::Dragonfly(d) => {
+            if d.globals_per_router() > 1 {
+                out.push(Topology::dragonfly(
+                    d.routers_per_group(),
+                    d.globals_per_router() - 1,
+                ));
+            }
+            if d.routers_per_group() > 2 {
+                out.push(Topology::dragonfly(
+                    d.routers_per_group() - 1,
+                    d.globals_per_router(),
+                ));
+            }
+        }
+    }
+    out
+}
+
 /// Candidate single-step reductions of a scenario, most aggressive first.
 fn reductions(s: &FuzzScenario) -> Vec<FuzzScenario> {
     let mut out = Vec::new();
@@ -681,14 +860,21 @@ fn reductions(s: &FuzzScenario) -> Vec<FuzzScenario> {
         c.rate = (s.rate * 0.5).max(0.002);
         out.push(c);
     }
-    if s.dims > 1 {
+    if s.traffic != FuzzTraffic::Uniform {
         let mut c = s.clone();
-        c.dims = s.dims - 1;
+        c.traffic = FuzzTraffic::Uniform;
         out.push(c);
     }
-    if s.radix > 2 {
+    for smaller in shrink_topology(&s.topology) {
         let mut c = s.clone();
-        c.radix = s.radix - 1;
+        // Clamp workload fields that index into the node space.
+        if let FuzzTraffic::Hotspot { target, fraction } = c.traffic {
+            c.traffic = FuzzTraffic::Hotspot {
+                target: target.min(smaller.compute_nodes() - 1),
+                fraction,
+            };
+        }
+        c.topology = smaller;
         out.push(c);
     }
     if s.max_length > s.min_length {
@@ -731,11 +917,22 @@ mod tests {
 
     #[test]
     fn scenario_generation_is_deterministic_and_valid() {
+        let mut families = std::collections::BTreeSet::new();
+        let mut traffics = std::collections::BTreeSet::new();
         for seed in 0..200u64 {
             let a = FuzzScenario::from_seed(seed);
             let b = FuzzScenario::from_seed(seed);
             assert_eq!(a, b, "seed {seed} not deterministic");
-            assert!((1..=3).contains(&a.dims), "seed {seed}: dims {}", a.dims);
+            families.insert(a.topology.family());
+            traffics.insert(match a.traffic {
+                FuzzTraffic::Uniform => "uniform",
+                FuzzTraffic::Hotspot { target, .. } => {
+                    assert!(target < a.nodes(), "seed {seed}");
+                    "hotspot"
+                }
+                FuzzTraffic::Transpose => "transpose",
+                FuzzTraffic::Bursty { .. } => "bursty",
+            });
             assert!(a.nodes() >= 2 && a.nodes() <= 64, "seed {seed}");
             assert!(a.link_vcs == 2 || a.link_vcs == 4);
             assert!(a.vc_buffer_capacity >= 1);
@@ -744,8 +941,18 @@ mod tests {
             assert!(a.cycles >= 200 && a.cycles < 1_200);
             if let Some(f) = &a.fault {
                 assert!(!f.is_empty());
+                if !matches!(a.topology, Topology::Cube(_)) {
+                    assert!(
+                        f.kills.is_empty() && f.link_stalls.is_empty(),
+                        "seed {seed}: scheduled (dim, dir) faults on {}",
+                        a.topology.canonical()
+                    );
+                }
             }
         }
+        // 200 seeds must cover the whole topology x traffic grid.
+        assert_eq!(families.len(), 4, "families drawn: {families:?}");
+        assert_eq!(traffics.len(), 4, "traffics drawn: {traffics:?}");
     }
 
     #[test]

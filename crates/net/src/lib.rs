@@ -69,5 +69,5 @@ pub use message::{Delivery, Flit, FlitKind, Message, MessageBreakdown, MessageId
 pub use reference::ReferenceFabric;
 pub use rng::DetRng;
 pub use stats::{FabricStats, Histogram, LatencyBreakdown, HISTOGRAM_BUCKETS};
-pub use topology::{Direction, NodeId, Torus};
+pub use topology::{Direction, Dragonfly, FatTree, Mesh2D, NodeId, PortStep, Topology, Torus};
 pub use trace::{TraceBuffer, TraceEvent};

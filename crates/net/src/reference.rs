@@ -22,9 +22,9 @@
 use crate::fault::{FaultLog, FaultPlan};
 use crate::message::{Delivery, Flit, Message, MessageId};
 use crate::router::{InputRef, OutputRef, Router, INFINITE_CREDITS};
-use crate::routing::{route_step, RouteStep, VcIndex, DATELINE_VCS};
+use crate::routing::{VcIndex, DATELINE_VCS};
 use crate::stats::FabricStats;
-use crate::topology::{Direction, NodeId, Torus};
+use crate::topology::{NodeId, PortStep, Topology, Torus};
 use crate::{FabricConfig, FabricError};
 use std::collections::{HashMap, VecDeque};
 
@@ -54,7 +54,7 @@ struct NetworkInterface {
 /// denominator of the perf harness's speedup metric.
 #[derive(Debug)]
 pub struct ReferenceFabric<P> {
-    torus: Torus,
+    topology: Topology,
     config: FabricConfig,
     routers: Vec<Router>,
     links: Vec<Option<(Flit, VcIndex)>>,
@@ -73,16 +73,17 @@ pub struct ReferenceFabric<P> {
 }
 
 impl<P> ReferenceFabric<P> {
-    /// Builds a reference fabric over the given torus.
-    pub fn new(torus: Torus, config: FabricConfig) -> Self {
+    /// Builds a reference fabric over the given topology.
+    pub fn new(topology: impl Into<Topology>, config: FabricConfig) -> Self {
+        let topology = topology.into();
         assert!(config.link_vcs >= DATELINE_VCS);
         assert!(config.link_vcs.is_multiple_of(DATELINE_VCS));
         assert!(config.vc_buffer_capacity > 0);
         assert!(config.injection_buffer_capacity > 0);
-        let nodes = torus.nodes();
-        let link_ports = 2 * torus.dims() as usize;
+        let nodes = topology.nodes();
+        let link_ports = topology.ports();
         let routers = (0..nodes)
-            .map(|_| Router::new(torus.dims(), config.link_vcs, config.vc_buffer_capacity))
+            .map(|_| Router::new(link_ports, config.link_vcs, config.vc_buffer_capacity))
             .collect();
         let mut input_vc_list = Vec::new();
         for port in 0..link_ports {
@@ -93,7 +94,7 @@ impl<P> ReferenceFabric<P> {
         input_vc_list.push((link_ports, 0));
         let stats = FabricStats::new(nodes, link_ports);
         Self {
-            torus,
+            topology,
             config,
             routers,
             links: vec![None; nodes * link_ports],
@@ -113,8 +114,12 @@ impl<P> ReferenceFabric<P> {
     }
 
     /// Builds a reference fabric with an attached fault-injection plan.
-    pub fn with_fault_plan(torus: Torus, config: FabricConfig, plan: FaultPlan) -> Self {
-        let mut fabric = Self::new(torus, config);
+    pub fn with_fault_plan(
+        topology: impl Into<Topology>,
+        config: FabricConfig,
+        plan: FaultPlan,
+    ) -> Self {
+        let mut fabric = Self::new(topology, config);
         fabric.fault = Some(plan);
         fabric
     }
@@ -124,10 +129,20 @@ impl<P> ReferenceFabric<P> {
         self.fault.as_ref().map(FaultPlan::log)
     }
 
-    /// The underlying torus.
+    /// The underlying topology.
+    #[allow(dead_code)] // for `reference-engine` feature consumers
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The underlying torus (cube topologies only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fabric was built over a non-cube topology.
     #[allow(dead_code)] // for `reference-engine` feature consumers
     pub fn torus(&self) -> &Torus {
-        &self.torus
+        self.topology.as_torus()
     }
 
     /// The current network cycle.
@@ -147,8 +162,8 @@ impl<P> ReferenceFabric<P> {
 
     /// Enqueues a message for injection; see [`crate::Fabric::inject`].
     pub fn inject(&mut self, message: Message<P>) -> MessageId {
-        assert!(message.src.0 < self.torus.nodes());
-        assert!(message.dst.0 < self.torus.nodes());
+        assert!(message.src.0 < self.topology.compute_nodes());
+        assert!(message.dst.0 < self.topology.compute_nodes());
         let id = MessageId(self.next_id);
         self.next_id += 1;
         let src = message.src;
@@ -222,20 +237,20 @@ impl<P> ReferenceFabric<P> {
     }
 
     fn link_ports(&self) -> usize {
-        2 * self.torus.dims() as usize
+        self.topology.ports()
     }
 
     fn local_port(&self) -> usize {
-        Router::local_port(self.torus.dims())
+        self.topology.ports()
     }
 
     fn deliver_links(&mut self) {
         let link_ports = self.link_ports();
-        for node in 0..self.torus.nodes() {
+        for node in 0..self.topology.nodes() {
             for port in 0..link_ports {
                 if let Some((flit, vc)) = self.links[node * link_ports + port].take() {
-                    let (dim, dir) = port_to_link(port);
-                    let down = self.torus.neighbor(NodeId(node), dim, dir);
+                    let down = self.topology.link_dest(NodeId(node), port).unwrap();
+                    let in_port = self.topology.link_in_port(NodeId(node), port).unwrap();
                     if flit.kind.is_head() {
                         if let Some(pending) = self.pending.get_mut(&flit.message.0) {
                             if pending.message.dst == down {
@@ -243,7 +258,7 @@ impl<P> ReferenceFabric<P> {
                             }
                         }
                     }
-                    self.routers[down.0].inputs[port].vcs[vc]
+                    self.routers[down.0].inputs[in_port].vcs[vc]
                         .fifo
                         .push_back(flit);
                 }
@@ -257,7 +272,7 @@ impl<P> ReferenceFabric<P> {
 
     fn compute_routes(&mut self) -> Result<(), FabricError> {
         let local = self.local_port();
-        for node in 0..self.torus.nodes() {
+        for node in 0..self.topology.nodes() {
             for port in 0..self.routers[node].inputs.len() {
                 for vc in 0..self.routers[node].inputs[port].vcs.len() {
                     let buf = &self.routers[node].inputs[port].vcs[vc];
@@ -279,13 +294,10 @@ impl<P> ReferenceFabric<P> {
                                 cycle: self.cycle,
                             })?;
                     let (src, dst) = (pending.message.src, pending.message.dst);
-                    let step = route_step(&self.torus, src, dst, NodeId(node));
+                    let step = self.topology.route_hop(src, dst, NodeId(node));
                     let output = match step {
-                        RouteStep::Eject => OutputRef { port: local, vc: 0 },
-                        RouteStep::Forward { dim, direction, vc } => OutputRef {
-                            port: link_to_port(dim, direction),
-                            vc,
-                        },
+                        PortStep::Eject => OutputRef { port: local, vc: 0 },
+                        PortStep::Forward { port, vc } => OutputRef { port, vc },
                     };
                     self.routers[node].inputs[port].vcs[vc].route = Some(output);
                 }
@@ -296,7 +308,7 @@ impl<P> ReferenceFabric<P> {
 
     fn switch_traversal(&mut self) -> Result<Vec<CreditReturn>, FabricError> {
         let mut credit_returns = Vec::new();
-        let node_count = self.torus.nodes();
+        let node_count = self.topology.nodes();
         let link_ports = self.link_ports();
         let output_count = link_ports + 1;
         for node in 0..node_count {
@@ -407,11 +419,10 @@ impl<P> ReferenceFabric<P> {
         if input.port == local {
             credit_returns.push(CreditReturn::Injection { node });
         } else {
-            let (dim, dir) = port_to_link(input.port);
-            let upstream = self.torus.neighbor(NodeId(node), dim, opposite(dir));
+            let (upstream, up_port) = self.topology.upstream(NodeId(node), input.port).unwrap();
             credit_returns.push(CreditReturn::Link {
                 node: upstream.0,
-                port: input.port,
+                port: up_port,
                 vc: input.vc,
             });
         }
@@ -478,7 +489,7 @@ impl<P> ReferenceFabric<P> {
         if flit.kind.is_head() {
             pending.head_delivered_at = self.cycle;
             pending.hops =
-                self.torus
+                self.topology
                     .distance(pending.message.src, pending.message.dst) as u32;
         }
         if flit.kind.is_tail() {
@@ -521,7 +532,7 @@ impl<P> ReferenceFabric<P> {
     }
 
     fn inject_flits(&mut self) -> Result<(), FabricError> {
-        for node in 0..self.torus.nodes() {
+        for node in 0..self.topology.nodes() {
             if self.inj_links[node].is_some() {
                 continue;
             }
@@ -615,27 +626,6 @@ enum CreditReturn {
         port: usize,
         vc: VcIndex,
     },
-}
-
-fn port_to_link(port: usize) -> (u32, Direction) {
-    let dim = (port / 2) as u32;
-    let dir = if port.is_multiple_of(2) {
-        Direction::Plus
-    } else {
-        Direction::Minus
-    };
-    (dim, dir)
-}
-
-fn link_to_port(dim: u32, direction: Direction) -> usize {
-    dim as usize * 2 + direction.index()
-}
-
-fn opposite(dir: Direction) -> Direction {
-    match dir {
-        Direction::Plus => Direction::Minus,
-        Direction::Minus => Direction::Plus,
-    }
 }
 
 #[cfg(test)]

@@ -103,11 +103,10 @@ pub(crate) struct Router {
 }
 
 impl Router {
-    /// Builds a router for a torus of `dims` dimensions: `2*dims` link
-    /// ports with `link_vcs` virtual channels each, plus one single-VC
-    /// injection input and one single-VC ejection output.
-    pub(crate) fn new(dims: u32, link_vcs: usize, link_credits: usize) -> Self {
-        let link_ports = 2 * dims as usize;
+    /// Builds a router with `link_ports` inter-router ports (a torus has
+    /// `2*dims`) carrying `link_vcs` virtual channels each, plus one
+    /// single-VC injection input and one single-VC ejection output.
+    pub(crate) fn new(link_ports: usize, link_vcs: usize, link_credits: usize) -> Self {
         let mut inputs: Vec<InputPort> =
             (0..link_ports).map(|_| InputPort::new(link_vcs)).collect();
         inputs.push(InputPort::new(1)); // injection input
@@ -116,11 +115,6 @@ impl Router {
             .collect();
         outputs.push(OutputPort::new(1, INFINITE_CREDITS)); // ejection
         Self { inputs, outputs }
-    }
-
-    /// Index of the injection input port / ejection output port.
-    pub(crate) fn local_port(dims: u32) -> usize {
-        2 * dims as usize
     }
 
     /// Total flits currently buffered in this router. The optimized
@@ -142,7 +136,7 @@ mod tests {
 
     #[test]
     fn router_port_layout() {
-        let r = Router::new(2, 2, 8);
+        let r = Router::new(4, 2, 8);
         assert_eq!(r.inputs.len(), 5); // 4 link + 1 injection
         assert_eq!(r.outputs.len(), 5); // 4 link + 1 ejection
         assert_eq!(r.inputs[0].vcs.len(), 2);
@@ -150,12 +144,11 @@ mod tests {
         assert_eq!(r.outputs[4].vcs.len(), 1);
         assert_eq!(r.outputs[4].vcs[0].credits, INFINITE_CREDITS);
         assert_eq!(r.outputs[0].vcs[0].credits, 8);
-        assert_eq!(Router::local_port(2), 4);
     }
 
     #[test]
     fn new_router_is_empty() {
-        let r = Router::new(2, 2, 8);
+        let r = Router::new(4, 2, 8);
         assert_eq!(r.buffered_flits(), 0);
     }
 }

@@ -19,9 +19,31 @@ pub enum TrafficPattern {
     UniformRandom,
     /// Fixed permutation: node `i` always sends to `permutation[i]`.
     Permutation(Vec<NodeId>),
-    /// Nearest neighbor: node `i` sends round-robin to its `2n` torus
-    /// neighbors.
+    /// Nearest neighbor: node `i` sends round-robin to its topology's
+    /// application neighbors (the `2n` torus directions on a cube).
     NearestNeighbor,
+    /// Hotspot: with probability `fraction` the destination is drawn from
+    /// `targets` (round-robin per source); otherwise uniform random.
+    Hotspot {
+        /// The congested destinations.
+        targets: Vec<NodeId>,
+        /// Fraction of traffic aimed at the hotspots, in `[0, 1]`.
+        fraction: f64,
+    },
+    /// Matrix transpose: on a square compute-node count `k*k`, node
+    /// `(r, c)` sends to `(c, r)`; otherwise node `i` pairs with
+    /// `n - 1 - i`. Adversarial for dimension-ordered routing.
+    Transpose,
+    /// Bursty load: a two-state MMPP per node. While ON a node injects at
+    /// the source's configured rate toward uniform-random destinations;
+    /// while OFF it is silent. The long-run injection rate is
+    /// `rate * off_on / (on_off + off_on)`.
+    Bursty {
+        /// Per-cycle probability of leaving a burst (ON -> OFF).
+        on_off: f64,
+        /// Per-cycle probability of starting a burst (OFF -> ON).
+        off_on: f64,
+    },
 }
 
 /// An open-loop Bernoulli traffic source: each node independently starts a
@@ -33,8 +55,11 @@ pub struct BernoulliTraffic {
     message_length: u32,
     /// Simple deterministic PRNG state (xorshift64*), one per node.
     rng_state: Vec<u64>,
-    /// Round-robin neighbor index per node (for nearest-neighbor).
+    /// Round-robin neighbor index per node (for nearest-neighbor and
+    /// hotspot target rotation).
     neighbor_index: Vec<usize>,
+    /// Per-node MMPP burst state (for [`TrafficPattern::Bursty`]).
+    burst_on: Vec<bool>,
 }
 
 impl BernoulliTraffic {
@@ -53,6 +78,22 @@ impl BernoulliTraffic {
     ) -> Self {
         assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
         assert!(message_length > 0, "messages must contain flits");
+        match &pattern {
+            TrafficPattern::Hotspot { targets, fraction } => {
+                assert!(!targets.is_empty(), "hotspot needs at least one target");
+                assert!(
+                    (0.0..=1.0).contains(fraction),
+                    "hotspot fraction must be in [0, 1]"
+                );
+            }
+            TrafficPattern::Bursty { on_off, off_on } => {
+                assert!(
+                    (0.0..=1.0).contains(on_off) && (0.0..=1.0).contains(off_on),
+                    "burst transition probabilities must be in [0, 1]"
+                );
+            }
+            _ => {}
+        }
         Self {
             pattern,
             rate,
@@ -64,15 +105,21 @@ impl BernoulliTraffic {
                 .map(|s| if s == 0 { 1 } else { s })
                 .collect(),
             neighbor_index: vec![0; nodes],
+            burst_on: vec![false; nodes],
         }
     }
 
     /// Injects this cycle's new messages into the fabric. Returns how many
-    /// messages were injected.
+    /// messages were injected. Sources and destinations are always compute
+    /// nodes; fat-tree switch nodes neither send nor receive.
     pub fn pulse<P: Default>(&mut self, fabric: &mut Fabric<P>) -> usize {
-        let nodes = fabric.torus().nodes();
+        let nodes = fabric.topology().compute_nodes();
+        let bursty = matches!(self.pattern, TrafficPattern::Bursty { .. });
         let mut injected = 0;
         for node in 0..nodes {
+            if bursty && !self.roll_burst_state(node) {
+                continue;
+            }
             if self.next_f64(node) >= self.rate {
                 continue;
             }
@@ -87,30 +134,62 @@ impl BernoulliTraffic {
         injected
     }
 
+    /// Advances `node`'s MMPP state machine one cycle; returns whether the
+    /// node is in a burst this cycle.
+    fn roll_burst_state(&mut self, node: usize) -> bool {
+        let TrafficPattern::Bursty { on_off, off_on } = self.pattern else {
+            unreachable!("roll_burst_state outside Bursty");
+        };
+        let roll = self.next_f64(node);
+        let on = self.burst_on[node];
+        let next = if on { roll >= on_off } else { roll < off_on };
+        self.burst_on[node] = next;
+        next
+    }
+
+    fn uniform_destination(&mut self, nodes: usize, node: usize) -> NodeId {
+        loop {
+            let r = self.next_u64(node) as usize % nodes;
+            if r != node {
+                return NodeId(r);
+            }
+        }
+    }
+
     fn pick_destination<P>(&mut self, fabric: &Fabric<P>, node: usize) -> NodeId {
+        let nodes = fabric.topology().compute_nodes();
         match &self.pattern {
-            TrafficPattern::UniformRandom => {
-                let nodes = fabric.torus().nodes();
-                loop {
-                    let r = self.next_u64(node) as usize % nodes;
-                    if r != node {
-                        return NodeId(r);
-                    }
-                }
+            TrafficPattern::UniformRandom | TrafficPattern::Bursty { .. } => {
+                self.uniform_destination(nodes, node)
             }
             TrafficPattern::Permutation(perm) => perm[node],
             TrafficPattern::NearestNeighbor => {
-                let torus = fabric.torus();
-                let dirs = 2 * torus.dims() as usize;
+                let peers = fabric.topology().app_neighbors(node);
                 let i = self.neighbor_index[node];
-                self.neighbor_index[node] = (i + 1) % dirs;
-                let dim = (i / 2) as u32;
-                let dir = if i.is_multiple_of(2) {
-                    crate::topology::Direction::Plus
+                self.neighbor_index[node] = (i + 1) % peers.len();
+                NodeId(peers[i % peers.len()])
+            }
+            TrafficPattern::Hotspot { targets, fraction } => {
+                let fraction = *fraction;
+                let targets = targets.clone();
+                if self.next_f64(node) < fraction {
+                    let i = self.neighbor_index[node];
+                    self.neighbor_index[node] = (i + 1) % targets.len();
+                    let dst = targets[i % targets.len()];
+                    assert!(dst.0 < nodes, "hotspot target {dst} is not a compute node");
+                    dst
                 } else {
-                    crate::topology::Direction::Minus
-                };
-                torus.neighbor(NodeId(node), dim, dir)
+                    self.uniform_destination(nodes, node)
+                }
+            }
+            TrafficPattern::Transpose => {
+                let k = (nodes as f64).sqrt() as usize;
+                if k * k == nodes {
+                    let (r, c) = (node / k, node % k);
+                    NodeId(c * k + r)
+                } else {
+                    NodeId(nodes - 1 - node)
+                }
             }
         }
     }
@@ -188,6 +267,123 @@ mod tests {
         }
         assert!(f.run_until_idle(50_000).unwrap());
         assert_eq!(f.stats().avg_distance(), 1.0);
+    }
+
+    #[test]
+    fn hotspot_concentrates_deliveries() {
+        let mut f = fabric();
+        let pattern = TrafficPattern::Hotspot {
+            targets: vec![NodeId(27)],
+            fraction: 0.8,
+        };
+        let mut traffic = BernoulliTraffic::new(64, pattern, 0.005, 12, 11);
+        for _ in 0..5_000 {
+            traffic.pulse(&mut f);
+            f.step().unwrap();
+        }
+        assert!(f.run_until_idle(100_000).unwrap());
+        let mut hot = 0usize;
+        let mut total = 0usize;
+        for node in 0..64 {
+            let mut here = 0usize;
+            while f.poll_delivery(NodeId(node)).is_some() {
+                here += 1;
+            }
+            total += here;
+            if node == 27 {
+                hot = here;
+            }
+        }
+        assert!(total > 500);
+        // ~80% of traffic aims at node 27 (minus the self-send skip).
+        assert!(
+            hot as f64 / total as f64 > 0.5,
+            "hotspot received {hot}/{total}"
+        );
+    }
+
+    #[test]
+    fn transpose_is_a_fixed_permutation() {
+        let mut f = fabric();
+        let mut traffic = BernoulliTraffic::new(64, TrafficPattern::Transpose, 0.01, 12, 13);
+        for _ in 0..2_000 {
+            traffic.pulse(&mut f);
+            f.step().unwrap();
+        }
+        assert!(f.run_until_idle(50_000).unwrap());
+        let mut seen = 0usize;
+        for node in 0..64usize {
+            let (r, c) = (node / 8, node % 8);
+            let expect_src = NodeId(node / 8 + (node % 8) * 8);
+            while let Some(d) = f.poll_delivery(NodeId(node)) {
+                // Every delivery at (r, c) came from (c, r).
+                assert_eq!(d.message.src, expect_src, "delivery at ({r}, {c})");
+                seen += 1;
+            }
+        }
+        assert!(seen > 200);
+    }
+
+    #[test]
+    fn bursty_long_run_rate_matches_duty_cycle() {
+        let mut f = fabric();
+        let pattern = TrafficPattern::Bursty {
+            on_off: 0.02,
+            off_on: 0.02,
+        };
+        let rate = 0.01;
+        let mut traffic = BernoulliTraffic::new(64, pattern, rate, 12, 17);
+        let cycles = 40_000;
+        for _ in 0..cycles {
+            traffic.pulse(&mut f);
+            f.step().unwrap();
+        }
+        let measured = f.stats().injected_messages as f64 / (cycles as f64 * 64.0);
+        // Duty cycle off_on / (on_off + off_on) = 0.5.
+        let expected = rate * 0.5;
+        assert!(
+            (measured - expected).abs() / expected < 0.2,
+            "expected ~{expected}, measured {measured}"
+        );
+    }
+
+    #[test]
+    fn patterns_drive_every_topology() {
+        use crate::topology::Topology;
+        for topo in [
+            Topology::cube(2, 4),
+            Topology::mesh(4, 4),
+            Topology::fat_tree(2, 3),
+            Topology::dragonfly(3, 2),
+        ] {
+            let n = topo.compute_nodes();
+            for pattern in [
+                TrafficPattern::UniformRandom,
+                TrafficPattern::NearestNeighbor,
+                TrafficPattern::Transpose,
+                TrafficPattern::Hotspot {
+                    targets: vec![NodeId(1)],
+                    fraction: 0.5,
+                },
+                TrafficPattern::Bursty {
+                    on_off: 0.1,
+                    off_on: 0.1,
+                },
+            ] {
+                let mut f: Fabric<()> = Fabric::new(topo.clone(), FabricConfig::default());
+                let mut traffic = BernoulliTraffic::new(n, pattern, 0.02, 4, 23);
+                for _ in 0..500 {
+                    traffic.pulse(&mut f);
+                    f.step().unwrap();
+                }
+                assert!(
+                    f.run_until_idle(200_000).unwrap(),
+                    "{} did not drain",
+                    topo.canonical()
+                );
+                assert!(f.stats().delivered_messages > 0, "{}", topo.canonical());
+            }
+        }
     }
 
     #[test]

@@ -18,21 +18,23 @@ use commloc_model::{
     MachineConfig, MessageComponents,
 };
 use commloc_net::fuzz::{self, FuzzScenario};
-use commloc_net::Torus;
+use commloc_net::Topology;
 use commloc_sim::conformance::figures::{
     default_golden_dir, load_golden, resilience_degradation_detail, resilience_wave_detail,
     self_check, store_golden, ConformanceRun, FIGURES,
 };
 use commloc_sim::conformance::{rel_err, suite_jobs, GoldenTable, Violation};
 use commloc_sim::{
-    default_jobs, mapping_suite, parallel_map, run_cached_sweep, run_experiment,
-    run_sharded_experiment, set_job_budget, Machine, Mapping, ServeOptions, ShardedMachine,
-    SimConfig, SweepPoint, BREAKDOWN_CSV_HEADER, MEASUREMENTS_CSV_HEADER,
+    default_jobs, mapping_suite, model_profile, parallel_map, run_cached_sweep, run_experiment,
+    run_sharded_experiment, set_job_budget, topology_mapping_suite, Machine, Mapping, ServeOptions,
+    ShardedMachine, SimConfig, SweepPoint, Trace, Workload, BREAKDOWN_CSV_HEADER,
+    MEASUREMENTS_CSV_HEADER,
 };
 use std::collections::HashMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 const USAGE: &str = "\
 commloc — communication locality models and simulator (Johnson, ISCA '92)
@@ -50,19 +52,30 @@ COMMANDS:
     sim     run the cycle-level 64-node simulator with one mapping
             --mapping identity|random|worst|swaps-K --seed S
             --contexts P --warmup W --window C [--csv]
+            [--topology T] [--traffic W | --trace-in FILE]
     report  run one simulation and print the latency-component breakdown
-            (measured vs model, per component)
+            (measured vs model, per component); with --topology it also
+            prints the measured-vs-model locality-gain table for that
+            interconnect
             --mapping M --seed S --contexts P --warmup W --window C
             [--trace FILE] [--csv] [--shards K --jobs J]
+            [--topology T] [--traffic W | --trace-in FILE]
             (--shards runs the shard-parallel engine, bit-exact with the
             monolithic one; --jobs sets its worker threads and requires
             --shards; tracing requires the monolithic engine)
     suite   run the full validation mapping suite
             --contexts P --seed S --jobs J [--shards K] [--csv]
+            [--topology T] [--traffic W | --trace-in FILE]
             (--jobs defaults to the machine's available parallelism;
             with --shards every mapping runs on the shard-parallel
             engine, and sweep workers and shard workers share one job
             budget so --jobs is never oversubscribed)
+
+    Topology T is cube | mesh | fattree[:ARITY,LEVELS] |
+    dragonfly[:ROUTERS,GLOBALS]; cube and mesh take their shape from the
+    paper's 2-D radix-8 machine. Traffic W is neighbor | hotspot[:K] |
+    transpose; --trace-in replays a JSON-lines trace (one
+    {\"thread\":T,\"op\":...} per line) instead.
     conformance
             run the paper-figure conformance gates (Figs. 3-9): reduced
             deterministic scenarios checked against the golden tables in
@@ -84,6 +97,8 @@ COMMANDS:
             scenarios are served bit-identically without re-simulating)
             [--socket PATH | --tcp ADDR] (default: stdin/stdout)
             [--cache-cap N] [--warm-cap N] [--jobs J]
+            (requests select interconnect and traffic per scenario via
+            their `topology` and `traffic` keys, same specs as above)
     fuzz    differential-fuzz the optimized Fabric against the retained
             ReferenceFabric over a seed range; on divergence, shrinks to
             a minimal scenario and prints a ready-to-paste repro test
@@ -100,12 +115,17 @@ fn allowed_keys(command: &str) -> Option<&'static [&'static str]> {
         "solve" => Some(&["nodes", "contexts", "distance", "grain", "ratio"]),
         "gain" => Some(&["nodes", "contexts", "sizes", "grain", "ratio"]),
         "scale" => Some(&["nodes", "contexts", "grain", "ratio"]),
-        "sim" => Some(&["mapping", "seed", "contexts", "warmup", "window", "csv"]),
+        "sim" => Some(&[
+            "mapping", "seed", "contexts", "warmup", "window", "csv", "topology", "traffic",
+            "trace-in",
+        ]),
         "report" => Some(&[
             "mapping", "seed", "contexts", "warmup", "window", "trace", "csv", "shards", "jobs",
+            "topology", "traffic", "trace-in",
         ]),
         "suite" => Some(&[
-            "contexts", "seed", "warmup", "window", "jobs", "shards", "csv",
+            "contexts", "seed", "warmup", "window", "jobs", "shards", "csv", "topology", "traffic",
+            "trace-in",
         ]),
         "conformance" => Some(&["figure", "jobs", "csv", "update-golden", "golden-dir"]),
         "resilience" => Some(&["study", "csv", "update-golden", "golden-dir"]),
@@ -276,7 +296,7 @@ fn get_shards(options: &HashMap<String, String>, nodes: usize) -> Result<usize, 
                     .into(),
             ),
             Ok(shards) => Err(format!(
-                "--shards: {shards} exceeds the {nodes}-node torus (did you mean \
+                "--shards: {shards} exceeds the {nodes}-node fabric (did you mean \
                  `--shards {nodes}`, one node per shard?)"
             )),
             Err(_) => Err(format!(
@@ -370,22 +390,28 @@ fn cmd_scale(options: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn mapping_from(options: &HashMap<String, String>, torus: &Torus) -> Result<Mapping, String> {
+fn mapping_from(options: &HashMap<String, String>, topology: &Topology) -> Result<Mapping, String> {
     let seed = get_u64(options, "seed", 1992)?;
+    let n = topology.compute_nodes();
     let name = options
         .get("mapping")
         .map(String::as_str)
         .unwrap_or("identity");
     match name {
-        "identity" => Ok(Mapping::identity(torus.nodes())),
-        "random" => Ok(Mapping::random(torus.nodes(), seed)),
-        "worst" => Ok(Mapping::maximize_distance(torus, seed, 4000)),
+        "identity" => Ok(Mapping::identity(n)),
+        "random" => Ok(Mapping::random(n, seed)),
+        "worst" => Ok(match topology {
+            // The torus keeps its coordinate-aware adversary; the other
+            // fabrics hill-climb on application-graph distance.
+            Topology::Cube(torus) => Mapping::maximize_distance(torus, seed, 4000),
+            other => Mapping::maximize_app_distance(other, seed, 4000),
+        }),
         other => {
             if let Some(k) = other.strip_prefix("swaps-") {
                 let k: usize = k
                     .parse()
                     .map_err(|_| format!("--mapping: bad swap count in `{other}`"))?;
-                Ok(Mapping::random_swaps(torus.nodes(), k, seed))
+                Ok(Mapping::random_swaps(n, k, seed))
             } else {
                 Err(format!(
                     "--mapping: unknown `{other}` (identity|random|worst|swaps-K)"
@@ -395,17 +421,43 @@ fn mapping_from(options: &HashMap<String, String>, torus: &Torus) -> Result<Mapp
     }
 }
 
+/// Resolves `--traffic` / `--trace-in` into the workload the processors
+/// run. The two are mutually exclusive: a trace *is* the traffic.
+fn workload_from(options: &HashMap<String, String>) -> Result<Workload, String> {
+    match (options.get("traffic"), options.get("trace-in")) {
+        (Some(_), Some(_)) => {
+            Err("--traffic and --trace-in are mutually exclusive (a trace is the traffic)".into())
+        }
+        (Some(spec), None) => Workload::parse(spec).map_err(|e| format!("--traffic: {e}")),
+        (None, Some(path)) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("--trace-in {path}: {e}"))?;
+            let trace = Trace::parse(&text).map_err(|e| format!("--trace-in {path}: {e}"))?;
+            Ok(Workload::Trace(Arc::new(trace)))
+        }
+        (None, None) => Ok(Workload::Neighbor),
+    }
+}
+
 fn sim_config(options: &HashMap<String, String>) -> Result<SimConfig, String> {
-    Ok(SimConfig {
+    let mut config = SimConfig {
         contexts: get_u64(options, "contexts", 1)? as usize,
         ..SimConfig::default()
-    })
+    };
+    if let Some(spec) = options.get("topology") {
+        config.topology = Some(
+            Topology::parse(spec, config.dims, config.radix)
+                .map_err(|e| format!("--topology: {e}"))?,
+        );
+    }
+    config.workload = workload_from(options)?;
+    Ok(config)
 }
 
 fn cmd_sim(options: &HashMap<String, String>) -> Result<(), String> {
     let config = sim_config(options)?;
-    let torus = Torus::new(config.dims, config.radix);
-    let mapping = mapping_from(options, &torus)?;
+    let topology = config.resolved_topology();
+    let mapping = mapping_from(options, &topology)?;
     let warmup = get_u64(options, "warmup", 20_000)?;
     let window = get_u64(options, "window", 60_000)?;
     let m = run_experiment(&config, &mapping, warmup, window).map_err(|e| e.to_string())?;
@@ -448,8 +500,8 @@ fn cmd_report(options: &HashMap<String, String>) -> Result<(), String> {
     if trace_path.is_some() {
         config.fabric.trace_capacity = TRACE_CAPACITY;
     }
-    let torus = Torus::new(config.dims, config.radix);
-    let shards = get_shards(options, torus.nodes())?;
+    let topology = config.resolved_topology();
+    let shards = get_shards(options, topology.nodes())?;
     if options.contains_key("jobs") && !options.contains_key("shards") {
         return Err(
             "--jobs on `report` sets the shard-parallel engine's worker threads, but no \
@@ -476,7 +528,7 @@ fn cmd_report(options: &HashMap<String, String>) -> Result<(), String> {
                 .into(),
         );
     }
-    let mapping = mapping_from(options, &torus)?;
+    let mapping = mapping_from(options, &topology)?;
     let warmup = get_u64(options, "warmup", 20_000)?;
     let window = get_u64(options, "window", 60_000)?;
     let c = MachineConfig::alewife().critical_path_messages();
@@ -511,11 +563,13 @@ fn cmd_report(options: &HashMap<String, String>) -> Result<(), String> {
         (m, b, lb, Some(machine))
     };
 
-    // The model's prediction at the measured distance and context count.
-    let model = MachineConfig::alewife()
+    // The model's prediction at the measured distance and context count,
+    // on the simulated interconnect's profile.
+    let profile = model_profile(&topology).map_err(err)?;
+    let machine_config = MachineConfig::alewife()
         .with_contexts(config.contexts as u32)
-        .to_combined_model()
-        .map_err(err)?;
+        .with_topology_profile(profile);
+    let model = machine_config.to_combined_model().map_err(err)?;
     let op = model.solve(m.distance).map_err(err)?;
     let mc = MessageComponents::from_operating_point(&model, &op);
 
@@ -566,6 +620,46 @@ fn cmd_report(options: &HashMap<String, String>) -> Result<(), String> {
         );
     }
 
+    // With an explicit interconnect, pair the measurement with the
+    // model: identity vs random placement, measured transaction rates
+    // against the analytical expected gain on this topology's profile.
+    if options.contains_key("topology") && !options.contains_key("csv") {
+        let seed = get_u64(options, "seed", 1992)?;
+        let compute = topology.compute_nodes();
+        let ident = run_experiment(&config, &Mapping::identity(compute), warmup, window)
+            .map_err(|e| e.to_string())?;
+        let random = run_experiment(&config, &Mapping::random(compute, seed), warmup, window)
+            .map_err(|e| e.to_string())?;
+        let predicted = expected_gain(&machine_config).map_err(err)?;
+        println!();
+        println!(
+            "locality gain on {} ({} compute nodes, C = {:.2} channels/node):",
+            topology.canonical(),
+            compute,
+            profile.channels_per_node
+        );
+        println!(
+            "{:<12} {:>10} {:>12}",
+            "placement", "d (hops)", "r_t (1/cyc)"
+        );
+        println!(
+            "{:<12} {:>10.2} {:>12.5}",
+            "identity", ident.distance, ident.transaction_rate
+        );
+        println!(
+            "{:<12} {:>10.2} {:>12.5}",
+            "random", random.distance, random.transaction_rate
+        );
+        let measured_gain = ident.transaction_rate / random.transaction_rate;
+        println!(
+            "measured gain {measured_gain:>6.2}   model gain {:>6.2}   (model d_random {:.2}, \
+             n_eff {:.1})",
+            predicted.gain,
+            predicted.random_distance,
+            profile.effective_dimension()
+        );
+    }
+
     if let (Some(path), Some(machine)) = (trace_path, machine.as_mut()) {
         let file = std::fs::File::create(&path).map_err(|e| format!("--trace {path}: {e}"))?;
         let mut out = std::io::BufWriter::new(file);
@@ -590,12 +684,12 @@ fn cmd_report(options: &HashMap<String, String>) -> Result<(), String> {
 
 fn cmd_suite(options: &HashMap<String, String>) -> Result<(), String> {
     let config = sim_config(options)?;
-    let torus = Torus::new(config.dims, config.radix);
+    let topology = config.resolved_topology();
     let seed = get_u64(options, "seed", 1992)?;
     let warmup = get_u64(options, "warmup", 15_000)?;
     let window = get_u64(options, "window", 45_000)?;
     let jobs = get_jobs(options)?;
-    let shards = get_shards(options, torus.nodes())?;
+    let shards = get_shards(options, topology.nodes())?;
     let csv = options.contains_key("csv");
     if csv {
         println!("mapping,{MEASUREMENTS_CSV_HEADER}");
@@ -605,7 +699,12 @@ fn cmd_suite(options: &HashMap<String, String>) -> Result<(), String> {
             "mapping", "d", "r_t", "T_m", "T_h", "rho"
         );
     }
-    let suite = mapping_suite(&torus, seed);
+    // The torus keeps the paper's coordinate-aware suite; the other
+    // fabrics run the topology-generic one.
+    let suite = match &topology {
+        Topology::Cube(torus) => mapping_suite(torus, seed),
+        other => topology_mapping_suite(other, seed),
+    };
     let points = if shards > 1 {
         // Sweep of sharded simulations: the sweep fan-out and each
         // machine's shard workers draw from the same job budget, so live
@@ -1034,6 +1133,7 @@ fn err(e: commloc_model::ModelError) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use commloc_model::TopologyProfile;
 
     fn parse(pairs: &[&str], command: &str) -> Result<HashMap<String, String>, String> {
         parse_options(
@@ -1121,6 +1221,17 @@ mod tests {
             "resilience"
         )
         .is_ok());
+        assert!(parse(&["--topology", "mesh", "--traffic", "hotspot:2"], "sim").is_ok());
+        assert!(parse(
+            &["--topology", "dragonfly:4,2", "--trace-in", "t.jsonl"],
+            "report"
+        )
+        .is_ok());
+        assert!(parse(
+            &["--topology", "fattree", "--traffic", "transpose"],
+            "suite"
+        )
+        .is_ok());
         assert!(parse(&["--seeds", "500", "--start", "0", "--jobs", "4"], "fuzz").is_ok());
         assert!(parse(&["--machine", "--seeds", "200"], "fuzz").is_ok());
         assert!(allowed_keys("nonsense").is_none());
@@ -1206,13 +1317,70 @@ mod tests {
 
     #[test]
     fn mapping_selector_variants() {
-        let torus = Torus::new(2, 8);
+        let topology = Topology::cube(2, 8);
         let o = opts(&["--mapping", "swaps-12", "--seed", "5"]);
-        let m = mapping_from(&o, &torus).unwrap();
+        let m = mapping_from(&o, &topology).unwrap();
         assert_eq!(m.threads(), 64);
         let o = opts(&["--mapping", "nonsense"]);
-        assert!(mapping_from(&o, &torus).is_err());
+        assert!(mapping_from(&o, &topology).is_err());
         let o = opts(&[]);
-        assert_eq!(mapping_from(&o, &torus).unwrap(), Mapping::identity(64));
+        assert_eq!(mapping_from(&o, &topology).unwrap(), Mapping::identity(64));
+        // `worst` works on every family (app-distance hill climb off the
+        // torus), and sizes itself to the compute-node count.
+        let fattree = Topology::fat_tree(2, 2);
+        let o = opts(&["--mapping", "worst", "--seed", "7"]);
+        let m = mapping_from(&o, &fattree).unwrap();
+        assert_eq!(m.threads(), fattree.compute_nodes());
+    }
+
+    #[test]
+    fn sim_config_resolves_topology_and_traffic() {
+        // Default: cube from dims/radix, neighbour workload.
+        let config = sim_config(&opts(&[])).unwrap();
+        assert!(config.topology.is_none());
+        assert_eq!(config.workload, Workload::Neighbor);
+        // Explicit interconnect and traffic.
+        let config = sim_config(&opts(&["--topology", "mesh", "--traffic", "hotspot:3"])).unwrap();
+        assert_eq!(config.resolved_topology().canonical(), "mesh:8x8");
+        assert_eq!(config.workload, Workload::Hotspot { targets: 3 });
+        let config = sim_config(&opts(&["--topology", "fattree:2,2"])).unwrap();
+        assert_eq!(config.resolved_topology().family(), "fattree");
+        // Bad specs surface the offending flag.
+        let e = sim_config(&opts(&["--topology", "hypercube"])).unwrap_err();
+        assert!(e.starts_with("--topology:"), "{e}");
+        let e = sim_config(&opts(&["--traffic", "storm"])).unwrap_err();
+        assert!(e.starts_with("--traffic:"), "{e}");
+    }
+
+    #[test]
+    fn trace_in_replays_a_file_and_excludes_traffic() {
+        let e = workload_from(&opts(&[
+            "--traffic",
+            "transpose",
+            "--trace-in",
+            "/tmp/t.jsonl",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("mutually exclusive"), "{e}");
+        let e = workload_from(&opts(&["--trace-in", "/nonexistent/t.jsonl"])).unwrap_err();
+        assert!(e.starts_with("--trace-in"), "{e}");
+        let path = std::env::temp_dir().join("commloc-cli-trace-test.jsonl");
+        std::fs::write(&path, "{\"thread\": 0, \"op\": \"read\", \"peer\": 1}\n").unwrap();
+        let w = workload_from(&opts(&["--trace-in", path.to_str().unwrap()])).unwrap();
+        assert!(matches!(w, Workload::Trace(_)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torus_model_profile_matches_the_analytic_path() {
+        // The cube report path must stay bit-identical to the historic
+        // dims/radix model: the profile it installs is Eq. 16/17's own.
+        let profile = model_profile(&Topology::cube(2, 8)).unwrap();
+        let analytic = TopologyProfile::torus(2, 8.0).unwrap();
+        assert_eq!(profile, analytic);
+        // Non-cube fabrics report their exact census.
+        let mesh = model_profile(&Topology::mesh(4, 4)).unwrap();
+        assert_eq!(mesh.compute_nodes, 16.0);
+        assert!(mesh.channels_per_node < 4.0, "mesh edges lack wraparound");
     }
 }

@@ -18,15 +18,16 @@ use super::tolerances::{
 };
 use super::{calibrated_model, fit_message_curve, reduced_runs, ValidationRun, SUITE_SEED};
 use crate::disturbance::DisturbanceConfig;
-use crate::machine::SimConfig;
+use crate::machine::{run_experiment, SimConfig};
 use crate::mapping::Mapping;
 use crate::resilience::{
     run_degradation, run_idle_wave, DegradationConfig, DegradationPoint, IdleWave, MigrationSpec,
 };
 use commloc_model::{
-    fig6_rows, fig7_rows, fig8_rows, fig9_rows, log_spaced_sizes, EndpointContention, FigureRow,
-    MachineConfig,
+    expected_gain, fig6_rows, fig7_rows, fig8_rows, fig9_rows, log_spaced_sizes,
+    EndpointContention, FigureRow, MachineConfig,
 };
+use commloc_net::Topology;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 
@@ -45,6 +46,7 @@ pub const FIGURES: &[&str] = &[
     "fig9",
     "resilience-wave",
     "resilience-degradation",
+    "topology-gain",
 ];
 
 /// Context counts exercised by the simulator-backed figures.
@@ -100,6 +102,7 @@ impl ConformanceRun {
             "fig9" => fig9(),
             "resilience-wave" => resilience_wave(),
             "resilience-degradation" => resilience_degradation(),
+            "topology-gain" => topology_gain(),
             other => Err(format!(
                 "unknown figure `{other}` (expected one of {})",
                 FIGURES.join(", ")
@@ -244,6 +247,67 @@ fn fig9() -> Result<GoldenTable, String> {
     fig9_rows(&machine, &[2, 3, 4, 5])
         .map(|rows| model_table("fig9", rows))
         .map_err(|e| format!("fig9: {e}"))
+}
+
+/// Simulation windows of the per-topology gain gate: small fabrics, so
+/// short windows settle (the same reduced-scale philosophy as the
+/// figure sweeps).
+const TOPOLOGY_GAIN_WARMUP: u64 = 2_000;
+const TOPOLOGY_GAIN_WINDOW: u64 = 6_000;
+
+/// Cross-topology gain gate (`conformance/golden/topology-gain.json`):
+/// one row per interconnect family at comparable small sizes —
+/// measured identity-vs-random gain from the cycle-level simulator next
+/// to the analytical prediction on the same topology profile. Gated like
+/// a figure: self-checked against structural claims (locality must pay
+/// on the distance-diverse fabrics, the non-wrapping mesh must out-gain
+/// the torus in the model) and golden-compared value by value.
+fn topology_gain() -> Result<GoldenTable, String> {
+    let topologies = [
+        Topology::cube(2, 4),
+        Topology::mesh(4, 4),
+        Topology::fat_tree(2, 3),
+        Topology::dragonfly(3, 1),
+    ];
+    let mut rows = Vec::new();
+    for topology in &topologies {
+        let label = topology.family();
+        let config = SimConfig {
+            topology: Some(topology.clone()),
+            ..SimConfig::default()
+        };
+        let compute = topology.compute_nodes();
+        let ident = run_experiment(
+            &config,
+            &Mapping::identity(compute),
+            TOPOLOGY_GAIN_WARMUP,
+            TOPOLOGY_GAIN_WINDOW,
+        )
+        .map_err(|e| format!("topology-gain {label}/identity: {e}"))?;
+        let random = run_experiment(
+            &config,
+            &Mapping::random(compute, SUITE_SEED),
+            TOPOLOGY_GAIN_WARMUP,
+            TOPOLOGY_GAIN_WINDOW,
+        )
+        .map_err(|e| format!("topology-gain {label}/random: {e}"))?;
+        let profile =
+            crate::model_profile(topology).map_err(|e| format!("topology-gain {label}: {e}"))?;
+        let predicted = expected_gain(&MachineConfig::alewife().with_topology_profile(profile))
+            .map_err(|e| format!("topology-gain {label}: {e}"))?;
+        rows.push(GoldenRow {
+            label: label.to_owned(),
+            values: vec![
+                ("random_distance".into(), random.distance),
+                (
+                    "sim_gain".into(),
+                    ident.transaction_rate / random.transaction_rate,
+                ),
+                ("model_gain".into(), predicted.gain),
+            ],
+        });
+    }
+    Ok(sim_table("topology-gain", rows))
 }
 
 /// Per-node deficit threshold (in completions) below which a ring is
@@ -613,6 +677,52 @@ pub fn self_check(table: &GoldenTable) -> Vec<Violation> {
                     }
                 }
                 _ => fault("", "completions", "need at least two sweep points".into()),
+            }
+        }
+        "topology-gain" => {
+            for row in &table.rows {
+                let (Some(sim), Some(model)) = (row.value("sim_gain"), row.value("model_gain"))
+                else {
+                    fault(&row.label, "", "missing sim_gain/model_gain".into());
+                    continue;
+                };
+                if model < 1.0 {
+                    fault(
+                        &row.label,
+                        "model_gain",
+                        format!("locality can never hurt in the model: {model}"),
+                    );
+                }
+                // The torus and mesh spread distances, so locality must
+                // visibly pay in simulation too; the hierarchical fabrics
+                // are nearly distance-uniform at these sizes, so only
+                // demand they not be *hurt* by locality (noise floor).
+                let floor = match row.label.as_str() {
+                    "cube" | "mesh" => 1.05,
+                    _ => 0.9,
+                };
+                if sim < floor {
+                    fault(
+                        &row.label,
+                        "sim_gain",
+                        format!("measured gain {sim} below the {floor} floor"),
+                    );
+                }
+            }
+            let gain = |label: &str| value(label, "model_gain");
+            if let (Some(mesh), Some(cube)) = (gain("mesh"), gain("cube")) {
+                // Removing the wraparound links lengthens random-mapping
+                // distances at equal node count, so the mesh must have
+                // more to gain from locality than the torus.
+                if mesh <= cube {
+                    fault(
+                        "mesh",
+                        "model_gain",
+                        format!("mesh ({mesh}) must out-gain the equal-size torus ({cube})"),
+                    );
+                }
+            } else {
+                fault("mesh", "model_gain", "missing mesh/cube rows".into());
             }
         }
         other => fault("", "", format!("no self-check defined for `{other}`")),

@@ -21,9 +21,10 @@ use crate::machine::{Machine, SimConfig};
 use crate::mapping::Mapping;
 use crate::resilience::MigrationSpec;
 use crate::shard::ShardedMachine;
+use crate::workload::Workload;
 use commloc_mem::MemConfig;
 use commloc_net::fuzz::{shrink_with, Divergence, FaultSpec};
-use commloc_net::{DetRng, Direction, FabricConfig};
+use commloc_net::{DetRng, Direction, FabricConfig, Topology};
 
 /// Domain-separation constant so machine-scenario generation never shares
 /// a stream with the fabric fuzzer or the workloads.
@@ -44,15 +45,42 @@ pub enum MappingKind {
     Swaps(u64),
 }
 
+/// Which traffic-generating workload a scenario runs. A plain-data
+/// mirror of [`Workload`] without the trace variant (traces carry file
+/// content; the fuzzer sticks to the synthetic generators).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Every thread exchanges with its application-graph neighbors.
+    Neighbor,
+    /// All threads hammer the first `targets` threads' state.
+    Hotspot {
+        /// Number of hot threads.
+        targets: usize,
+    },
+    /// Thread `i` exchanges with its matrix-transpose peer.
+    Transpose,
+}
+
+impl WorkloadKind {
+    /// The [`Workload`] this kind describes.
+    pub fn build(self) -> Workload {
+        match self {
+            WorkloadKind::Neighbor => Workload::Neighbor,
+            WorkloadKind::Hotspot { targets } => Workload::Hotspot { targets },
+            WorkloadKind::Transpose => Workload::Transpose,
+        }
+    }
+}
+
 /// One randomly drawn machine-level differential-test case. All fields
 /// are plain data so failing cases can be shrunk and replayed literally.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MachineScenario {
     /// Seed for the fault stream (the workload itself is deterministic).
     pub seed: u64,
-    /// Torus dimensionality (1–3).
+    /// Torus dimensionality (1–3); ignored when `topology` is set.
     pub dims: u32,
-    /// Per-dimension radix.
+    /// Per-dimension radix; ignored when `topology` is set.
     pub radix: usize,
     /// Hardware contexts per processor.
     pub contexts: usize,
@@ -88,6 +116,12 @@ pub struct MachineScenario {
     /// migration policy is drawn — sharded machines do not support
     /// migration, and the checker skips the third engine in that case.
     pub shards: usize,
+    /// Explicit non-cube topology (`None` = the cube from `dims`/`radix`).
+    /// Scheduled `(dim, direction)`-addressed faults and migration
+    /// policies are cube-only and are never drawn alongside this.
+    pub topology: Option<Topology>,
+    /// The traffic-generating workload both engines run.
+    pub workload: WorkloadKind,
 }
 
 impl MachineScenario {
@@ -118,6 +152,24 @@ impl MachineScenario {
             0
         };
         let nodes = radix.pow(dims);
+        // Three seeds in eight trade the cube for one of the pluggable
+        // fabrics, at sizes small enough for the reference engine.
+        let topology = match rng.index(8) {
+            0..=4 => None,
+            5 => Some(Topology::mesh(2 + rng.index(3), 2 + rng.index(3))),
+            6 => Some(Topology::fat_tree(2 + rng.index(2), 2)),
+            _ => Some(Topology::dragonfly(2 + rng.index(2), 1)),
+        };
+        // Router count (switches included) for node-addressed faults and
+        // shard clamping; compute count only matters for the mapping.
+        let routers = topology.as_ref().map_or(nodes, Topology::nodes);
+        let workload = match rng.index(6) {
+            0..=2 => WorkloadKind::Neighbor,
+            3 | 4 => WorkloadKind::Hotspot {
+                targets: 1 + rng.index(3),
+            },
+            _ => WorkloadKind::Transpose,
+        };
         let mapping = match rng.index(3) {
             0 => MappingKind::Identity,
             1 => MappingKind::Random(rng.range_u64(1, u64::from(u32::MAX))),
@@ -149,7 +201,10 @@ impl MachineScenario {
                 router_stalls: Vec::new(),
             };
             let horizon = warmup + window;
-            if rng.chance(0.3) {
+            // Scheduled kills and link stalls are addressed by
+            // `(dim, direction)` — torus coordinates — so they are only
+            // drawn for cube scenarios.
+            if topology.is_none() && rng.chance(0.3) {
                 spec.kills.push((
                     rng.range_u64(1, horizon),
                     rng.index(nodes),
@@ -161,7 +216,7 @@ impl MachineScenario {
                     },
                 ));
             }
-            if rng.chance(0.25) {
+            if topology.is_none() && rng.chance(0.25) {
                 spec.link_stalls.push((
                     rng.range_u64(1, horizon),
                     rng.index(nodes),
@@ -177,7 +232,7 @@ impl MachineScenario {
             if rng.chance(0.25) {
                 spec.router_stalls.push((
                     rng.range_u64(1, horizon),
-                    rng.index(nodes),
+                    rng.index(routers),
                     rng.range_u64(50, 600),
                 ));
             }
@@ -196,7 +251,7 @@ impl MachineScenario {
         if rng.chance(0.3) {
             let delay = (
                 rng.range_u64(1, warmup + window),
-                rng.index(nodes),
+                rng.index(routers),
                 rng.range_u64(20, 400),
             );
             fault
@@ -214,8 +269,9 @@ impl MachineScenario {
         }
         // Migration policies ride along about a third of the time: null
         // (must be invisible) or work-stealing with small budgets and
-        // thresholds low enough to fire on ordinary congestion.
-        let migration = if rng.chance(0.35) {
+        // thresholds low enough to fire on ordinary congestion. They are
+        // cube-only (the policy view exposes torus coordinates).
+        let migration = if topology.is_none() && rng.chance(0.35) {
             Some(MigrationSpec {
                 stealing: rng.chance(0.5),
                 steal_latency: rng.range_u64(0, 400),
@@ -231,7 +287,7 @@ impl MachineScenario {
         let shards = if migration.is_some() {
             1
         } else {
-            [1, 1, 1, 2, 3, 4][rng.index(6)].min(nodes)
+            [1, 1, 1, 2, 3, 4][rng.index(6)].min(routers)
         };
         Self {
             seed,
@@ -251,12 +307,26 @@ impl MachineScenario {
             fault,
             migration,
             shards,
+            topology,
+            workload,
         }
     }
 
-    /// Number of nodes in the scenario's torus.
+    /// Number of compute nodes (the mapping's thread count).
     pub fn nodes(&self) -> usize {
-        self.radix.pow(self.dims)
+        match &self.topology {
+            Some(t) => t.compute_nodes(),
+            None => self.radix.pow(self.dims),
+        }
+    }
+
+    /// Total router count, switches included (bounds shard counts and
+    /// node-addressed fault sites).
+    pub fn total_nodes(&self) -> usize {
+        match &self.topology {
+            Some(t) => t.nodes(),
+            None => self.radix.pow(self.dims),
+        }
     }
 
     /// The mapping object this scenario describes.
@@ -294,6 +364,8 @@ impl MachineScenario {
             },
             watchdog_cycles: self.watchdog_cycles,
             fault_plan: self.fault.as_ref().map(|spec| spec.build(self.seed)),
+            topology: self.topology.clone(),
+            workload: self.workload.build(),
         }
     }
 }
@@ -564,20 +636,26 @@ impl MachineShrinkOutcome {
                 m.stealing, m.steal_latency, m.wedge_threshold, m.max_migrations
             ),
         };
+        let topology = match &s.topology {
+            None => "None".to_owned(),
+            Some(t) => format!("Some({})", topology_expr(t)),
+        };
         format!(
             "#[test]\nfn machine_fuzz_repro_seed_{seed}() {{\n    \
-             use commloc_sim::fuzz::{{run_scenario, MachineScenario, MappingKind}};\n    \
+             use commloc_sim::fuzz::{{run_scenario, MachineScenario, MappingKind, WorkloadKind}};\n    \
              use commloc_sim::MigrationSpec;\n    \
-             use commloc_net::fuzz::FaultSpec;\n    use commloc_net::Direction;\n    \
+             use commloc_net::fuzz::FaultSpec;\n    use commloc_net::{{Direction, Topology}};\n    \
              let _ = &Direction::Plus; // used by fault literals\n    \
              let _: Option<MigrationSpec> = None; // used by migration literals\n    \
+             let _: Option<Topology> = None; // used by topology literals\n    \
              let scenario = MachineScenario {{\n        seed: {seed},\n        dims: {dims},\n        \
              radix: {radix},\n        contexts: {contexts},\n        clock_ratio: {ratio},\n        \
              switch_cycles: {switch},\n        work: {work},\n        timeout_cycles: {timeout},\n        \
              max_retries: {retries},\n        watchdog_cycles: {watchdog},\n        \
              mapping: MappingKind::{mapping:?},\n        trace_capacity: {tcap},\n        \
              warmup: {warmup},\n        window: {window},\n        fault: {fault},\n        \
-             migration: {migration},\n        shards: {shards},\n    }};\n    \
+             migration: {migration},\n        shards: {shards},\n        topology: {topology},\n        \
+             workload: WorkloadKind::{workload:?},\n    }};\n    \
              run_scenario(&scenario).expect(\"active and reference machines must agree\");\n}}\n",
             seed = s.seed,
             dims = s.dims,
@@ -595,7 +673,27 @@ impl MachineShrinkOutcome {
             window = s.window,
             fault = fault,
             shards = s.shards,
+            topology = topology,
+            workload = s.workload,
         )
+    }
+}
+
+/// Renders a topology as the constructor expression that recreates it,
+/// for ready-to-paste repro tests.
+fn topology_expr(t: &Topology) -> String {
+    match t {
+        Topology::Cube(c) => format!("Topology::cube({}, {})", c.dims(), c.radix()),
+        Topology::Mesh(m) => {
+            let (x, y) = m.shape();
+            format!("Topology::mesh({x}, {y})")
+        }
+        Topology::FatTree(f) => format!("Topology::fat_tree({}, {})", f.arity(), f.levels()),
+        Topology::Dragonfly(d) => format!(
+            "Topology::dragonfly({}, {})",
+            d.routers_per_group(),
+            d.globals_per_router()
+        ),
     }
 }
 
@@ -687,12 +785,24 @@ fn reductions(s: &MachineScenario) -> Vec<MachineScenario> {
         c.mapping = MappingKind::Identity;
         out.push(c);
     }
-    if s.dims > 1 {
+    if s.topology.is_some() {
+        // Collapse to the cube first; cube-only reductions below assume
+        // `dims`/`radix` are live.
+        let mut c = s.clone();
+        c.topology = None;
+        out.push(c);
+    }
+    if s.workload != WorkloadKind::Neighbor {
+        let mut c = s.clone();
+        c.workload = WorkloadKind::Neighbor;
+        out.push(c);
+    }
+    if s.topology.is_none() && s.dims > 1 {
         let mut c = s.clone();
         c.dims = s.dims - 1;
         out.push(c);
     }
-    if s.radix > 3 {
+    if s.topology.is_none() && s.radix > 3 {
         let mut c = s.clone();
         c.radix = s.radix - 1;
         out.push(c);
@@ -731,7 +841,7 @@ mod tests {
             assert!(a.clock_ratio == 1 || a.clock_ratio == 2);
             assert!(a.window >= 800);
             assert!(
-                a.shards >= 1 && a.shards <= a.nodes(),
+                a.shards >= 1 && a.shards <= a.total_nodes(),
                 "seed {seed}: shards {} out of range",
                 a.shards
             );
@@ -739,8 +849,70 @@ mod tests {
                 assert!(m.wedge_threshold >= 200, "seed {seed}");
                 assert!(m.max_migrations < 5, "seed {seed}");
                 assert_eq!(a.shards, 1, "seed {seed}: migration forces one shard");
+                assert!(a.topology.is_none(), "seed {seed}: migration is cube-only");
+            }
+            if let Some(spec) = &a.fault {
+                if a.topology.is_some() {
+                    assert!(
+                        spec.kills.is_empty() && spec.link_stalls.is_empty(),
+                        "seed {seed}: (dim, dir) faults are cube-only"
+                    );
+                }
             }
         }
+    }
+
+    #[test]
+    fn scenario_space_covers_every_topology_family_and_workload() {
+        let scenarios: Vec<MachineScenario> = (0..200u64).map(MachineScenario::from_seed).collect();
+        for family in ["cube", "mesh", "fattree", "dragonfly"] {
+            assert!(
+                scenarios.iter().any(|s| match &s.topology {
+                    None => family == "cube",
+                    Some(t) => t.family() == family,
+                }),
+                "no {family} draw in 200 seeds"
+            );
+        }
+        assert!(scenarios
+            .iter()
+            .any(|s| matches!(s.workload, WorkloadKind::Hotspot { .. })));
+        assert!(scenarios
+            .iter()
+            .any(|s| s.workload == WorkloadKind::Transpose));
+        assert!(scenarios
+            .iter()
+            .any(|s| s.workload == WorkloadKind::Neighbor));
+        // Non-cube draws must also mix with shards so the three-way
+        // lockstep exercises shard boundaries through switch nodes.
+        assert!(
+            scenarios
+                .iter()
+                .any(|s| s.topology.is_some() && s.shards > 1),
+            "no sharded non-cube draw in 200 seeds"
+        );
+    }
+
+    #[test]
+    fn noncube_scenarios_run_clean() {
+        // A few seeds from each non-cube family must hold the lockstep.
+        let mut checked = std::collections::BTreeMap::new();
+        for seed in 0..400u64 {
+            let s = MachineScenario::from_seed(seed);
+            let Some(t) = &s.topology else { continue };
+            let family = t.family();
+            if *checked.get(family).unwrap_or(&0) >= 2 {
+                continue;
+            }
+            *checked.entry(family).or_insert(0) += 1;
+            if let Err(d) = run_seed(seed) {
+                panic!("seed {seed} ({family}): {d}");
+            }
+            if checked.len() == 3 && checked.values().all(|&n| n >= 2) {
+                break;
+            }
+        }
+        assert_eq!(checked.len(), 3, "missing families: {checked:?}");
     }
 
     #[test]
@@ -825,8 +997,65 @@ mod tests {
             fault: None,
             migration: None,
             shards: 3,
+            topology: None,
+            workload: WorkloadKind::Neighbor,
         };
         run_scenario(&scenario).expect("active and sharded machines must agree");
+    }
+
+    #[test]
+    fn differential_matrix_every_topology_times_traffic() {
+        // The cross-scenario gate: every topology family x every traffic
+        // generator, three engines each (active, reference, and the
+        // shard-parallel machine via `shards: 2`), bit-exact. Unlike the
+        // fuzz sweep this matrix is exhaustive and deterministic, so a
+        // regression in any single pair fails by name.
+        let topologies: [Option<Topology>; 4] = [
+            None, // the 3x3 cube spelled through dims/radix
+            Some(Topology::mesh(3, 3)),
+            Some(Topology::fat_tree(2, 2)),
+            Some(Topology::dragonfly(2, 1)),
+        ];
+        let workloads = [
+            WorkloadKind::Neighbor,
+            WorkloadKind::Hotspot { targets: 2 },
+            WorkloadKind::Transpose,
+        ];
+        for (ti, topology) in topologies.iter().enumerate() {
+            for (wi, workload) in workloads.iter().enumerate() {
+                let scenario = MachineScenario {
+                    seed: (ti * 16 + wi) as u64,
+                    dims: 2,
+                    radix: 3,
+                    contexts: 2,
+                    clock_ratio: 2,
+                    switch_cycles: 2,
+                    work: 2,
+                    timeout_cycles: 0,
+                    max_retries: 8,
+                    watchdog_cycles: 0,
+                    mapping: MappingKind::Random(0xC0FFEE + (ti * 3 + wi) as u64),
+                    trace_capacity: 32,
+                    warmup: 200,
+                    window: 800,
+                    fault: None,
+                    migration: None,
+                    shards: 2,
+                    topology: topology.clone(),
+                    workload: *workload,
+                };
+                let label = topology
+                    .as_ref()
+                    .map_or_else(|| "cube:2x3".to_owned(), Topology::canonical);
+                let report = run_scenario(&scenario)
+                    .unwrap_or_else(|d| panic!("{label} x {workload:?} diverged: {d}"));
+                assert!(
+                    report.completions > 0,
+                    "{label} x {workload:?} completed no transactions — the pair proves \
+                     nothing"
+                );
+            }
+        }
     }
 
     #[test]

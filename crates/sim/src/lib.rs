@@ -52,7 +52,7 @@ pub use disturbance::{run_disturbance, DisturbanceConfig, DisturbanceCurve};
 pub use error::{SimError, StallKind, StallReport};
 pub use fit::{fit_line, FitError, LineFit};
 pub use machine::{run_experiment, Machine, MachineSnapshot, Measurements, SimConfig};
-pub use mapping::{mapping_suite, Mapping, NamedMapping};
+pub use mapping::{mapping_suite, topology_mapping_suite, Mapping, NamedMapping};
 pub use parallel::{default_jobs, parallel_map, run_sweep, set_job_budget, SweepPoint};
 pub use serve::{run_cached_sweep, CacheStats, ScenarioKey, ScenarioResult, ServeOptions};
 pub use shard::{run_sharded_experiment, ShardedMachine};
@@ -62,4 +62,30 @@ pub use resilience::{
     MigrationRecord, MigrationSpec, MigrationView, NullPolicy, WorkStealingPolicy,
     ABSORPTION_COMPONENTS,
 };
-pub use workload::{state_word, workload_home_map, TorusNeighborProgram};
+pub use workload::{
+    state_word, transpose_peer, workload_home_map, NeighborProgram, Trace, TraceOp, Workload,
+};
+
+/// The analytical-model profile of a simulated interconnect: the bridge
+/// between a [`commloc_net::Topology`] and [`commloc_model`]'s
+/// generalized flux balance. The torus keeps the paper's analytic
+/// Eq. 16/17 path (bit-identical to the plain dims/radix model); the
+/// other fabrics feed their exact pairwise-distance census and directed
+/// channel count in.
+///
+/// # Errors
+///
+/// Propagates [`commloc_model`]'s parameter validation.
+pub fn model_profile(
+    topology: &commloc_net::Topology,
+) -> commloc_model::Result<commloc_model::TopologyProfile> {
+    use commloc_model::TopologyProfile;
+    match topology {
+        commloc_net::Topology::Cube(t) => TopologyProfile::torus(t.dims(), t.radix() as f64),
+        other => TopologyProfile::new(
+            other.compute_nodes() as f64,
+            other.mean_pairwise_distance(),
+            other.channels_per_compute_node(),
+        ),
+    }
+}

@@ -34,11 +34,11 @@ use crate::breakdown::{SpanEvent, SpanLog, TransactionBreakdown};
 use crate::error::{SimError, StallKind, StallReport};
 use crate::mapping::Mapping;
 use crate::resilience::{MigrationPolicy, MigrationRecord, MigrationView};
-use crate::workload::{workload_home_map, TorusNeighborProgram};
+use crate::workload::{workload_home_map, Workload};
 use commloc_mem::{Controller, MemConfig, MemOp, ProtocolMsg, TxnId};
 use commloc_net::{
     ActiveSet, BoundaryItem, Fabric, FabricConfig, FabricStats, FaultEvent, FaultLog, FaultPlan,
-    LatencyBreakdown, Message, MessageId, NodeId, Torus, TraceBuffer,
+    LatencyBreakdown, Message, MessageId, NodeId, Topology, Torus, TraceBuffer,
 };
 use commloc_proc::{Processor, ReissueProgram, ThreadOp, ThreadProgram};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
@@ -74,6 +74,23 @@ pub struct SimConfig {
     /// Fault plan installed into the fabric at construction (`None` = the
     /// perfect network of the paper's calibrated experiments).
     pub fault_plan: Option<FaultPlan>,
+    /// Fabric topology. `None` selects the k-ary n-cube torus described
+    /// by `dims`/`radix` (the paper's machine); an explicit topology
+    /// overrides both.
+    pub topology: Option<Topology>,
+    /// The workload the processors run (the paper's neighbour
+    /// application by default).
+    pub workload: Workload,
+}
+
+impl SimConfig {
+    /// The topology this configuration describes: the explicit
+    /// [`SimConfig::topology`], or the torus built from `dims`/`radix`.
+    pub fn resolved_topology(&self) -> Topology {
+        self.topology
+            .clone()
+            .unwrap_or_else(|| Topology::cube(self.dims, self.radix))
+    }
 }
 
 impl Default for SimConfig {
@@ -95,6 +112,8 @@ impl Default for SimConfig {
             },
             watchdog_cycles: 20_000,
             fault_plan: None,
+            topology: None,
+            workload: Workload::Neighbor,
         }
     }
 }
@@ -333,8 +352,7 @@ impl Machine {
         reference: bool,
         policy: Option<Box<dyn MigrationPolicy>>,
     ) -> Self {
-        let torus = Torus::new(config.dims, config.radix);
-        let nodes = torus.nodes();
+        let nodes = config.resolved_topology().nodes();
         Self::new_full(config, mapping, reference, policy, 0, nodes)
     }
 
@@ -364,30 +382,40 @@ impl Machine {
         owned: usize,
     ) -> Self {
         let mut config = config.clone();
-        let torus = Torus::new(config.dims, config.radix);
+        let topology = config.resolved_topology();
         let fault_plan = config.fault_plan.take();
+        let compute = topology.compute_nodes();
         assert_eq!(
             mapping.threads(),
-            torus.nodes(),
-            "mapping must cover every node"
+            compute,
+            "mapping must cover every compute node"
+        );
+        assert!(
+            policy.is_none() || matches!(topology, Topology::Cube(_)),
+            "migration policies require a cube topology, got {}",
+            topology.canonical()
         );
         // Invert the mapping: which thread runs on each processor.
-        let mut thread_at = vec![usize::MAX; torus.nodes()];
-        for thread in 0..torus.nodes() {
+        let mut thread_at = vec![usize::MAX; compute];
+        for thread in 0..compute {
             thread_at[mapping.processor(thread).0] = thread;
         }
         // One home map shared by every controller through an `Arc`.
-        let home = Arc::new(workload_home_map(&torus, mapping, config.contexts));
-        let nodes: Vec<NodeSim> = (base..base + owned)
+        let home = Arc::new(workload_home_map(&topology, mapping, config.contexts));
+        // Only fabric routers that host compute get a node sim; fat-tree
+        // switches (ids >= compute) relay traffic but run no threads and
+        // home no data. Compute nodes always occupy the id prefix, so an
+        // owned range's compute portion stays contiguous at its front.
+        let owned_compute = (base + owned)
+            .min(compute)
+            .saturating_sub(base.min(compute));
+        let nodes: Vec<NodeSim> = (base..base + owned_compute)
             .map(|n| {
                 let programs: Vec<Box<dyn ThreadProgram>> = (0..config.contexts)
                     .map(|instance| {
-                        Box::new(TorusNeighborProgram::new(
-                            &torus,
-                            instance,
-                            thread_at[n],
-                            config.work,
-                        )) as Box<dyn ThreadProgram>
+                        config
+                            .workload
+                            .program(&topology, instance, thread_at[n], config.work)
                     })
                     .collect();
                 NodeSim {
@@ -398,24 +426,24 @@ impl Machine {
                 }
             })
             .collect();
-        let node_count = owned;
-        // The fabric takes ownership of the torus; everything else reaches
-        // it through `Fabric::torus`. Shards get the fault plan restricted
-        // to their own nodes, so merged logs reconstruct the monolithic
-        // record exactly.
+        let node_count = owned_compute;
+        // The fabric takes ownership of the topology; everything else
+        // reaches it through `Fabric::topology`. Shards get the fault plan
+        // restricted to their own nodes, so merged logs reconstruct the
+        // monolithic record exactly.
         let fabric = match fault_plan {
-            Some(plan) if owned == torus.nodes() => {
-                Fabric::with_fault_plan(torus, config.fabric, plan)
+            Some(plan) if owned == topology.nodes() => {
+                Fabric::with_fault_plan(topology, config.fabric, plan)
             }
             Some(plan) => Fabric::with_fault_plan_shard(
-                torus.clone(),
+                topology.clone(),
                 config.fabric,
                 base,
                 owned,
                 plan.restrict(base, owned),
             ),
-            None if owned == torus.nodes() => Fabric::new(torus, config.fabric),
-            None => Fabric::new_shard(torus, config.fabric, base, owned),
+            None if owned == topology.nodes() => Fabric::new(topology, config.fabric),
+            None => Fabric::new_shard(topology, config.fabric, base, owned),
         };
         // Every node starts with runnable processor work, so the active
         // set begins full.
@@ -463,8 +491,18 @@ impl Machine {
     }
 
     /// The machine's torus.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configured topology is not a cube; use
+    /// [`Machine::topology`] for topology-agnostic code.
     pub fn torus(&self) -> &Torus {
         self.fabric.torus()
+    }
+
+    /// The machine's fabric topology.
+    pub fn topology(&self) -> &Topology {
+        self.fabric.topology()
     }
 
     /// Elapsed network cycles.

@@ -8,7 +8,7 @@
 //! seeded random permutations (expected distance from Eq. 17), and a
 //! hill-climbing search for a near-pessimal mapping.
 
-use commloc_net::{DetRng, NodeId, Torus};
+use commloc_net::{DetRng, NodeId, Topology, Torus};
 
 /// A bijective assignment of application threads to processors. Thread
 /// `t`'s communication graph neighbours are the torus neighbours of `t`
@@ -198,6 +198,54 @@ impl Mapping {
         }
         total
     }
+
+    /// Average fabric distance between mapped application-graph
+    /// neighbours on an arbitrary topology — the generalization of
+    /// [`Mapping::average_neighbor_distance`] (identical on a cube,
+    /// whose application graph is `dim 0 +/-, dim 1 +/-, ...`).
+    pub fn average_app_distance(&self, topology: &Topology) -> f64 {
+        let (total, edges) = self.total_app_distance(topology);
+        total as f64 / edges as f64
+    }
+
+    fn total_app_distance(&self, topology: &Topology) -> (usize, usize) {
+        let threads = topology.compute_nodes();
+        assert_eq!(self.map.len(), threads, "mapping size mismatch");
+        let mut total = 0;
+        let mut edges = 0;
+        for t in 0..threads {
+            for p in topology.app_neighbors(t) {
+                total += topology.distance(self.map[t], self.map[p]);
+                edges += 1;
+            }
+        }
+        (total, edges)
+    }
+
+    /// Hill-climbs pairwise swaps to (approximately) maximize the average
+    /// application-graph distance on an arbitrary topology — the
+    /// topology-generic counterpart of [`Mapping::maximize_distance`].
+    pub fn maximize_app_distance(topology: &Topology, seed: u64, iterations: usize) -> Self {
+        let threads = topology.compute_nodes();
+        let mut rng = DetRng::new(seed);
+        let mut best = Self::random(threads, seed ^ 0x5EED);
+        let mut best_score = best.total_app_distance(topology).0;
+        for _ in 0..iterations {
+            let a = rng.index(threads);
+            let b = rng.index(threads);
+            if a == b {
+                continue;
+            }
+            best.map.swap(a, b);
+            let score = best.total_app_distance(topology).0;
+            if score > best_score {
+                best_score = score;
+            } else {
+                best.map.swap(a, b);
+            }
+        }
+        best
+    }
 }
 
 /// A named mapping together with its analytic average neighbour distance.
@@ -240,6 +288,43 @@ pub fn mapping_suite(torus: &Torus, seed: u64) -> Vec<NamedMapping> {
         named("random-1", Mapping::random(n, seed)),
         named("random-2", Mapping::random(n, seed ^ 0xABCD)),
         named("worst", Mapping::maximize_distance(torus, seed, 4000)),
+    ];
+    suite.sort_by(|a, b| a.distance.total_cmp(&b.distance));
+    suite
+}
+
+/// A mapping suite for an arbitrary topology: identity, graded random
+/// swaps, fully random permutations, and a hill-climbed worst mapping,
+/// each annotated with its average application-graph distance and sorted
+/// by it. The cube-specific [`mapping_suite`] (with its structured
+/// coordinate permutations) remains the paper-validation suite; this one
+/// drives the per-topology gain tables.
+pub fn topology_mapping_suite(topology: &Topology, seed: u64) -> Vec<NamedMapping> {
+    let n = topology.compute_nodes();
+    let named = |name: &str, mapping: Mapping| {
+        let distance = mapping.average_app_distance(topology);
+        NamedMapping {
+            name: name.to_owned(),
+            mapping,
+            distance,
+        }
+    };
+    let mut suite = vec![
+        named("identity", Mapping::identity(n)),
+        named(
+            "swaps-light",
+            Mapping::random_swaps(n, n / 8 + 1, seed ^ 0x11),
+        ),
+        named(
+            "swaps-heavy",
+            Mapping::random_swaps(n, (3 * n) / 4, seed ^ 0x33),
+        ),
+        named("random-1", Mapping::random(n, seed)),
+        named("random-2", Mapping::random(n, seed ^ 0xABCD)),
+        named(
+            "worst",
+            Mapping::maximize_app_distance(topology, seed, 2000),
+        ),
     ];
     suite.sort_by(|a, b| a.distance.total_cmp(&b.distance));
     suite

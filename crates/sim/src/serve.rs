@@ -39,9 +39,10 @@ use crate::conformance::{REDUCED_WARMUP, REDUCED_WINDOW, SUITE_SEED};
 use crate::error::SimError;
 use crate::json::{json_string, Json};
 use crate::machine::{Machine, MachineSnapshot, Measurements, SimConfig};
-use crate::mapping::{mapping_suite, Mapping, NamedMapping};
+use crate::mapping::{mapping_suite, topology_mapping_suite, Mapping, NamedMapping};
 use crate::parallel::{default_jobs, parallel_map};
-use commloc_net::{FaultPlan, Torus};
+use crate::workload::Workload;
+use commloc_net::{FaultPlan, Topology};
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::sync::{Mutex, OnceLock, PoisonError};
@@ -110,11 +111,18 @@ pub struct ScenarioKey {
 
 impl ScenarioKey {
     /// Canonicalizes `(config, mapping, warmup, window)`.
+    ///
+    /// The topology renders through [`SimConfig::resolved_topology`] (not
+    /// the raw `dims`/`radix` fields), so a cube spelled via `dims`/`radix`
+    /// and the same cube spelled via an explicit [`Topology`] alias — and
+    /// a mesh request can never be served a cube-cached result. The
+    /// workload canonical includes the trace content hash, so two traces
+    /// with the same filename but different contents never alias either.
     pub fn new(config: &SimConfig, mapping: &Mapping, warmup: u64, window: u64) -> Self {
         let mut c = format!(
-            "dims={};radix={};contexts={};clock_ratio={};switch_cycles={};work={}",
-            config.dims,
-            config.radix,
+            "topo={};workload={};contexts={};clock_ratio={};switch_cycles={};work={}",
+            config.resolved_topology().canonical(),
+            config.workload.canonical(),
             config.contexts,
             config.clock_ratio,
             config.switch_cycles,
@@ -571,6 +579,8 @@ const REQUEST_KEYS: &[&str] = &[
     "mappings",
     "dims",
     "radix",
+    "topology",
+    "traffic",
     "contexts",
     "clock_ratio",
     "switch_cycles",
@@ -628,6 +638,17 @@ fn parse_request(line: &str) -> Result<Request, String> {
         watchdog_cycles: u64_field("watchdog", defaults.watchdog_cycles)?,
         ..defaults
     };
+    if let Some(v) = get("topology") {
+        let spec = v.as_string().map_err(|e| format!("topology: {e}"))?;
+        config.topology = Some(
+            Topology::parse(&spec, config.dims, config.radix)
+                .map_err(|e| format!("topology: {e}"))?,
+        );
+    }
+    if let Some(v) = get("traffic") {
+        let spec = v.as_string().map_err(|e| format!("traffic: {e}"))?;
+        config.workload = Workload::parse(&spec).map_err(|e| format!("traffic: {e}"))?;
+    }
     let drop_rate = rate_field("drop_rate")?;
     let corrupt_rate = rate_field("corrupt_rate")?;
     let stall_rate = rate_field("stall_rate")?;
@@ -668,15 +689,19 @@ fn parse_request(line: &str) -> Result<Request, String> {
     })
 }
 
-/// Resolves request mapping names against the suite for this
-/// config's torus. Empty `specs` means the whole suite.
+/// Resolves request mapping names against the suite for this config's
+/// topology (the torus-specific suite on cubes, the topology-generic one
+/// otherwise). Empty `specs` means the whole suite.
 fn resolve_mappings(
     config: &SimConfig,
     seed: u64,
     specs: &[String],
 ) -> Result<Vec<NamedMapping>, String> {
-    let torus = Torus::new(config.dims, config.radix);
-    let suite = mapping_suite(&torus, seed);
+    let topology = config.resolved_topology();
+    let suite = match &topology {
+        Topology::Cube(torus) => mapping_suite(torus, seed),
+        _ => topology_mapping_suite(&topology, seed),
+    };
     if specs.is_empty() {
         return Ok(suite);
     }
@@ -937,6 +962,7 @@ pub fn serve(options: &ServeOptions) -> Result<(), String> {
 mod tests {
     use super::*;
     use crate::machine::run_experiment;
+    use commloc_net::Torus;
 
     fn small_key(window: u64) -> ScenarioKey {
         ScenarioKey::new(&SimConfig::default(), &Mapping::identity(64), 1_000, window)
@@ -986,6 +1012,47 @@ mod tests {
         );
         let with_schedule = ScenarioKey::new(&scheduled, &Mapping::identity(64), 1_000, 4_000);
         assert_ne!(with_fault.canonical(), with_schedule.canonical());
+    }
+
+    #[test]
+    fn topology_and_traffic_split_the_key() {
+        // A 4x4 cube and a 4x4 mesh have the same node count and the same
+        // default dims/radix fields — only the topology distinguishes
+        // them. A cached cube result must never be served for the mesh.
+        let mapping = Mapping::identity(16);
+        let cube = SimConfig {
+            dims: 2,
+            radix: 4,
+            ..SimConfig::default()
+        };
+        let mesh = SimConfig {
+            topology: Some(Topology::mesh(4, 4)),
+            ..cube.clone()
+        };
+        let cube_key = ScenarioKey::new(&cube, &mapping, 1_000, 4_000);
+        let mesh_key = ScenarioKey::new(&mesh, &mapping, 1_000, 4_000);
+        assert_ne!(cube_key.canonical(), mesh_key.canonical());
+        assert_ne!(cube_key.warm_canonical(), mesh_key.warm_canonical());
+
+        // An explicitly-spelled cube aliases the dims/radix spelling.
+        let explicit = SimConfig {
+            topology: Some(Topology::cube(2, 4)),
+            ..cube.clone()
+        };
+        assert_eq!(
+            cube_key.canonical(),
+            ScenarioKey::new(&explicit, &mapping, 1_000, 4_000).canonical()
+        );
+
+        // The traffic pattern splits the key too.
+        let transpose = SimConfig {
+            workload: Workload::Transpose,
+            ..cube.clone()
+        };
+        assert_ne!(
+            cube_key.canonical(),
+            ScenarioKey::new(&transpose, &mapping, 1_000, 4_000).canonical()
+        );
     }
 
     #[test]

@@ -41,7 +41,7 @@ use crate::machine::{
 };
 use crate::mapping::Mapping;
 use commloc_mem::ProtocolMsg;
-use commloc_net::{BoundaryItem, FabricStats, FaultLog, LatencyBreakdown, NodeId, Torus};
+use commloc_net::{BoundaryItem, FabricStats, FaultLog, LatencyBreakdown, NodeId};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
 
@@ -107,8 +107,7 @@ impl ShardedMachine {
     /// enabled (`fabric.trace_capacity > 0`), or if the mapping does not
     /// cover the torus.
     pub fn new(config: &SimConfig, mapping: &Mapping, shards: usize) -> Self {
-        let torus = Torus::new(config.dims, config.radix);
-        let nodes = torus.nodes();
+        let nodes = config.resolved_topology().nodes();
         assert!(
             shards >= 1 && shards <= nodes,
             "shard count {shards} not in 1..={nodes}"
@@ -515,7 +514,7 @@ impl ShardedMachine {
         }
         build_measurements(
             self.net_cycle - self.window_start,
-            self.nodes(),
+            self.config.resolved_topology().compute_nodes(),
             &fs,
             &window,
             total_busy,
